@@ -1,0 +1,170 @@
+// Command faultsim runs a standalone stuck-at fault campaign: it grades one
+// of the library's self-test routines against its module's fault universe
+// on a chosen core, under a chosen execution strategy and SoC environment,
+// and prints the coverage with a per-signal breakdown and the surviving
+// fault list.
+//
+// Usage:
+//
+//	faultsim [-routine forwarding|hdcu|icu] [-core 0|1|2]
+//	         [-strategy plain|cache|tcm] [-multicore] [-bitstep N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/sbst"
+	"repro/internal/soc"
+)
+
+func main() {
+	routineName := flag.String("routine", "forwarding", "routine: forwarding, hdcu or icu")
+	coreID := flag.Int("core", 0, "core under test (0=A, 1=B, 2=C)")
+	strategyName := flag.String("strategy", "cache", "execution strategy: plain, cache or tcm")
+	multicore := flag.Bool("multicore", true, "replay 3-core bus contention around the core under test")
+	bitStep := flag.Int("bitstep", 1, "enumerate every Nth data bit (campaign reduction)")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "list undetected faults")
+	flag.Parse()
+
+	dataBase := func(id int) uint32 { return mem.SRAMBase + 0x2000*uint32(id+1) }
+	mkRoutine := func(id int) *sbst.Routine {
+		switch *routineName {
+		case "forwarding":
+			return sbst.NewForwardingTest(sbst.ForwardingOptions{
+				DataBase: dataBase(id), Pairs64: id == 2,
+			})
+		case "hdcu":
+			return sbst.NewHDCUTest(sbst.HDCUOptions{DataBase: dataBase(id)})
+		case "icu":
+			return sbst.NewICUTest(sbst.ICUOptions{DataBase: dataBase(id), TriggerReps: 2})
+		}
+		fmt.Fprintf(os.Stderr, "faultsim: unknown routine %q\n", *routineName)
+		os.Exit(2)
+		return nil
+	}
+	var strat core.Strategy
+	cached := false
+	switch *strategyName {
+	case "plain":
+		strat = core.Plain{}
+	case "cache":
+		strat = core.CacheBased{WriteAllocate: true}
+		cached = true
+	case "tcm":
+		strat = core.TCMBased{CoreID: *coreID}
+	default:
+		fmt.Fprintf(os.Stderr, "faultsim: unknown strategy %q\n", *strategyName)
+		os.Exit(2)
+	}
+
+	bits := 32
+	if *coreID == 2 {
+		bits = 64
+	}
+	opts := fault.ListOptions{DataBits: bits, BitStep: *bitStep}
+	var sites []fault.Site
+	switch *routineName {
+	case "forwarding":
+		sites = fault.ForwardingLogic(opts)
+	case "hdcu":
+		sites = fault.HDCU(opts)
+		sites = append(sites, fault.PerfCounters(opts)...)
+	case "icu":
+		sites = fault.ICU(opts)
+	}
+	fault.SortSites(sites)
+
+	// Environment: the other cores run the same routine for contention.
+	active := 1
+	if *multicore {
+		active = soc.NumCores
+	}
+	cfg := soc.DefaultConfig()
+	var jobs [soc.NumCores]*core.CoreJob
+	for id := 0; id < soc.NumCores; id++ {
+		cfg.Cores[id].Active = id < active || id == *coreID
+		cfg.Cores[id].CachesOn = cached
+		cfg.Cores[id].WriteAlloc = true
+		if cfg.Cores[id].Active {
+			jobs[id] = &core.CoreJob{
+				Routine:  mkRoutine(id),
+				Strategy: strat,
+				CodeBase: soc.CodeLow + uint32(id)*0x10000,
+			}
+			if id == *coreID {
+				jobs[id].Strategy = strat
+			} else {
+				jobs[id].Strategy = core.Plain{}
+			}
+		}
+	}
+
+	// Golden run with traffic recording.
+	var rec *bus.Recorder
+	results, _, err := core.RunJobsSetup(cfg, jobs, 10_000_000, nil, func(s *soc.SoC) {
+		rec = s.AttachRecorder(*coreID)
+	})
+	fail(err)
+	golden := results[*coreID]
+	if !golden.OK {
+		fail(fmt.Errorf("golden run failed on core %d", *coreID))
+	}
+	traffic := rec.EventsByMaster()
+	budget := golden.Cycles*8 + 20_000
+
+	run := func(p fault.Plane) (uint32, bool) {
+		c := cfg
+		c.Replay = traffic
+		for id := 0; id < soc.NumCores; id++ {
+			c.Cores[id].Active = id == *coreID
+		}
+		c.Cores[*coreID].Plane = p
+		var j [soc.NumCores]*core.CoreJob
+		j[*coreID] = jobs[*coreID]
+		res, _, err := core.RunJobs(c, j, budget)
+		if err != nil || res[*coreID] == nil {
+			return 0, false
+		}
+		return res[*coreID].Signature, res[*coreID].OK
+	}
+
+	rep := fault.Simulate(sites, run, *workers)
+	fmt.Printf("routine=%s core=%c strategy=%s multicore=%v\n",
+		*routineName, rune('A'+*coreID), *strategyName, *multicore)
+	fmt.Println(rep.String())
+
+	fmt.Println("per-signal breakdown:")
+	type row struct {
+		sig  fault.Signal
+		d, t int
+	}
+	var rows []row
+	for sig, dt := range rep.BySignal() {
+		rows = append(rows, row{sig, dt[0], dt[1]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].sig < rows[j].sig })
+	for _, r := range rows {
+		fmt.Printf("  %-8v %4d/%4d (%.1f%%)\n", r.sig, r.d, r.t, 100*float64(r.d)/float64(r.t))
+	}
+	if *verbose {
+		fmt.Println("undetected faults:")
+		for _, s := range rep.Undetected() {
+			fmt.Println("  ", s)
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+}

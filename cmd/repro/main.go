@@ -1,0 +1,71 @@
+// Command repro regenerates the paper's evaluation: every table and figure
+// of Section IV, printed in the paper's layout.
+//
+// Usage:
+//
+//	repro [-quick] [-only t1|t2|t3|t4|fig1|fig2|delay] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced fault universes and scenario counts")
+	only := flag.String("only", "", "run a single experiment: t1, t2, t3, t4, fig1, fig2, delay")
+	workers := flag.Int("workers", 0, "fault-simulation worker goroutines (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	o := experiments.Options{Quick: *quick, Workers: *workers}
+	want := func(name string) bool { return *only == "" || *only == name }
+	start := time.Now()
+
+	if want("fig1") {
+		res, err := experiments.Figure1(o)
+		fail(err)
+		fmt.Println(experiments.RenderFigure1(res))
+	}
+	if want("fig2") {
+		res, err := experiments.Figure2(o)
+		fail(err)
+		fmt.Println(experiments.RenderFigure2(res))
+	}
+	if want("t1") {
+		rows, err := experiments.TableI(o)
+		fail(err)
+		fmt.Println(experiments.RenderTableI(rows))
+	}
+	if want("t2") {
+		rows, err := experiments.TableII(o)
+		fail(err)
+		fmt.Println(experiments.RenderTableII(rows))
+	}
+	if want("t3") {
+		rows, err := experiments.TableIII(o)
+		fail(err)
+		fmt.Println(experiments.RenderTableIII(rows))
+	}
+	if want("t4") {
+		rows, err := experiments.TableIV(o)
+		fail(err)
+		fmt.Println(experiments.RenderTableIV(rows))
+	}
+	if want("delay") {
+		rows, err := experiments.DelayFaults(o)
+		fail(err)
+		fmt.Println(experiments.RenderDelay(rows))
+	}
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,108 @@
+// Command socsim assembles a program and runs it on one core of the
+// simulated SoC, printing the architectural outcome: registers of interest,
+// performance counters, cache statistics and bus utilisation.
+//
+// Usage:
+//
+//	socsim [-core 0|1|2] [-cached] [-contend] [-base addr] [-max cycles] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/fault"
+	"repro/internal/isa"
+	"repro/internal/soc"
+)
+
+// contender is the busy-loop workload placed on the other cores with
+// -contend: a store/load mill that keeps the bus under pressure.
+const contender = `
+	li   r29, 0x20008000
+	addi r1, r0, 4000
+loop:
+	sw   r1, 0(r29)
+	lw   r2, 0(r29)
+	addi r1, r1, -1
+	bne  r1, r0, loop
+	halt
+`
+
+func main() {
+	coreID := flag.Int("core", 0, "core to run on (0=A, 1=B, 2=C)")
+	cached := flag.Bool("cached", false, "enable the private I/D caches")
+	base := flag.Uint("base", soc.CodeLow, "flash load address")
+	maxCycles := flag.Int64("max", 10_000_000, "watchdog cycle budget")
+	contend := flag.Bool("contend", false, "run bus-hammering loops on the other cores")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: socsim [flags] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	fail(err)
+
+	b, err := asm.Parse(string(src))
+	fail(err)
+	prog, err := b.Assemble(uint32(*base))
+	fail(err)
+
+	cfg := soc.DefaultConfig()
+	for id := 0; id < soc.NumCores; id++ {
+		cfg.Cores[id].Active = id == *coreID || *contend
+		cfg.Cores[id].CachesOn = *cached
+		cfg.Cores[id].WriteAlloc = true
+	}
+	s := soc.New(cfg)
+	fail(s.Load(prog))
+	s.Start(*coreID, prog.Base)
+
+	if *contend {
+		cb, err := asm.Parse(contender)
+		fail(err)
+		for id := 0; id < soc.NumCores; id++ {
+			if id == *coreID {
+				continue
+			}
+			p, err := cb.Assemble(soc.CodeMid + uint32(id)*0x2000)
+			fail(err)
+			fail(s.Load(p))
+			s.Start(id, p.Base)
+		}
+	}
+
+	res := s.Run(*maxCycles)
+	u := s.Cores[*coreID]
+	fmt.Printf("core %c: cycles=%d halted=%v wedged=%v timed-out=%v\n",
+		rune('A'+*coreID), u.Core.Cycle(), u.Core.Halted(), u.Core.Wedged(), res.TimedOut)
+	fmt.Printf("counters: instret=%d ifstall=%d memstall=%d hazstall=%d dual-issue=%d\n",
+		u.Core.Counter(fault.CntInstret), u.Core.Counter(fault.CntIFStall),
+		u.Core.Counter(fault.CntMemStall), u.Core.Counter(fault.CntHazStall),
+		u.Core.Counter(fault.CntIssued2))
+	fmt.Printf("signature (r28) = %08x\n", u.Core.Reg(isa.RegSig))
+	fmt.Println("registers:")
+	for r := uint8(1); r <= 15; r++ {
+		fmt.Printf("  r%-2d = %08x", r, u.Core.Reg(r))
+		if r%5 == 0 {
+			fmt.Println()
+		}
+	}
+	if u.ICache != nil {
+		st := u.ICache.Stats()
+		fmt.Printf("icache: hits=%d misses=%d\n", st.Hits, st.Misses)
+		st = u.DCache.Stats()
+		fmt.Printf("dcache: hits=%d misses=%d writebacks=%d\n", st.Hits, st.Misses, st.Writebacks)
+	}
+	fmt.Printf("bus utilization: %.1f%%\n", 100*s.Bus.Utilization())
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "socsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,88 @@
+// Command stlgen generates a self-test routine and prints its assembled
+// listing — the single-core form or any wrapped strategy — together with
+// size and footprint figures. Useful for inspecting exactly what the
+// strategies emit.
+//
+// Usage:
+//
+//	stlgen [-routine forwarding|hdcu|icu|alu|shift|mul|loadstore|branch]
+//	       [-strategy plain|cache|tcm] [-core N] [-base addr]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sbst"
+	"repro/internal/soc"
+)
+
+func main() {
+	routineName := flag.String("routine", "hdcu", "routine to generate")
+	strategyName := flag.String("strategy", "cache", "plain, cache or tcm")
+	coreID := flag.Int("core", 0, "core the program targets")
+	base := flag.Uint("base", soc.CodeLow, "link address")
+	flag.Parse()
+
+	dataBase := mem.SRAMBase + 0x2000*uint32(*coreID+1)
+	var r *sbst.Routine
+	switch *routineName {
+	case "forwarding":
+		r = sbst.NewForwardingTest(sbst.ForwardingOptions{DataBase: dataBase, Pairs64: *coreID == 2})
+	case "hdcu":
+		r = sbst.NewHDCUTest(sbst.HDCUOptions{DataBase: dataBase})
+	case "icu":
+		r = sbst.NewICUTest(sbst.ICUOptions{DataBase: dataBase})
+	case "alu":
+		r = sbst.NewALUTest(dataBase)
+	case "shift":
+		r = sbst.NewShiftTest(dataBase)
+	case "mul":
+		r = sbst.NewMulTest(dataBase)
+	case "loadstore":
+		r = sbst.NewLoadStoreTest(dataBase)
+	case "branch":
+		r = sbst.NewBranchTest(dataBase)
+	default:
+		fmt.Fprintf(os.Stderr, "stlgen: unknown routine %q\n", *routineName)
+		os.Exit(2)
+	}
+
+	var strat core.Strategy
+	switch *strategyName {
+	case "plain":
+		strat = core.Plain{}
+	case "cache":
+		strat = core.CacheBased{WriteAllocate: true}
+	case "tcm":
+		strat = core.TCMBased{CoreID: *coreID}
+	default:
+		fmt.Fprintf(os.Stderr, "stlgen: unknown strategy %q\n", *strategyName)
+		os.Exit(2)
+	}
+
+	b := asm.NewBuilder()
+	if err := strat.Emit(b, r); err != nil {
+		fmt.Fprintln(os.Stderr, "stlgen:", err)
+		os.Exit(1)
+	}
+	b.Halt()
+	prog, err := b.Assemble(uint32(*base))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stlgen:", err)
+		os.Exit(1)
+	}
+
+	plainSize, _ := r.SizeBytes()
+	overhead, _ := strat.MemoryOverhead(r)
+	fmt.Printf("; routine %s  strategy %s  core %c\n", r.Name, strat.Name(), rune('A'+*coreID))
+	fmt.Printf("; single-core body %d bytes, emitted program %d bytes, data %d bytes, reserved memory %d bytes\n",
+		plainSize, prog.Size(), r.DataSize(), overhead)
+	fmt.Printf("; blocks: %d, perf counters: %v, interrupts: %v, splittable: %v\n\n",
+		len(r.Blocks), r.UsesPerfCounters, r.UsesInterrupts, !r.NoSplit)
+	fmt.Print(prog.Listing())
+}

@@ -1,0 +1,83 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// FuzzParse checks the assembler never panics and that whatever it accepts
+// also assembles or fails cleanly. The seeds double as a syntax smoke
+// suite under plain `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"nop",
+		"add r1, r2, r3",
+		"lab: addi r1, r0, -5\n bne r1, r0, lab",
+		"lw r1, -8(r29)\n sw r1, 0(r29)",
+		"li r1, 0xffffffff\n la r2, lab\nlab: halt",
+		".word 0x1234\n.align 16\n.space 8\n.org 0x100",
+		"misr r3\n csrr r1, cycle\n csrw ivec, r1\n cinv both",
+		"addp r2, r4, r6\n swp r2, 8(r29)\n lwp r4, 8(r29)",
+		"a:b:c: nop",
+		"add r1 r2 r3",      // missing commas
+		"lw r1, (r29)",      // empty offset
+		"beq r1, r2, 0x100", // numeric target (rejected)
+		"; only a comment",
+		"\t\t\n\n  \n",
+		"label-with-dash: nop",
+		"add r1, r2, r3 extra",
+		".align 3",
+		"jalr r31, r2\n jr r31\n j done\ndone: rfe",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		b, err := Parse(src)
+		if err != nil {
+			return // rejected cleanly
+		}
+		p, err := b.Assemble(0x1000)
+		if err != nil {
+			return // label/range errors are fine
+		}
+		// Accepted programs must decode or be data words; Disasm never
+		// panics either way.
+		for _, w := range p.Words {
+			_ = isa.Disasm(w)
+		}
+	})
+}
+
+// FuzzEncodeDecode feeds arbitrary words to the decoder: it must never
+// panic, and any successfully decoded instruction must re-encode to the
+// same word (canonical encoding property).
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0xFFFFFFFF))
+	f.Add(isa.MustEncode(isa.Inst{Op: isa.OpADD, Rd: 1, Rs1: 2, Rs2: 3}))
+	f.Add(isa.MustEncode(isa.Inst{Op: isa.OpBEQ, Rs1: 1, Rs2: 2, Imm: -4}))
+	f.Add(isa.MustEncode(isa.Inst{Op: isa.OpJ, Imm: 1 << 20}))
+	f.Add(isa.MustEncode(isa.Inst{Op: isa.OpLUI, Rd: 9, Imm: 0xBEEF}))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		inst, err := isa.Decode(w)
+		if err != nil {
+			return
+		}
+		re, err := isa.Encode(inst)
+		if err != nil {
+			t.Fatalf("decoded %v from %#x but cannot re-encode: %v", inst, w, err)
+		}
+		if re != w {
+			// The encoding has dead bits in some formats (e.g. unused rs2
+			// field); re-decoding must at least agree on the instruction.
+			inst2, err := isa.Decode(re)
+			if err != nil || inst2 != inst {
+				t.Fatalf("non-canonical roundtrip: %#x -> %v -> %#x -> %v",
+					w, inst, re, inst2)
+			}
+		}
+	})
+}

@@ -1,0 +1,417 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// ParseError reports a syntax error with its source line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+var mnemonics = func() map[string]isa.Op {
+	m := make(map[string]isa.Op, isa.NumOps)
+	for op := isa.Op(1); int(op) <= isa.NumOps; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+var csrNames = map[string]int32{
+	"cycle": isa.CsrCycle, "instret": isa.CsrInstret,
+	"ifstall": isa.CsrIFStall, "memstall": isa.CsrMemStall,
+	"hazstall": isa.CsrHazStall, "issued2": isa.CsrIssued2,
+	"icause": isa.CsrICause, "idist": isa.CsrIDist, "iepc": isa.CsrIEPC,
+	"ienable": isa.CsrIEnable, "ipend": isa.CsrIPend, "ivec": isa.CsrIVec,
+	"coreid": isa.CsrCoreID,
+}
+
+// Parse reads assembler source into a Builder. Syntax:
+//
+//	label:                    ; define label
+//	    addi r1, r0, 5        ; register ops
+//	    lw   r2, 8(r29)       ; memory ops
+//	    beq  r1, r2, done     ; branches to labels
+//	    csrr r4, cycle        ; CSR by name or number
+//	    li   r3, 0x1234abcd   ; pseudo: load 32-bit constant
+//	    la   r3, table        ; pseudo: load label address
+//	    misr r3               ; pseudo: fold into signature register
+//	    .word 0xdeadbeef
+//	    .align 16
+//
+// Comments start with ';' or '#'. Returns the populated builder; call
+// Assemble to produce the image.
+func Parse(src string) (*Builder, error) {
+	b := NewBuilder()
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if !isIdent(name) {
+				return nil, &ParseError{ln + 1, fmt.Sprintf("bad label %q", name)}
+			}
+			b.Label(name)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := parseStmt(b, line); err != nil {
+			return nil, &ParseError{ln + 1, err.Error()}
+		}
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	return b, nil
+}
+
+func parseStmt(b *Builder, line string) error {
+	mn := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mn, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mn = strings.ToLower(mn)
+	args := splitArgs(rest)
+
+	switch mn {
+	case ".word":
+		if len(args) != 1 {
+			return fmt.Errorf(".word wants 1 argument")
+		}
+		v, err := parseImm(args[0])
+		if err != nil {
+			return err
+		}
+		b.Word(uint32(v))
+		return nil
+	case ".align":
+		if len(args) != 1 {
+			return fmt.Errorf(".align wants 1 argument")
+		}
+		v, err := parseImm(args[0])
+		if err != nil {
+			return err
+		}
+		b.Align(int(v))
+		return nil
+	case ".space":
+		if len(args) != 1 {
+			return fmt.Errorf(".space wants 1 argument")
+		}
+		v, err := parseImm(args[0])
+		if err != nil {
+			return err
+		}
+		b.Space(int(v))
+		return nil
+	case ".org":
+		if len(args) != 1 {
+			return fmt.Errorf(".org wants 1 argument")
+		}
+		v, err := parseImm(args[0])
+		if err != nil {
+			return err
+		}
+		b.Org(uint32(v))
+		return nil
+	case "li":
+		if len(args) != 2 {
+			return fmt.Errorf("li wants rd, imm")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		b.Li(rd, uint32(v))
+		return nil
+	case "la":
+		if len(args) != 2 {
+			return fmt.Errorf("la wants rd, label")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		if !isIdent(args[1]) {
+			return fmt.Errorf("bad label %q", args[1])
+		}
+		b.LiAddr(rd, args[1])
+		return nil
+	case "misr":
+		if len(args) != 1 {
+			return fmt.Errorf("misr wants rs")
+		}
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		b.Misr(rs)
+		return nil
+	}
+
+	op, ok := mnemonics[mn]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	return parseOp(b, op, args)
+}
+
+func parseOp(b *Builder, op isa.Op, args []string) error {
+	want := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%v wants %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	switch isa.FormatOf(op) {
+	case isa.FmtNone:
+		if err := want(0); err != nil {
+			return err
+		}
+		b.Emit(isa.Inst{Op: op})
+	case isa.FmtR:
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(args[0])
+		rs1, e2 := parseReg(args[1])
+		rs2, e3 := parseReg(args[2])
+		if err := firstErr(e1, e2, e3); err != nil {
+			return err
+		}
+		b.R(op, rd, rs1, rs2)
+	case isa.FmtRShamt, isa.FmtI:
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(args[0])
+		rs1, e2 := parseReg(args[1])
+		imm, e3 := parseImm(args[2])
+		if err := firstErr(e1, e2, e3); err != nil {
+			return err
+		}
+		b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: int32(imm)})
+	case isa.FmtLui:
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(args[0])
+		imm, e2 := parseImm(args[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		b.Emit(isa.Inst{Op: op, Rd: rd, Imm: int32(imm)})
+	case isa.FmtMem:
+		if err := want(2); err != nil {
+			return err
+		}
+		r, e1 := parseReg(args[0])
+		off, base, e2 := parseMemRef(args[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		if op.IsStore() {
+			b.Store(op, r, base, off)
+		} else {
+			b.Load(op, r, base, off)
+		}
+	case isa.FmtBranch:
+		if err := want(3); err != nil {
+			return err
+		}
+		rs1, e1 := parseReg(args[0])
+		rs2, e2 := parseReg(args[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		if !isIdent(args[2]) {
+			return fmt.Errorf("branch target must be a label, got %q", args[2])
+		}
+		b.Branch(op, rs1, rs2, args[2])
+	case isa.FmtJump:
+		if err := want(1); err != nil {
+			return err
+		}
+		if !isIdent(args[0]) {
+			return fmt.Errorf("jump target must be a label, got %q", args[0])
+		}
+		b.Jump(op, args[0])
+	case isa.FmtJR:
+		if err := want(1); err != nil {
+			return err
+		}
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Inst{Op: op, Rs1: rs})
+	case isa.FmtJALR:
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(args[0])
+		rs, e2 := parseReg(args[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs})
+	case isa.FmtCSRR:
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(args[0])
+		csr, e2 := parseCsr(args[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		b.CsrR(rd, csr)
+	case isa.FmtCSRW:
+		if err := want(2); err != nil {
+			return err
+		}
+		csr, e1 := parseCsr(args[0])
+		rs, e2 := parseReg(args[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		b.CsrW(csr, rs)
+	case isa.FmtCINV:
+		if err := want(1); err != nil {
+			return err
+		}
+		sel := args[0]
+		switch strings.ToLower(sel) {
+		case "i":
+			b.Cinv(isa.CinvI)
+		case "d":
+			b.Cinv(isa.CinvD)
+		case "both":
+			b.Cinv(isa.CinvBoth)
+		default:
+			v, err := parseImm(sel)
+			if err != nil {
+				return err
+			}
+			b.Cinv(int32(v))
+		}
+	default:
+		return fmt.Errorf("unhandled format for %v", op)
+	}
+	return nil
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow full-range unsigned hex like 0xdeadbeef.
+		u, uerr := strconv.ParseUint(s, 0, 32)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return int64(int32(u)), nil
+	}
+	return v, nil
+}
+
+// parseMemRef parses "off(rN)".
+func parseMemRef(s string) (off int32, base uint8, err error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	v, err := parseImm(offStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err = parseReg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	return int32(v), base, err
+}
+
+func parseCsr(s string) (int32, error) {
+	if n, ok := csrNames[strings.ToLower(s)]; ok {
+		return n, nil
+	}
+	v, err := parseImm(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad CSR %q", s)
+	}
+	return int32(v), nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

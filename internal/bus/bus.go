@@ -1,0 +1,268 @@
+// Package bus implements the single shared system bus of the SoC: one
+// transaction in flight at a time, round-robin arbitration among masters,
+// and per-master contention statistics. Bus contention between cores is the
+// root cause of the non-determinism the paper addresses, so the arbiter is
+// deliberately simple and fully deterministic.
+package bus
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Region maps an address window onto a device.
+type Region struct {
+	Base uint32
+	Size uint32
+	Dev  mem.Device
+}
+
+// Arbitration selects the arbiter policy.
+type Arbitration uint8
+
+const (
+	RoundRobin    Arbitration = iota
+	FixedPriority             // lower master ID wins; starves late masters under load
+)
+
+// Stats accumulates per-master bus statistics.
+type Stats struct {
+	Transactions int
+	WaitCycles   int // cycles spent queued while the bus served others
+	BusyCycles   int // cycles the bus spent serving this master
+}
+
+type request struct {
+	active bool
+	addr   uint32
+	write  bool
+	n      int
+	wdata  []byte
+	rdata  []byte
+	done   bool
+	issued int64 // cycle the request was submitted
+}
+
+// Bus is the shared system interconnect. It is not safe for concurrent use;
+// the SoC steps it from a single goroutine.
+type Bus struct {
+	regions []Region
+	policy  Arbitration
+
+	reqs  []request
+	stats []Stats
+
+	cycle     int64
+	owner     int // master being served, -1 if idle
+	remaining int // cycles left on current transaction
+	rrNext    int // round-robin scan start
+
+	totalBusy int64
+	recorder  *Recorder
+}
+
+// New creates a bus with n master ports and the given address regions.
+func New(nMasters int, policy Arbitration, regions []Region) *Bus {
+	return &Bus{
+		regions: regions,
+		policy:  policy,
+		reqs:    make([]request, nMasters),
+		stats:   make([]Stats, nMasters),
+		owner:   -1,
+	}
+}
+
+// NumMasters returns the number of master ports.
+func (b *Bus) NumMasters() int { return len(b.reqs) }
+
+// Cycle returns the current bus cycle count.
+func (b *Bus) Cycle() int64 { return b.cycle }
+
+// StatsFor returns the accumulated statistics of master id.
+func (b *Bus) StatsFor(id int) Stats { return b.stats[id] }
+
+// Utilization returns the fraction of elapsed cycles the bus was busy.
+func (b *Bus) Utilization() float64 {
+	if b.cycle == 0 {
+		return 0
+	}
+	return float64(b.totalBusy) / float64(b.cycle)
+}
+
+func (b *Bus) resolve(addr uint32) (mem.Device, uint32, bool) {
+	for _, r := range b.regions {
+		if addr >= r.Base && addr-r.Base < r.Size {
+			return r.Dev, addr - r.Base, true
+		}
+	}
+	return nil, 0, false
+}
+
+// Step advances the bus by one clock cycle: progresses the in-flight
+// transaction and, when the bus is free, grants the next pending request.
+func (b *Bus) Step() {
+	b.cycle++
+	if b.owner >= 0 {
+		b.totalBusy++
+		b.stats[b.owner].BusyCycles++
+		b.remaining--
+		if b.remaining <= 0 {
+			b.complete(b.owner)
+			b.owner = -1
+		}
+	}
+	// Account waiting for everyone still queued behind the bus.
+	for id := range b.reqs {
+		r := &b.reqs[id]
+		if r.active && !r.done && id != b.owner {
+			b.stats[id].WaitCycles++
+		}
+	}
+	if b.owner < 0 {
+		b.grantNext()
+	}
+}
+
+func (b *Bus) grantNext() {
+	n := len(b.reqs)
+	pick := -1
+	switch b.policy {
+	case RoundRobin:
+		for k := 0; k < n; k++ {
+			id := (b.rrNext + k) % n
+			if b.reqs[id].active && !b.reqs[id].done {
+				pick = id
+				break
+			}
+		}
+		if pick >= 0 {
+			b.rrNext = (pick + 1) % n
+		}
+	case FixedPriority:
+		for id := 0; id < n; id++ {
+			if b.reqs[id].active && !b.reqs[id].done {
+				pick = id
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	b.owner = pick
+	r := &b.reqs[pick]
+	dev, off, ok := b.resolve(r.addr)
+	if !ok {
+		// Open-bus access: completes in one cycle, reads all-ones.
+		b.remaining = 1
+		return
+	}
+	b.remaining = dev.AccessCycles(off, r.n)
+	if b.remaining < 1 {
+		b.remaining = 1
+	}
+}
+
+func (b *Bus) complete(id int) {
+	r := &b.reqs[id]
+	dev, off, ok := b.resolve(r.addr)
+	if ok {
+		if r.write {
+			dev.Write(off, r.wdata[:r.n])
+		} else {
+			dev.Read(off, r.rdata[:r.n])
+		}
+	} else if !r.write {
+		for i := 0; i < r.n; i++ {
+			r.rdata[i] = 0xFF
+		}
+	}
+	r.done = true
+	b.stats[id].Transactions++
+}
+
+// Port gives one master a handle on its bus slot.
+type Port struct {
+	bus *Bus
+	id  int
+}
+
+// PortFor returns the port for master id.
+func (b *Bus) PortFor(id int) *Port {
+	if id < 0 || id >= len(b.reqs) {
+		panic(fmt.Sprintf("bus: no master %d", id))
+	}
+	return &Port{bus: b, id: id}
+}
+
+// ID returns the master identifier of this port.
+func (p *Port) ID() int { return p.id }
+
+// InService reports whether this master's request is the one currently
+// being transferred (such a request can no longer be cancelled).
+func (p *Port) InService() bool { return p.bus.owner == p.id }
+
+// Busy reports whether a request is outstanding (issued and not yet taken).
+func (p *Port) Busy() bool { return p.bus.reqs[p.id].active }
+
+// Done reports whether the outstanding request has completed.
+func (p *Port) Done() bool {
+	r := &p.bus.reqs[p.id]
+	return r.active && r.done
+}
+
+// StartRead submits a read of n bytes at addr. The port must be idle.
+func (p *Port) StartRead(addr uint32, n int) {
+	r := &p.bus.reqs[p.id]
+	if r.active {
+		panic("bus: StartRead on busy port")
+	}
+	if n > mem.LineBytes {
+		panic("bus: burst longer than a line")
+	}
+	*r = request{active: true, addr: addr, n: n, issued: p.bus.cycle}
+	r.rdata = make([]byte, n)
+	p.bus.record(p.id, addr, false, n)
+}
+
+// StartWrite submits a write of len(data) bytes at addr. The port must be
+// idle. data is copied.
+func (p *Port) StartWrite(addr uint32, data []byte) {
+	r := &p.bus.reqs[p.id]
+	if r.active {
+		panic("bus: StartWrite on busy port")
+	}
+	if len(data) > mem.LineBytes {
+		panic("bus: burst longer than a line")
+	}
+	*r = request{active: true, addr: addr, write: true, n: len(data), issued: p.bus.cycle}
+	r.wdata = append([]byte(nil), data...)
+	p.bus.record(p.id, addr, true, len(data))
+}
+
+// Take consumes a completed request and returns the read data (nil for
+// writes). It panics if the request has not completed.
+func (p *Port) Take() []byte {
+	r := &p.bus.reqs[p.id]
+	if !r.active || !r.done {
+		panic("bus: Take before completion")
+	}
+	data := r.rdata
+	*r = request{}
+	return data
+}
+
+// Cancel aborts a queued or completed request. It is a no-op when idle and
+// panics if the request is currently being served (real bus masters cannot
+// retract a granted burst).
+func (p *Port) Cancel() {
+	r := &p.bus.reqs[p.id]
+	if !r.active {
+		return
+	}
+	if p.bus.owner == p.id && !r.done {
+		panic("bus: cancel of in-service request")
+	}
+	*r = request{}
+}

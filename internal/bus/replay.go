@@ -1,0 +1,109 @@
+package bus
+
+// Traffic recording and replay. Fault simulation needs thousands of runs of
+// a multi-core scenario; simulating all three cores for every fault would
+// multiply the cost by the core count even though a fault is private to the
+// core under test. Instead, the fault-free scenario is run once with every
+// core live while the bus records the other cores' transactions; each fault
+// run then replays that recorded traffic through Replayer masters, so the
+// core under test sees the same deterministic contention.
+
+// TrafficEvent is one recorded bus transaction start.
+type TrafficEvent struct {
+	Cycle  int64 // bus cycle the request was submitted
+	Master int   // master that issued it
+	Addr   uint32
+	Write  bool
+	N      int
+}
+
+// Recorder captures the requests submitted by a set of masters.
+type Recorder struct {
+	watch map[int]bool
+	log   []TrafficEvent
+}
+
+// NewRecorder records transactions issued by the given master IDs.
+func NewRecorder(masters ...int) *Recorder {
+	w := make(map[int]bool, len(masters))
+	for _, m := range masters {
+		w[m] = true
+	}
+	return &Recorder{watch: w}
+}
+
+// Events returns the captured trace in submission order.
+func (r *Recorder) Events() []TrafficEvent { return r.log }
+
+// EventsByMaster splits the trace per originating master, preserving
+// order. Replaying each sub-trace on its own bus master reproduces the
+// original contention pattern (one shared port would serialise overlapping
+// requests and understate it).
+func (r *Recorder) EventsByMaster() [][]TrafficEvent {
+	byID := map[int][]TrafficEvent{}
+	var ids []int
+	for _, ev := range r.log {
+		if _, seen := byID[ev.Master]; !seen {
+			ids = append(ids, ev.Master)
+		}
+		byID[ev.Master] = append(byID[ev.Master], ev)
+	}
+	out := make([][]TrafficEvent, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, byID[id])
+	}
+	return out
+}
+
+// Attach installs the recorder on the bus. Only one recorder can be
+// attached at a time.
+func (b *Bus) Attach(r *Recorder) { b.recorder = r }
+
+func (b *Bus) record(id int, addr uint32, write bool, n int) {
+	if b.recorder == nil || !b.recorder.watch[id] {
+		return
+	}
+	b.recorder.log = append(b.recorder.log, TrafficEvent{
+		Cycle: b.cycle, Master: id, Addr: addr, Write: write, N: n,
+	})
+}
+
+// Replayer drives one bus master through a recorded trace. Each event is
+// submitted at its recorded cycle, or as soon as the previous replayed
+// transaction finishes, whichever is later — the same back-pressure a real
+// core experiences.
+type Replayer struct {
+	port *Port
+	log  []TrafficEvent
+	next int
+	buf  [16]byte
+}
+
+// NewReplayer builds a replayer for port over the given trace.
+func NewReplayer(port *Port, log []TrafficEvent) *Replayer {
+	return &Replayer{port: port, log: log}
+}
+
+// Step advances the replayer by one cycle; call once per bus cycle after
+// Bus.Step.
+func (r *Replayer) Step(now int64) {
+	if r.port.Done() {
+		r.port.Take()
+	}
+	if r.port.Busy() || r.next >= len(r.log) {
+		return
+	}
+	ev := r.log[r.next]
+	if now < ev.Cycle {
+		return
+	}
+	if ev.Write {
+		r.port.StartWrite(ev.Addr, r.buf[:ev.N])
+	} else {
+		r.port.StartRead(ev.Addr, ev.N)
+	}
+	r.next++
+}
+
+// Done reports whether the whole trace has been replayed and retired.
+func (r *Replayer) Done() bool { return r.next >= len(r.log) && !r.port.Busy() }

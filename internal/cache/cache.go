@@ -1,0 +1,297 @@
+// Package cache implements the private first-level caches of each core:
+// set-associative, LRU replacement, write-back with configurable
+// write-allocate or no-write-allocate policy (the paper's SoC supports
+// both), and whole-cache invalidation as used by the deterministic
+// cache-based test strategy. The package also provides the per-cycle memory
+// clients the CPU pipeline talks to: a cache controller, a cache-bypass
+// client, and a TCM client.
+package cache
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Config describes cache geometry and policy.
+type Config struct {
+	SizeBytes  int
+	Ways       int
+	LineBytes  int
+	WriteAlloc bool // true: write-allocate (paper's experimental setting)
+}
+
+// ICacheConfig returns the paper's 8 kB instruction-cache geometry.
+func ICacheConfig() Config {
+	return Config{SizeBytes: 8 << 10, Ways: 2, LineBytes: mem.LineBytes, WriteAlloc: true}
+}
+
+// DCacheConfig returns the paper's 4 kB data-cache geometry.
+func DCacheConfig(writeAlloc bool) Config {
+	return Config{SizeBytes: 4 << 10, Ways: 2, LineBytes: mem.LineBytes, WriteAlloc: writeAlloc}
+}
+
+func (c Config) sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+// Validate checks the geometry for consistency.
+func (c Config) Validate() error {
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: ways %d", c.Ways)
+	}
+	if c.SizeBytes%(c.Ways*c.LineBytes) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by way*line", c.SizeBytes)
+	}
+	s := c.sets()
+	if s&(s-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", s)
+	}
+	return nil
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint32
+	age   uint64 // LRU timestamp; higher = more recent
+	data  []byte
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits        int
+	Misses      int
+	Evictions   int
+	Writebacks  int
+	Invalidates int
+}
+
+// Cache is the tag/data array. Timing lives in Ctrl; Cache itself is purely
+// functional state.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	tick  uint64
+	stats Stats
+
+	setShift uint32
+	setMask  uint32
+}
+
+// New builds an empty cache with the given configuration.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nSets := cfg.sets()
+	sets := make([][]line, nSets)
+	for i := range sets {
+		ways := make([]line, cfg.Ways)
+		for w := range ways {
+			ways[w].data = make([]byte, cfg.LineBytes)
+		}
+		sets[i] = ways
+	}
+	shift := uint32(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg: cfg, sets: sets,
+		setShift: shift, setMask: uint32(nSets - 1),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the accumulated event counts.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) index(addr uint32) (set, tag uint32) {
+	return (addr >> c.setShift) & c.setMask, addr >> c.setShift >> trailingBits(c.setMask)
+}
+
+func trailingBits(mask uint32) uint32 {
+	n := uint32(0)
+	for mask != 0 {
+		n++
+		mask >>= 1
+	}
+	return n
+}
+
+// lookup returns the way index of addr's line, or -1.
+func (c *Cache) lookup(addr uint32) (set uint32, way int) {
+	s, tag := c.index(addr)
+	for w := range c.sets[s] {
+		if c.sets[s][w].valid && c.sets[s][w].tag == tag {
+			return s, w
+		}
+	}
+	return s, -1
+}
+
+// Contains reports whether addr's line is resident (no LRU side effects).
+func (c *Cache) Contains(addr uint32) bool {
+	_, w := c.lookup(addr)
+	return w >= 0
+}
+
+// Read returns up to 8 bytes at addr on a hit. n must not cross a line
+// boundary.
+func (c *Cache) Read(addr uint32, n int) (v uint64, hit bool) {
+	s, w := c.lookup(addr)
+	if w < 0 {
+		c.stats.Misses++
+		return 0, false
+	}
+	c.stats.Hits++
+	c.touch(s, w)
+	off := addr & uint32(c.cfg.LineBytes-1)
+	return readLE(c.sets[s][w].data[off:], n), true
+}
+
+// Write stores n bytes at addr on a hit, marking the line dirty.
+func (c *Cache) Write(addr uint32, v uint64, n int) (hit bool) {
+	s, w := c.lookup(addr)
+	if w < 0 {
+		c.stats.Misses++
+		return false
+	}
+	c.stats.Hits++
+	c.touch(s, w)
+	ln := &c.sets[s][w]
+	ln.dirty = true
+	off := addr & uint32(c.cfg.LineBytes-1)
+	writeLE(ln.data[off:], v, n)
+	return true
+}
+
+func (c *Cache) touch(s uint32, w int) {
+	c.tick++
+	c.sets[s][w].age = c.tick
+}
+
+// Victim returns the way that a refill of addr would replace and, when that
+// way is valid and dirty, the line's address and data for write-back.
+func (c *Cache) Victim(addr uint32) (way int, wbAddr uint32, wbData []byte, needWB bool) {
+	s, _ := c.index(addr)
+	way = 0
+	var oldest uint64 = ^uint64(0)
+	for w := range c.sets[s] {
+		ln := &c.sets[s][w]
+		if !ln.valid {
+			return w, 0, nil, false
+		}
+		if ln.age < oldest {
+			oldest = ln.age
+			way = w
+		}
+	}
+	v := &c.sets[s][way]
+	if v.dirty {
+		base := c.lineBase(s, v.tag)
+		return way, base, v.data, true
+	}
+	return way, 0, nil, false
+}
+
+func (c *Cache) lineBase(set, tag uint32) uint32 {
+	return (tag<<trailingBits(c.setMask) | set) << c.setShift
+}
+
+// Fill installs line data for addr into the given way.
+func (c *Cache) Fill(addr uint32, way int, data []byte) {
+	s, tag := c.index(addr)
+	ln := &c.sets[s][way]
+	if ln.valid {
+		c.stats.Evictions++
+		if ln.dirty {
+			c.stats.Writebacks++
+		}
+	}
+	ln.valid = true
+	ln.dirty = false
+	ln.tag = tag
+	copy(ln.data, data)
+	c.touch(s, way)
+}
+
+// InvalidateAll drops every line without writing anything back (the CINV
+// semantics the test strategy relies on: caches start cold and clean).
+func (c *Cache) InvalidateAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w].valid = false
+			c.sets[s][w].dirty = false
+		}
+	}
+	c.stats.Invalidates++
+}
+
+// ResidentLines counts valid lines (used in tests and by the strategy
+// checker to verify a routine fits).
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// readAt/writeAt serve an access that is known to hit (used by the
+// controller right after a Fill) without perturbing hit/miss statistics.
+func (c *Cache) readAt(addr uint32, n int) uint64 {
+	s, w := c.lookup(addr)
+	if w < 0 {
+		panic("cache: readAt miss")
+	}
+	c.touch(s, w)
+	off := addr & uint32(c.cfg.LineBytes-1)
+	return readLE(c.sets[s][w].data[off:], n)
+}
+
+func (c *Cache) writeAt(addr uint32, v uint64, n int) {
+	s, w := c.lookup(addr)
+	if w < 0 {
+		panic("cache: writeAt miss")
+	}
+	c.touch(s, w)
+	ln := &c.sets[s][w]
+	ln.dirty = true
+	off := addr & uint32(c.cfg.LineBytes-1)
+	writeLE(ln.data[off:], v, n)
+}
+
+func readLE(b []byte, n int) uint64 {
+	switch n {
+	case 1:
+		return uint64(b[0])
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	case 8:
+		return binary.LittleEndian.Uint64(b)
+	}
+	panic(fmt.Sprintf("cache: bad access size %d", n))
+}
+
+func writeLE(b []byte, v uint64, n int) {
+	switch n {
+	case 1:
+		b[0] = byte(v)
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(b, v)
+	default:
+		panic(fmt.Sprintf("cache: bad access size %d", n))
+	}
+}

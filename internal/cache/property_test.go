@@ -1,0 +1,154 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/mem"
+)
+
+// Property tests on the cache's replacement and policy behaviour.
+
+func fillLine(c *Cache, addr uint32) {
+	way, _, _, _ := c.Victim(addr)
+	c.Fill(addr, way, make([]byte, c.Config().LineBytes))
+}
+
+// TestLRUNeverEvictsMostRecent: for random access sequences, the victim
+// chosen for a refill is never the line touched most recently in that set.
+func TestLRUNeverEvictsMostRecent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := New(Config{SizeBytes: 512, Ways: 4, LineBytes: 16, WriteAlloc: true})
+	nSets := 512 / (4 * 16)
+	lastTouched := map[uint32]uint32{} // set -> line base most recently read
+	for op := 0; op < 2000; op++ {
+		set := uint32(rng.Intn(nSets))
+		tag := uint32(rng.Intn(12))
+		addr := tag*uint32(nSets)*16 + set*16
+		if _, hit := c.Read(addr, 4); !hit {
+			_, wbAddr, _, needWB := c.Victim(addr)
+			if needWB && wbAddr == lastTouched[set] {
+				t.Fatalf("op %d: LRU evicted the most recently used line %#x", op, wbAddr)
+			}
+			// Also check the victim way does not hold the MRU line.
+			way, _, _, _ := c.Victim(addr)
+			if base, ok := lastTouched[set]; ok && c.Contains(base) {
+				vs, vw := set, way
+				_ = vs
+				// Fill and verify MRU line survives.
+				c.Fill(addr, vw, make([]byte, 16))
+				if !c.Contains(base) {
+					t.Fatalf("op %d: refill displaced the MRU line %#x", op, base)
+				}
+			} else {
+				fillLine(c, addr)
+			}
+		}
+		lastTouched[set] = addr &^ 15
+	}
+}
+
+// TestWriteAllocateVsAroundDiffer: the same store-then-evict sequence
+// leaves different memory/cache footprints per policy, but reads always
+// return the stored data.
+func TestWriteAllocateVsAroundDiffer(t *testing.T) {
+	for _, writeAlloc := range []bool{true, false} {
+		ram := mem.NewRAM(64<<10, 2)
+		b := bus.New(1, bus.RoundRobin, []bus.Region{{Base: 0, Size: 64 << 10, Dev: ram}})
+		ctrl := NewCtrl(New(Config{SizeBytes: 256, Ways: 2, LineBytes: 16, WriteAlloc: writeAlloc}), b.PortFor(0))
+		drive(t, b, ctrl, 0x100, true, 0xABCD, 4)
+		inCache := ctrl.Cache().Contains(0x100)
+		inMem := mem.ReadWord(ram, 0x100) == 0xABCD
+		if writeAlloc && (!inCache || inMem) {
+			t.Errorf("write-allocate: cached=%v memory=%v", inCache, inMem)
+		}
+		if !writeAlloc && (inCache || !inMem) {
+			t.Errorf("write-around: cached=%v memory=%v", inCache, inMem)
+		}
+		if _, v := drive(t, b, ctrl, 0x100, false, 0, 4); v != 0xABCD {
+			t.Errorf("policy %v: readback %#x", writeAlloc, v)
+		}
+	}
+}
+
+// TestInvalidateDropsDirtyData: CINV semantics are invalidate, not flush —
+// dirty lines are lost, which is why the strategies keep live state out of
+// the write-back cache across chunk boundaries.
+func TestInvalidateDropsDirtyData(t *testing.T) {
+	ram := mem.NewRAM(64<<10, 2)
+	b := bus.New(1, bus.RoundRobin, []bus.Region{{Base: 0, Size: 64 << 10, Dev: ram}})
+	ctrl := NewCtrl(New(smallCfg(true)), b.PortFor(0))
+	drive(t, b, ctrl, 0x40, true, 0x77, 4)
+	ctrl.Cache().InvalidateAll()
+	if _, v := drive(t, b, ctrl, 0x40, false, 0, 4); v == 0x77 {
+		t.Error("dirty data survived invalidate (flush semantics?)")
+	}
+}
+
+// TestTryAbortStates pins the abort protocol against the bus.
+func TestTryAbortStates(t *testing.T) {
+	ram := mem.NewRAM(64<<10, 4)
+	b := bus.New(2, bus.RoundRobin, []bus.Region{{Base: 0, Size: 64 << 10, Dev: ram}})
+	ctrl := NewCtrl(New(smallCfg(true)), b.PortFor(0))
+
+	// Idle: trivially aborts.
+	if !ctrl.TryAbort() {
+		t.Error("idle abort failed")
+	}
+	// Unconsumed hit: aborts.
+	ctrl.Start(0x40, false, 0, 4)
+	if !ctrl.TryAbort() || ctrl.Busy() {
+		t.Error("hit abort failed")
+	}
+	// Queued miss behind another master: cancellable.
+	other := b.PortFor(1)
+	other.StartRead(0x100, 16)
+	b.Step() // grant master 1
+	ctrl.Start(0x40, false, 0, 4)
+	if done, _ := ctrl.Tick(); done {
+		t.Fatal("expected miss")
+	}
+	if !ctrl.TryAbort() {
+		t.Error("queued miss not cancellable")
+	}
+	if ctrl.Busy() {
+		t.Error("controller busy after abort")
+	}
+	// In-service miss: not abortable; must drain.
+	for !other.Done() {
+		b.Step()
+	}
+	other.Take()
+	ctrl.Start(0x80, false, 0, 4)
+	ctrl.Tick()
+	b.Step() // grant: now in service
+	if ctrl.TryAbort() {
+		t.Error("in-service transfer claimed abortable")
+	}
+	for i := 0; i < 50; i++ {
+		b.Step()
+		if done, _ := ctrl.Tick(); done {
+			return
+		}
+	}
+	t.Fatal("drain never completed")
+}
+
+// TestBypassAbort covers the same protocol for the uncached client.
+func TestBypassAbort(t *testing.T) {
+	ram := mem.NewRAM(64<<10, 4)
+	b := bus.New(2, bus.RoundRobin, []bus.Region{{Base: 0, Size: 64 << 10, Dev: ram}})
+	by := NewBypass(b.PortFor(0), true)
+	if !by.TryAbort() {
+		t.Error("idle abort failed")
+	}
+	other := b.PortFor(1)
+	other.StartRead(0x100, 16)
+	b.Step()
+	by.Start(0x40, false, 0, 4)
+	by.Tick()
+	if !by.TryAbort() || by.Busy() {
+		t.Error("queued read not cancellable")
+	}
+}

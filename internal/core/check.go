@@ -1,0 +1,54 @@
+package core
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// In-field verdict publication. On the real device the boot flow does not
+// inspect registers: after the self-test procedure the routine itself
+// compares its computed signature with the expected golden value (obtained
+// from a fault-free reference execution) and publishes the verdict where
+// the safety supervisor can read it. These helpers emit that tail.
+
+// Verdict values written to the mailbox.
+const (
+	VerdictNone uint32 = 0 // routine never reached the check (watchdog case)
+	VerdictPass uint32 = 1
+	VerdictFail uint32 = 2
+)
+
+// EmitSignatureCheck appends the verdict tail: compare isa.RegSig with the
+// expected golden signature and store VerdictPass/VerdictFail followed by
+// the computed signature at mailbox (which should live in the uncached
+// SRAM alias so the store is visible immediately and survives cache
+// invalidations). Clobbers r26/r27 (the MISR scratch registers).
+func EmitSignatureCheck(b *asm.Builder, golden, mailbox uint32) {
+	b.Li(isa.RegTmp0, golden)
+	fail := b.AutoLabel("sigfail")
+	done := b.AutoLabel("sigdone")
+	b.Li(isa.RegTmp1, mailbox)
+	b.Branch(isa.OpBNE, isa.RegSig, isa.RegTmp0, fail)
+	b.I(isa.OpADDI, isa.RegTmp0, isa.RegZero, int32(VerdictPass))
+	b.Store(isa.OpSW, isa.RegTmp0, isa.RegTmp1, 0)
+	b.Jump(isa.OpJ, done)
+	b.Label(fail)
+	b.I(isa.OpADDI, isa.RegTmp0, isa.RegZero, int32(VerdictFail))
+	b.Store(isa.OpSW, isa.RegTmp0, isa.RegTmp1, 0)
+	b.Label(done)
+	b.Store(isa.OpSW, isa.RegSig, isa.RegTmp1, 4)
+}
+
+// VerdictMailbox returns a conventional per-core mailbox address in the
+// uncached SRAM alias (one line per core, just below the scheduler flags).
+func VerdictMailbox(coreID int) uint32 {
+	return mem.SRAMUncachedBase + mem.SRAMSize - 128 + uint32(coreID)*16
+}
+
+// ReadVerdict fetches the published verdict and signature for a core from
+// SRAM (host-side inspection of what the routine wrote).
+func ReadVerdict(read func(off uint32) uint32, coreID int) (verdict, signature uint32) {
+	off := VerdictMailbox(coreID) - mem.SRAMUncachedBase
+	return read(off), read(off + 4)
+}

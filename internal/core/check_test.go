@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/soc"
+)
+
+// runWithCheck runs the HDCU routine cache-wrapped with a signature check
+// appended, returning the published verdict.
+func runWithCheck(t *testing.T, golden uint32, plane fault.Plane) (verdict, sig uint32) {
+	t.Helper()
+	c := cfg(1, true, true, [3]int{})
+	c.Cores[0].Plane = plane
+	job := &CoreJob{
+		Routine:  hdcuRoutine(0),
+		Strategy: CacheBased{WriteAllocate: true},
+		CodeBase: soc.CodeLow,
+		Epilogue: func(b *asm.Builder) {
+			EmitSignatureCheck(b, golden, VerdictMailbox(0))
+		},
+	}
+	res, s, err := RunSingle(c, 0, job, maxRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wedged {
+		t.Fatal("wedged")
+	}
+	return ReadVerdict(func(off uint32) uint32 { return mem.ReadWord(s.SRAM, off) }, 0)
+}
+
+func TestSignatureCheckPassAndFail(t *testing.T) {
+	// First learn the golden signature from a fault-free reference run.
+	ref, _, err := RunSingle(cfg(1, true, true, [3]int{}), 0,
+		&CoreJob{Routine: hdcuRoutine(0), Strategy: CacheBased{WriteAllocate: true}, CodeBase: soc.CodeLow},
+		maxRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := ref.Signature
+
+	verdict, sig := runWithCheck(t, golden, nil)
+	if verdict != VerdictPass {
+		t.Errorf("fault-free verdict = %d, want PASS", verdict)
+	}
+	if sig != golden {
+		t.Errorf("published signature %08x != golden %08x", sig, golden)
+	}
+
+	// A wrong golden (e.g. stale reference) must fail.
+	if verdict, _ := runWithCheck(t, golden^1, nil); verdict != VerdictFail {
+		t.Errorf("wrong-golden verdict = %d, want FAIL", verdict)
+	}
+
+	// A detectable hardware fault must fail against the true golden.
+	site := fault.Site{Unit: fault.UnitHDCU, Signal: fault.SigCtl, Path: fault.CtlCascade, Stuck: 0}
+	if verdict, _ := runWithCheck(t, golden, fault.NewSingle(site)); verdict != VerdictFail {
+		t.Errorf("faulty-run verdict = %d, want FAIL", verdict)
+	}
+}
+
+func TestVerdictMailboxesDisjoint(t *testing.T) {
+	seen := map[uint32]bool{}
+	for id := 0; id < soc.NumCores; id++ {
+		a := VerdictMailbox(id)
+		if seen[a] {
+			t.Fatal("mailbox collision")
+		}
+		seen[a] = true
+		if a < mem.SRAMUncachedBase || a+8 > mem.SRAMUncachedBase+mem.SRAMSize {
+			t.Errorf("mailbox %d out of range: %#x", id, a)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sbst"
+	"repro/internal/soc"
+)
+
+// TestGoldenSignaturesPinned freezes the cache-wrapped golden signatures
+// of the three module routines on core A. These values are the in-field
+// references a production STL would burn into flash; any change to the
+// ISA, pipeline, caches, routine generators or wrapper that alters them
+// shows up here first.
+//
+// If a change is *intentional* (a routine or model improvement), update
+// the constants below and note the reason in the commit — that is exactly
+// the re-qualification step a real STL release would go through.
+func TestGoldenSignaturesPinned(t *testing.T) {
+	goldens := map[string]uint32{}
+	for _, mk := range []func(int) *sbst.Routine{fwdRoutine, hdcuRoutine, icuRoutine} {
+		r := mk(0)
+		res, _, err := RunSingle(cfg(1, true, true, [3]int{}), 0,
+			&CoreJob{Routine: r, Strategy: CacheBased{WriteAllocate: true}, CodeBase: soc.CodeLow},
+			maxRun)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK {
+			t.Fatalf("%s: run failed", r.Name)
+		}
+		goldens[r.Name] = res.Signature
+	}
+	want := map[string]uint32{
+		"forwarding": 0xf7c0da1a,
+		"hdcu":       0x1a1f7c60,
+		"icu":        0x1111110f,
+	}
+	for name, sig := range goldens {
+		if w, ok := want[name]; !ok || sig != w {
+			t.Errorf("%s: golden signature %08x, pinned %08x — if this change is "+
+				"intentional, update the pin and re-qualify", name, sig, want[name])
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sbst"
+	"repro/internal/soc"
+)
+
+// CoreJob describes what one core runs: one routine (Routine) or a
+// sequence (Routines), each emitted by Strategy, then an optional epilogue
+// (e.g. a scheduler barrier) and a HALT.
+type CoreJob struct {
+	Routine  *sbst.Routine
+	Routines []*sbst.Routine // takes precedence over Routine when non-nil
+	Strategy Strategy
+	CodeBase uint32 // flash address of the program
+	AlignPad uint32 // extra bytes before the body (code-alignment scenario)
+	Epilogue func(b *asm.Builder)
+}
+
+// routines returns the job's routine list.
+func (j *CoreJob) routines() []*sbst.Routine {
+	if j.Routines != nil {
+		return j.Routines
+	}
+	if j.Routine == nil {
+		return nil
+	}
+	return []*sbst.Routine{j.Routine}
+}
+
+// RunResult captures one core's outcome.
+type RunResult struct {
+	Signature uint32
+	OK        bool // halted cleanly: no wedge, no timeout
+	Wedged    bool
+	Cycles    int64 // core cycles until HALT drained
+	IFStall   uint64
+	MemStall  uint64
+	HazStall  uint64
+	Issued2   uint64
+	Instret   uint64
+}
+
+// RunJobs assembles and loads each job, starts the corresponding cores and
+// runs the SoC to completion (or maxCycles). cfg's per-core Active flags
+// must match the non-nil jobs. The returned SoC allows callers to inspect
+// bus statistics and cache state.
+func RunJobs(cfg soc.Config, jobs [soc.NumCores]*CoreJob, maxCycles int64) ([soc.NumCores]*RunResult, *soc.SoC, error) {
+	return RunJobsTraced(cfg, jobs, maxCycles, nil)
+}
+
+// RunJobsTraced is RunJobs with a pipeline tracer attached to core 0 (used
+// by the Figure 1 reproduction and debugging tools).
+func RunJobsTraced(cfg soc.Config, jobs [soc.NumCores]*CoreJob, maxCycles int64, trace cpu.TraceFn) ([soc.NumCores]*RunResult, *soc.SoC, error) {
+	return RunJobsSetup(cfg, jobs, maxCycles, trace, nil)
+}
+
+// RunJobsSetup additionally invokes setup on the assembled SoC before the
+// cores start — the hook the fault campaigns use to attach bus-traffic
+// recorders.
+func RunJobsSetup(cfg soc.Config, jobs [soc.NumCores]*CoreJob, maxCycles int64, trace cpu.TraceFn, setup func(*soc.SoC)) ([soc.NumCores]*RunResult, *soc.SoC, error) {
+	var results [soc.NumCores]*RunResult
+	for id, job := range jobs {
+		cfg.Cores[id].Active = job != nil
+	}
+	s := soc.New(cfg)
+	if trace != nil {
+		s.Cores[0].Core.SetTracer(trace)
+	}
+	if setup != nil {
+		setup(s)
+	}
+	var entries [soc.NumCores]uint32
+	for id, job := range jobs {
+		if job == nil {
+			continue
+		}
+		prog, err := buildProgram(job)
+		if err != nil {
+			return results, nil, fmt.Errorf("core%d: %w", id, err)
+		}
+		if err := s.Load(prog); err != nil {
+			return results, nil, fmt.Errorf("core%d: %w", id, err)
+		}
+		for _, r := range job.routines() {
+			loadRoutineData(s, r)
+		}
+		entries[id] = prog.Base
+	}
+	for id, job := range jobs {
+		if job != nil {
+			s.Start(id, entries[id])
+		}
+	}
+	res := s.Run(maxCycles)
+	for id, job := range jobs {
+		if job == nil {
+			continue
+		}
+		u := s.Cores[id]
+		results[id] = &RunResult{
+			Signature: u.Core.Reg(isa.RegSig),
+			OK:        u.Core.Done() && !u.Core.Wedged() && !res.TimedOut,
+			Wedged:    u.Core.Wedged(),
+			Cycles:    u.Core.Cycle(),
+			IFStall:   u.Core.Counter(fault.CntIFStall),
+			MemStall:  u.Core.Counter(fault.CntMemStall),
+			HazStall:  u.Core.Counter(fault.CntHazStall),
+			Issued2:   u.Core.Counter(fault.CntIssued2),
+			Instret:   u.Core.Counter(fault.CntInstret),
+		}
+	}
+	return results, s, nil
+}
+
+// RunSingle is the single-job convenience form: the job runs on core id
+// with the given SoC configuration.
+func RunSingle(cfg soc.Config, id int, job *CoreJob, maxCycles int64) (*RunResult, *soc.SoC, error) {
+	var jobs [soc.NumCores]*CoreJob
+	jobs[id] = job
+	results, s, err := RunJobs(cfg, jobs, maxCycles)
+	if err != nil {
+		return nil, nil, err
+	}
+	return results[id], s, nil
+}
+
+func buildProgram(job *CoreJob) (*asm.Program, error) {
+	b := asm.NewBuilder()
+	for pad := uint32(0); pad < job.AlignPad; pad += isa.InstBytes {
+		b.Nop()
+	}
+	for _, r := range job.routines() {
+		if err := job.Strategy.Emit(b, r); err != nil {
+			return nil, err
+		}
+	}
+	if job.Epilogue != nil {
+		job.Epilogue(b)
+	}
+	b.Halt()
+	return b.Assemble(job.CodeBase)
+}
+
+// loadRoutineData writes the routine's pattern table into system SRAM (the
+// loader's job on the real device).
+func loadRoutineData(s *soc.SoC, r *sbst.Routine) {
+	off := r.DataBase - mem.SRAMBase
+	for i, w := range r.DataWords {
+		mem.WriteWord(s.SRAM, off+uint32(i)*4, w)
+	}
+}

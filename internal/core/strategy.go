@@ -1,0 +1,269 @@
+// Package core implements the paper's primary contribution: the
+// deterministic cache-based execution strategy for boot-time self-test
+// routines in a multi-core SoC (Section III), together with the two
+// comparison strategies of the evaluation — plain in-place execution and
+// the TCM-based approach of Table IV.
+//
+// The cache-based transformation takes an unmodified single-core routine
+// and wraps it as:
+//
+//	cinv  both            ; invalidate private I/D caches      (Fig 2b, block b)
+//	li    r30, 2
+//	loop: sig-reset; data-base; BODY                           (blocks c,d)
+//	      addi r30, r30, -1
+//	      bne  r30, r0, loop
+//
+// The first iteration (the loading loop) drags every instruction and every
+// referenced data line into the private caches; its signature work is
+// discarded. The second iteration (the execution loop) runs entirely
+// cache-resident, decoupled from bus contention, and produces the
+// signature that is actually checked. When the doubled routine does not
+// fit the instruction cache it is split into chunks at block boundaries,
+// each with its own invalidate+loop, chaining the signature through an
+// uncached mailbox (rule 2.2 of the paper). With a no-write-allocate data
+// cache the routine must have been generated with dummy loads after each
+// store (rule 1); Wrap validates that.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sbst"
+)
+
+// Strategy emits the executable form of one routine into a program under
+// construction. The final signature is left in isa.RegSig. Emit does not
+// terminate the program (no HALT), so several routines can be sequenced;
+// the runner appends the terminator.
+type Strategy interface {
+	Name() string
+	Emit(b *asm.Builder, r *sbst.Routine) error
+	// MemoryOverhead reports the bytes of system memory the strategy
+	// permanently reserves beyond the routine image itself (Table IV).
+	MemoryOverhead(r *sbst.Routine) (int, error)
+}
+
+// Plain executes the routine in place, exactly as a single-core STL would:
+// no caches involved, no loop.
+type Plain struct{}
+
+// Name implements Strategy.
+func (Plain) Name() string { return "plain" }
+
+// Emit implements Strategy.
+func (Plain) Emit(b *asm.Builder, r *sbst.Routine) error {
+	r.EmitSigReset(b)
+	b.Nop() // keep issue-packet parity even
+	emitDataBase(b, r)
+	r.EmitBody(b)
+	return nil
+}
+
+// MemoryOverhead implements Strategy.
+func (Plain) MemoryOverhead(*sbst.Routine) (int, error) { return 0, nil }
+
+// CacheBased is the paper's strategy.
+type CacheBased struct {
+	// ICacheBytes/DCacheBytes bound the footprint checks; zero values use
+	// the paper's geometry (8 kB / 4 kB).
+	ICacheBytes int
+	DCacheBytes int
+	// WriteAllocate describes the data-cache policy the routine will run
+	// under. With no-write-allocate the routine must carry dummy loads.
+	WriteAllocate bool
+	// DummyLoadsPresent asserts the routine was generated with a dummy
+	// load after every store (required when WriteAllocate is false).
+	DummyLoadsPresent bool
+	// Iterations is the loop count; the paper uses 2 (one loading loop,
+	// one execution loop). Values > 2 only add redundant execution loops;
+	// 1 disables the loading loop (used by the ablation bench).
+	Iterations int
+}
+
+// Name implements Strategy.
+func (CacheBased) Name() string { return "cache" }
+
+func (s CacheBased) icacheBytes() int {
+	if s.ICacheBytes > 0 {
+		return s.ICacheBytes
+	}
+	return cache.ICacheConfig().SizeBytes
+}
+
+func (s CacheBased) dcacheBytes() int {
+	if s.DCacheBytes > 0 {
+		return s.DCacheBytes
+	}
+	return cache.DCacheConfig(true).SizeBytes
+}
+
+func (s CacheBased) iterations() int {
+	if s.Iterations > 0 {
+		return s.Iterations
+	}
+	return 2
+}
+
+// chunkOverheadBytes is the per-chunk wrapper size: invalidate, loop
+// counter, sig spill/reload, data base, loop branch — measured generously.
+const chunkOverheadBytes = 24 * isa.InstBytes
+
+// Emit implements Strategy.
+func (s CacheBased) Emit(b *asm.Builder, r *sbst.Routine) error {
+	if err := s.Validate(r); err != nil {
+		return err
+	}
+	chunks, err := s.partition(r)
+	if err != nil {
+		return err
+	}
+	if len(chunks) == 1 {
+		s.emitSingleChunk(b, r)
+		return nil
+	}
+	s.emitMultiChunk(b, r, chunks)
+	return nil
+}
+
+// Validate checks the strategy's applicability rules (Section III).
+func (s CacheBased) Validate(r *sbst.Routine) error {
+	if !s.WriteAllocate && !s.DummyLoadsPresent {
+		return fmt.Errorf("core: routine %q targets a no-write-allocate data cache "+
+			"but was generated without dummy loads after stores (rule 1)", r.Name)
+	}
+	if r.DataSize()+8 > s.dcacheBytes() {
+		return fmt.Errorf("core: routine %q data footprint %d bytes exceeds the "+
+			"%d-byte data cache", r.Name, r.DataSize(), s.dcacheBytes())
+	}
+	size, err := r.SizeBytes()
+	if err != nil {
+		return err
+	}
+	if r.NoSplit && size+chunkOverheadBytes > s.icacheBytes() {
+		return fmt.Errorf("core: routine %q (%d bytes) does not fit the %d-byte "+
+			"instruction cache and cannot be split", r.Name, size, s.icacheBytes())
+	}
+	return nil
+}
+
+// partition groups blocks into chunks that fit the instruction cache.
+func (s CacheBased) partition(r *sbst.Routine) ([][]sbst.Block, error) {
+	size, err := r.SizeBytes()
+	if err != nil {
+		return nil, err
+	}
+	if r.NoSplit || size+chunkOverheadBytes <= s.icacheBytes() {
+		return [][]sbst.Block{r.Blocks}, nil
+	}
+	budget := s.icacheBytes() - chunkOverheadBytes
+	var chunks [][]sbst.Block
+	var cur []sbst.Block
+	curSize := 0
+	for _, blk := range r.Blocks {
+		bs, err := blockSize(blk)
+		if err != nil {
+			return nil, fmt.Errorf("core: sizing block %q of %q: %w", blk.Name, r.Name, err)
+		}
+		if bs > budget {
+			return nil, fmt.Errorf("core: block %q of %q (%d bytes) exceeds the "+
+				"chunk budget %d", blk.Name, r.Name, bs, budget)
+		}
+		if curSize+bs > budget && len(cur) > 0 {
+			chunks = append(chunks, cur)
+			cur, curSize = nil, 0
+		}
+		cur = append(cur, blk)
+		curSize += bs
+	}
+	if len(cur) > 0 {
+		chunks = append(chunks, cur)
+	}
+	return chunks, nil
+}
+
+func blockSize(blk sbst.Block) (int, error) {
+	b := asm.NewBuilder()
+	blk.Emit(b)
+	p, err := b.Assemble(0)
+	if err != nil {
+		return 0, err
+	}
+	return p.Size(), nil
+}
+
+// emitSingleChunk emits the Figure 2b structure for a routine that fits.
+func (s CacheBased) emitSingleChunk(b *asm.Builder, r *sbst.Routine) {
+	b.Cinv(isa.CinvBoth)
+	b.I(isa.OpADDI, isa.RegLoop, isa.RegZero, int32(s.iterations()))
+	loop := b.AutoLabel("ldexe")
+	b.Label(loop)
+	r.EmitSigReset(b)
+	b.Nop()
+	emitDataBase(b, r)
+	r.EmitBody(b)
+	b.I(isa.OpADDI, isa.RegLoop, isa.RegLoop, -1)
+	b.Branch(isa.OpBNE, isa.RegLoop, isa.RegZero, loop)
+}
+
+// emitMultiChunk emits one invalidate+loop per chunk, chaining the
+// signature through an uncached mailbox so a loading loop can never
+// pollute the committed value and a later chunk's invalidate can never
+// discard it (the mailbox bypasses the write-back data cache entirely).
+func (s CacheBased) emitMultiChunk(b *asm.Builder, r *sbst.Routine, chunks [][]sbst.Block) {
+	mailbox := sigMailboxAddr(r)
+	// Preamble: clear the mailbox.
+	emitLi2(b, isa.RegTmp1, mailbox)
+	b.Store(isa.OpSW, isa.RegZero, isa.RegTmp1, 0)
+	for _, chunk := range chunks {
+		b.Cinv(isa.CinvBoth)
+		b.I(isa.OpADDI, isa.RegLoop, isa.RegZero, int32(s.iterations()))
+		loop := b.AutoLabel("chunk")
+		b.Label(loop)
+		// Reload the committed signature; the loading loop's accumulation
+		// is discarded by this reload on the execution loop's entry.
+		emitLi2(b, isa.RegTmp1, mailbox)
+		b.Load(isa.OpLW, isa.RegSig, isa.RegTmp1, 0)
+		emitDataBase(b, r)
+		for _, blk := range chunk {
+			blk.Emit(b)
+		}
+		b.I(isa.OpADDI, isa.RegLoop, isa.RegLoop, -1)
+		b.Branch(isa.OpBNE, isa.RegLoop, isa.RegZero, loop)
+		// Commit after the execution loop.
+		emitLi2(b, isa.RegTmp1, mailbox)
+		b.Store(isa.OpSW, isa.RegSig, isa.RegTmp1, 0)
+	}
+	// Leave the final signature in the register too.
+	emitLi2(b, isa.RegTmp1, mailbox)
+	b.Load(isa.OpLW, isa.RegSig, isa.RegTmp1, 0)
+	b.Nop()
+	b.Nop()
+}
+
+// MemoryOverhead implements Strategy: the cache-based approach reserves no
+// memory (the multi-chunk mailbox lives in the routine's existing scratch
+// area).
+func (CacheBased) MemoryOverhead(*sbst.Routine) (int, error) { return 0, nil }
+
+// sigMailboxAddr places the signature mailbox in the uncached SRAM alias,
+// just past the routine's data area.
+func sigMailboxAddr(r *sbst.Routine) uint32 {
+	off := r.DataBase - mem.SRAMBase + uint32((r.DataSize()+7)&^7)
+	return mem.SRAMUncachedBase + off
+}
+
+// emitDataBase materialises the routine's data pointer in a fixed two
+// instructions so packet parity does not depend on the address value.
+func emitDataBase(b *asm.Builder, r *sbst.Routine) {
+	emitLi2(b, isa.RegBase, r.DataBase)
+}
+
+// emitLi2 is a fixed-size (two instruction) load-immediate.
+func emitLi2(b *asm.Builder, rd uint8, v uint32) {
+	b.I(isa.OpLUI, rd, 0, int32(v>>16))
+	b.I(isa.OpORI, rd, rd, int32(v&0xFFFF))
+}

@@ -1,0 +1,375 @@
+// Package cpu implements the dual-issue in-order 5-stage pipeline of the
+// simulated automotive cores (two 32-bit cores A/B and one 64-bit-capable
+// core C). The model is cycle-accurate at the architectural-signal level:
+// instruction fetch through a pluggable memory client (flash line buffer,
+// I-cache or ITCM), dual-issue packet formation with a hazard detection
+// control unit, a full forwarding network with inter-packet and
+// intra-packet (cascade) paths, performance counters, and synchronous
+// imprecise interrupts via the ICU. Every signal the paper's self-test
+// routines target is routed through a fault.Plane so stuck-at faults can be
+// injected.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/fault"
+	"repro/internal/icu"
+	"repro/internal/isa"
+)
+
+// Config describes one core.
+type Config struct {
+	CoreID int
+	Has64  bool // paired-register 64-bit extension (core C)
+	ICU    icu.Config
+}
+
+// CoreA/B/C return the three configurations of the paper's SoC. Cores A and
+// B are the same processor model (they differ only in physical design,
+// which this architectural model cannot distinguish); core C extends the
+// ISA with 64-bit paired-register operations and has a fully decoded
+// interrupt cause register.
+func CoreA() Config { return Config{CoreID: 0, ICU: icu.Config{SharedCauseBits: true}} }
+func CoreB() Config { return Config{CoreID: 1, ICU: icu.Config{SharedCauseBits: true}} }
+func CoreC() Config { return Config{CoreID: 2, Has64: true} }
+
+// fetchQCap is the fetch queue depth in instructions.
+const fetchQCap = 6
+
+type fetched struct {
+	pc   uint32
+	inst isa.Inst
+	bad  bool // undecodable word
+}
+
+// uop is an instruction in flight.
+type uop struct {
+	valid  bool
+	inst   isa.Inst
+	pc     uint32
+	rd     uint8
+	writes bool
+	isPair bool
+
+	result   uint64 // EX result; load data is filled in MEM
+	isLoad   bool
+	isStore  bool
+	memAddr  uint32
+	memSize  int
+	storeVal uint64
+
+	cascadeA bool // operand A takes the intra-packet cascade path
+	cascadeB bool
+}
+
+type packet [2]uop
+
+func (p packet) any() bool { return p[0].valid || p[1].valid }
+
+// Counters indexes the performance counters (mirrors fault.Cnt* and the CSR
+// numbers).
+const numCounters = fault.NumCounters
+
+// TraceEvent reports pipeline activity to an attached tracer.
+type TraceEvent struct {
+	Cycle int64
+	Kind  string // "issue", "ex", "mem", "wb", "fwd", "stall", "redirect"
+	Lane  int
+	PC    uint32
+	Inst  isa.Inst
+	// Forwarding detail (Kind == "fwd").
+	Operand int
+	Path    int
+	// Stall detail (Kind == "stall"): "if", "mem", "haz".
+	Why string
+	// Result carries the computed value for "ex" events.
+	Result uint64
+}
+
+// TraceFn receives trace events when attached with SetTracer.
+type TraceFn func(TraceEvent)
+
+// Core is one processor core.
+type Core struct {
+	cfg   Config
+	plane fault.Plane
+	ICU   *icu.ICU
+
+	imem cache.Client
+	dmem cache.Client
+	// invalidate is called by CINV with the isa.Cinv* selector; wired by
+	// the SoC to the private caches.
+	invalidate func(sel int32)
+
+	regs     [32]uint32
+	counters [numCounters]uint64
+
+	// Fetch.
+	fetchAddr    uint32 // next 8-byte chunk to request
+	skipBelow    uint32 // discard fetched words below this PC (redirects)
+	fetchBusy    bool
+	discardFetch bool
+	fetchQ       []fetched
+	nextIssuePC  uint32
+
+	// Pipeline latches.
+	exPkt  packet
+	memPkt packet
+	wbPkt  packet
+
+	// MEM stage progress.
+	memLane    int // lane currently accessing memory (0,1) or -1
+	memStarted bool
+
+	cycle   int64
+	halted  bool
+	wedged  bool
+	wedgePC uint32
+
+	// PathUse counts forwarding-mux selections per (lane, operand, path);
+	// the Figure 1 demo and the coverage analysis read it.
+	PathUse [2][2][fault.NumPaths]int64
+
+	trace TraceFn
+}
+
+// New builds a core. imem and dmem are the fetch- and data-side memory
+// clients (wired by the SoC), invalidate is the CINV callback (may be nil),
+// and plane is the fault-injection plane (nil means fault-free).
+func New(cfg Config, imem, dmem cache.Client, invalidate func(sel int32), plane fault.Plane) *Core {
+	if plane == nil {
+		plane = fault.None
+	}
+	if invalidate == nil {
+		invalidate = func(int32) {}
+	}
+	return &Core{
+		cfg:        cfg,
+		plane:      plane,
+		ICU:        icu.New(cfg.ICU, plane),
+		imem:       imem,
+		dmem:       dmem,
+		invalidate: invalidate,
+		fetchQ:     make([]fetched, 0, fetchQCap),
+		memLane:    -1,
+	}
+}
+
+// Reset restores architectural state and points fetch at pc.
+func (c *Core) Reset(pc uint32) {
+	c.regs = [32]uint32{}
+	c.counters = [numCounters]uint64{}
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchBusy = false
+	c.discardFetch = false
+	c.exPkt, c.memPkt, c.wbPkt = packet{}, packet{}, packet{}
+	c.memLane = -1
+	c.memStarted = false
+	c.cycle = 0
+	c.halted = false
+	c.wedged = false
+	c.PathUse = [2][2][fault.NumPaths]int64{}
+	c.ICU.Reset()
+	c.redirect(pc)
+}
+
+// SetTracer attaches fn (nil detaches).
+func (c *Core) SetTracer(fn TraceFn) { c.trace = fn }
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Halted reports whether the core has executed HALT (or wedged).
+func (c *Core) Halted() bool { return c.halted }
+
+// Wedged reports whether the core stopped on an undecodable instruction.
+func (c *Core) Wedged() bool { return c.wedged }
+
+// Done reports whether the core is halted and the pipeline has drained.
+func (c *Core) Done() bool {
+	return c.halted && !c.exPkt.any() && !c.memPkt.any() && !c.wbPkt.any()
+}
+
+// Reg returns architectural register r.
+func (c *Core) Reg(r uint8) uint32 { return c.regs[r&31] }
+
+// SetReg writes architectural register r (test harness use).
+func (c *Core) SetReg(r uint8, v uint32) {
+	if r&31 != 0 {
+		c.regs[r&31] = v
+	}
+}
+
+// Counter returns the raw value of performance counter id (fault.Cnt*).
+func (c *Core) Counter(id int) uint64 { return c.counters[id] }
+
+// Cycle returns the core-local cycle count.
+func (c *Core) Cycle() int64 { return c.cycle }
+
+func (c *Core) emit(ev TraceEvent) {
+	if c.trace != nil {
+		ev.Cycle = c.cycle
+		c.trace(ev)
+	}
+}
+
+// bump increments performance counter id through the fault plane's
+// increment gate.
+func (c *Core) bump(id int, by uint64) {
+	if c.plane.CounterInc(uint8(id), true) {
+		c.counters[id] += by
+	}
+}
+
+// redirect flushes the front end and restarts fetch at target.
+func (c *Core) redirect(target uint32) {
+	target &^= 3
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchAddr = target &^ 7
+	c.skipBelow = target
+	c.nextIssuePC = target
+	if c.fetchBusy {
+		// Retract the wrong-path fetch if its bus request has not been
+		// granted; an in-service transfer must drain and be discarded.
+		if c.imem.TryAbort() {
+			c.fetchBusy = false
+		} else {
+			c.discardFetch = true
+		}
+	}
+	c.emit(TraceEvent{Kind: "redirect", PC: target})
+}
+
+// Step advances the core one clock cycle. The SoC must step the bus first
+// so in-flight memory transactions complete before the pipeline observes
+// them.
+func (c *Core) Step() {
+	if c.Done() && !c.fetchBusy {
+		return
+	}
+	c.cycle++
+	c.bump(fault.CntCycle, 1)
+
+	// Snapshot latches: all stage logic reads pre-cycle state.
+	exOld, memOld, wbOld := c.exPkt, c.memPkt, c.wbPkt
+
+	// WB: retire.
+	retired := 0
+	for lane := 0; lane < 2; lane++ {
+		u := &c.wbPkt[lane]
+		if !u.valid {
+			continue
+		}
+		c.writeBack(u)
+		retired++
+		c.bump(fault.CntInstret, 1)
+		c.emit(TraceEvent{Kind: "wb", Lane: lane, PC: u.pc, Inst: u.inst})
+	}
+
+	// MEM: progress the packet's memory accesses.
+	memDone := c.stepMEM()
+
+	if memDone {
+		// EX: execute the packet entering MEM next cycle, reading
+		// forwarding sources from the pre-cycle MEM/WB latches.
+		c.stepEX(&c.exPkt, memOld, wbOld)
+
+		// Advance latches.
+		c.wbPkt = c.memPkt
+		c.memPkt = c.exPkt
+		c.exPkt = packet{}
+		c.memLane = -1
+		c.memStarted = false
+
+		// Issue: form the next packet (may be squashed by redirects that
+		// stepEX performed, since redirect cleared the fetch queue).
+		c.stepIssue(exOld)
+	} else {
+		c.wbPkt = packet{}
+		if c.exPkt.any() || c.memPkt.any() {
+			c.bump(fault.CntMemStall, 1)
+			c.emit(TraceEvent{Kind: "stall", Why: "mem"})
+		}
+	}
+
+	// Fetch: keep the queue full.
+	c.stepFetch()
+
+	// Interrupt recognition pipeline.
+	c.ICU.Tick(retired)
+}
+
+func (c *Core) writeBack(u *uop) {
+	if !u.writes || u.rd == 0 {
+		return
+	}
+	c.regs[u.rd] = uint32(u.result)
+	if u.isPair {
+		hi := (u.rd + 1) & 31
+		if hi != 0 {
+			c.regs[hi] = uint32(u.result >> 32)
+		}
+	}
+}
+
+// stepMEM advances the MEM stage. It returns true when the packet in MEM
+// (possibly empty) has finished all its memory work and the pipeline may
+// advance.
+func (c *Core) stepMEM() bool {
+	for {
+		if c.memLane < 0 {
+			// Find the next lane with outstanding memory work.
+			next := -1
+			for lane := 0; lane < 2; lane++ {
+				u := &c.memPkt[lane]
+				if u.valid && (u.isLoad || u.isStore) && u.memSize != 0 {
+					next = lane
+					break
+				}
+			}
+			if next < 0 {
+				return true
+			}
+			c.memLane = next
+			c.memStarted = false
+		}
+		u := &c.memPkt[c.memLane]
+		if !c.memStarted {
+			c.dmem.Start(u.memAddr, u.isStore, u.storeVal, u.memSize)
+			c.memStarted = true
+		}
+		done, data := c.dmem.Tick()
+		if !done {
+			return false
+		}
+		if u.isLoad {
+			u.result = c.loadExtend(u.inst.Op, data)
+		}
+		u.memSize = 0 // mark this lane's access complete
+		c.memLane = -1
+		c.memStarted = false
+		c.emit(TraceEvent{Kind: "mem", Lane: 0, PC: u.pc, Inst: u.inst})
+	}
+}
+
+func (c *Core) loadExtend(op isa.Op, data uint64) uint64 {
+	switch op {
+	case isa.OpLB:
+		return uint64(uint32(int32(int8(uint8(data)))))
+	case isa.OpLBU:
+		return data & 0xFF
+	case isa.OpLW:
+		return data & 0xFFFFFFFF
+	case isa.OpLWP:
+		return data
+	}
+	return data
+}
+
+// String summarises the core state (debugging aid).
+func (c *Core) String() string {
+	return fmt.Sprintf("core%d cycle=%d halted=%v wedged=%v nextPC=%#x qlen=%d",
+		c.cfg.CoreID, c.cycle, c.halted, c.wedged, c.nextIssuePC, len(c.fetchQ))
+}

@@ -1,0 +1,526 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/fault"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// rig is a minimal single-core environment: program and data in TCMs
+// (single-cycle, no bus) so pipeline timings are exact, or flash-backed
+// fetch via the bus for contention-sensitive tests.
+type rig struct {
+	core  *Core
+	bus   *bus.Bus
+	icc   *cache.Cache // optional i-cache
+	dcc   *cache.Cache
+	steps int
+}
+
+const (
+	rigITCM = mem.ITCMBase
+	rigDTCM = mem.DTCMBase
+)
+
+// newTCMRig loads src into an ITCM-backed core (1-cycle fetch and data).
+func newTCMRig(t *testing.T, cfg Config, plane fault.Plane, src string) *rig {
+	t.Helper()
+	b, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newTCMRigBuilder(t, cfg, plane, b)
+}
+
+func newTCMRigBuilder(t *testing.T, cfg Config, plane fault.Plane, b *asm.Builder) *rig {
+	t.Helper()
+	p, err := b.Assemble(rigITCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	itcm := mem.NewTCM(mem.TCMSize)
+	dtcm := mem.NewTCM(mem.TCMSize)
+	for i, w := range p.Words {
+		mem.WriteWord(itcm, uint32(i)*4, w)
+	}
+	imem := cache.NewTCMClient(itcm, rigITCM)
+	dmem := cache.NewTCMClient(dtcm, rigDTCM)
+	core := New(cfg, imem, dmem, nil, plane)
+	core.Reset(rigITCM)
+	return &rig{core: core}
+}
+
+// newFlashRig loads src into flash at base; fetch goes through the bus with
+// the line prefetch buffer (no caches), data through an uncached bus port
+// to SRAM.
+func newFlashRig(t *testing.T, cfg Config, plane fault.Plane, src string, base uint32) *rig {
+	t.Helper()
+	b, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Assemble(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flash := mem.NewFlash(mem.FlashSize, []int{8, 9})
+	if err := flash.LoadWords(p.Base, p.Words); err != nil {
+		t.Fatal(err)
+	}
+	ram := mem.NewRAM(mem.SRAMSize, 2)
+	bb := bus.New(2, bus.RoundRobin, []bus.Region{
+		{Base: mem.FlashBase, Size: mem.FlashSize, Dev: flash},
+		{Base: mem.SRAMBase, Size: mem.SRAMSize, Dev: ram},
+	})
+	imem := cache.NewBypass(bb.PortFor(0), true)
+	dmem := cache.NewBypass(bb.PortFor(1), false)
+	core := New(cfg, imem, dmem, nil, plane)
+	core.Reset(p.Base)
+	return &rig{core: core, bus: bb}
+}
+
+// run steps until the core is done or maxCycles elapse.
+func (r *rig) run(t *testing.T, maxCycles int) {
+	t.Helper()
+	for i := 0; i < maxCycles; i++ {
+		if r.bus != nil {
+			r.bus.Step()
+		}
+		r.core.Step()
+		r.steps++
+		if r.core.Done() {
+			return
+		}
+	}
+	t.Fatalf("core did not halt in %d cycles: %v", maxCycles, r.core)
+}
+
+func TestBasicALUAndHalt(t *testing.T) {
+	r := newTCMRig(t, CoreA(), nil, `
+		addi r1, r0, 5
+		addi r2, r0, 7
+		add  r3, r1, r2
+		sub  r4, r2, r1
+		and  r5, r1, r2
+		or   r6, r1, r2
+		xor  r7, r1, r2
+		nor  r8, r1, r2
+		slt  r9, r1, r2
+		sltu r10, r2, r1
+		sll  r11, r1, 4
+		srl  r12, r11, 2
+		sra  r13, r11, 1
+		mul  r14, r1, r2
+		halt
+	`)
+	r.run(t, 200)
+	want := map[uint8]uint32{
+		1: 5, 2: 7, 3: 12, 4: 2, 5: 5, 6: 7, 7: 2,
+		8: ^uint32(7), 9: 1, 10: 0, 11: 80, 12: 20, 13: 40, 14: 35,
+	}
+	for reg, v := range want {
+		if got := r.core.Reg(reg); got != v {
+			t.Errorf("r%d = %d, want %d", reg, got, v)
+		}
+	}
+	if r.core.Wedged() {
+		t.Error("wedged")
+	}
+}
+
+func TestR0IsHardwiredZero(t *testing.T) {
+	r := newTCMRig(t, CoreA(), nil, `
+		addi r0, r0, 55
+		add  r1, r0, r0
+		halt
+	`)
+	r.run(t, 100)
+	if r.core.Reg(0) != 0 || r.core.Reg(1) != 0 {
+		t.Errorf("r0=%d r1=%d", r.core.Reg(0), r.core.Reg(1))
+	}
+}
+
+func TestCascadeSamePacket(t *testing.T) {
+	// The dependent pair is adjacent and both are plain ALU ops: the HDCU
+	// must co-issue them with lane 1 reading lane 0 through the cascade
+	// (interpipeline) path.
+	r := newTCMRig(t, CoreA(), nil, `
+		addi r1, r0, 3
+		add  r2, r1, r1
+		halt
+	`)
+	r.run(t, 100)
+	if got := r.core.Reg(2); got != 6 {
+		t.Errorf("r2 = %d, want 6", got)
+	}
+	if r.core.PathUse[1][0][fault.PathCascade] == 0 ||
+		r.core.PathUse[1][1][fault.PathCascade] == 0 {
+		t.Errorf("cascade path not exercised: %v", r.core.PathUse[1])
+	}
+	if r.core.Counter(fault.CntIssued2) == 0 {
+		t.Error("pair did not dual-issue")
+	}
+}
+
+func TestEXtoEXForwarding(t *testing.T) {
+	// A nop pads lane 1 so the producer/consumer land in consecutive
+	// packets: the consumer must take the EX/MEM-latch path (paper Fig 1a).
+	r := newTCMRig(t, CoreA(), nil, `
+		addi r1, r0, 5
+		nop
+		add  r2, r1, r1
+		nop
+		halt
+	`)
+	r.run(t, 100)
+	if got := r.core.Reg(2); got != 10 {
+		t.Errorf("r2 = %d, want 10", got)
+	}
+	use := r.core.PathUse
+	if use[0][0][fault.PathEXL0]+use[0][1][fault.PathEXL0] == 0 {
+		t.Errorf("EX-EX path not exercised: %+v", use[0])
+	}
+}
+
+func TestMEMtoEXForwarding(t *testing.T) {
+	// Producer two packets ahead: value comes from the MEM/WB latch.
+	r := newTCMRig(t, CoreA(), nil, `
+		addi r1, r0, 9
+		nop
+		nop
+		nop
+		add  r2, r1, r0
+		halt
+	`)
+	r.run(t, 100)
+	if got := r.core.Reg(2); got != 9 {
+		t.Errorf("r2 = %d, want 9", got)
+	}
+	use := r.core.PathUse
+	if use[0][0][fault.PathMEML0]+use[0][0][fault.PathMEML1] == 0 {
+		t.Errorf("MEM-EX path not exercised: %+v", use[0])
+	}
+}
+
+func TestLoadUseInsertsOneBubble(t *testing.T) {
+	r := newTCMRig(t, CoreA(), nil, `
+		li   r29, 0x30000000
+		addi r1, r0, 42
+		sw   r1, 0(r29)
+		lw   r3, 0(r29)
+		add  r4, r3, r3
+		halt
+	`)
+	r.run(t, 200)
+	if got := r.core.Reg(4); got != 84 {
+		t.Errorf("r4 = %d, want 84", got)
+	}
+	if got := r.core.Counter(fault.CntHazStall); got == 0 {
+		t.Error("no hazard stall recorded for load-use")
+	}
+	// Load data must arrive via a MEM/WB path, not EX/MEM.
+	use := r.core.PathUse
+	if use[0][0][fault.PathMEML0]+use[0][0][fault.PathMEML1]+
+		use[1][0][fault.PathMEML0]+use[1][0][fault.PathMEML1] == 0 {
+		t.Error("load not forwarded from MEM/WB latch")
+	}
+}
+
+func TestStoreLoadByteAndWord(t *testing.T) {
+	r := newTCMRig(t, CoreA(), nil, `
+		li   r29, 0x30000000
+		li   r1, 0x11223344
+		sw   r1, 8(r29)
+		lb   r2, 8(r29)
+		lbu  r3, 11(r29)
+		li   r4, 0xFFFFFF80
+		sb   r4, 12(r29)
+		lb   r5, 12(r29)
+		lbu  r6, 12(r29)
+		halt
+	`)
+	r.run(t, 300)
+	if got := r.core.Reg(2); got != 0x44 {
+		t.Errorf("lb = %#x", got)
+	}
+	if got := r.core.Reg(3); got != 0x11 {
+		t.Errorf("lbu = %#x", got)
+	}
+	if got := r.core.Reg(5); got != 0xFFFFFF80 {
+		t.Errorf("lb sign-extend = %#x", got)
+	}
+	if got := r.core.Reg(6); got != 0x80 {
+		t.Errorf("lbu zero-extend = %#x", got)
+	}
+}
+
+func TestBranchLoopAndJumps(t *testing.T) {
+	r := newTCMRig(t, CoreA(), nil, `
+		addi r1, r0, 0      ; sum
+		addi r2, r0, 5      ; i
+	loop:
+		add  r1, r1, r2
+		addi r2, r2, -1
+		bne  r2, r0, loop
+		jal  sub1
+		j    end
+	sub1:
+		addi r3, r0, 77
+		jr   r31
+	end:
+		halt
+	`)
+	r.run(t, 500)
+	if got := r.core.Reg(1); got != 15 {
+		t.Errorf("sum = %d, want 15", got)
+	}
+	if got := r.core.Reg(3); got != 77 {
+		t.Errorf("r3 = %d (subroutine not taken)", got)
+	}
+}
+
+func TestBranchCompares(t *testing.T) {
+	r := newTCMRig(t, CoreA(), nil, `
+		li   r1, 0xFFFFFFFF  ; -1
+		addi r2, r0, 1
+		addi r10, r0, 0
+		blt  r1, r2, t1      ; -1 < 1 signed: taken
+		addi r10, r10, 1     ; skipped
+	t1:
+		bge  r2, r1, t2      ; taken
+		addi r10, r10, 1     ; skipped
+	t2:
+		beq  r1, r2, t3      ; not taken
+		addi r11, r0, 5
+	t3:
+		halt
+	`)
+	r.run(t, 300)
+	if r.core.Reg(10) != 0 {
+		t.Errorf("signed compare branches wrong: r10=%d", r.core.Reg(10))
+	}
+	if r.core.Reg(11) != 5 {
+		t.Error("not-taken fallthrough skipped")
+	}
+}
+
+func TestPairOpsOnCoreC(t *testing.T) {
+	r := newTCMRig(t, CoreC(), nil, `
+		li   r2, 0xFFFFFFFF  ; pair (r2,r3) = 0x00000001_FFFFFFFF
+		addi r3, r0, 1
+		li   r4, 1           ; pair (r4,r5) = 0x00000000_00000001
+		addi r5, r0, 0
+		addp r6, r2, r4      ; = 0x00000002_00000000
+		li   r29, 0x30000000
+		swp  r6, 0(r29)
+		lwp  r8, 0(r29)
+		xorp r10, r8, r6     ; = 0
+		halt
+	`)
+	r.run(t, 400)
+	if lo, hi := r.core.Reg(6), r.core.Reg(7); lo != 0 || hi != 2 {
+		t.Errorf("addp = %#x_%08x, want 2_00000000", hi, lo)
+	}
+	if lo, hi := r.core.Reg(8), r.core.Reg(9); lo != 0 || hi != 2 {
+		t.Errorf("lwp = %#x_%08x", hi, lo)
+	}
+	if r.core.Reg(10) != 0 || r.core.Reg(11) != 0 {
+		t.Error("xorp mismatch")
+	}
+}
+
+func TestCSRCounters(t *testing.T) {
+	r := newTCMRig(t, CoreA(), nil, `
+		addi r1, r0, 1
+		addi r2, r0, 2
+		csrr r3, cycle
+		csrr r4, instret
+		csrr r5, coreid
+		halt
+	`)
+	r.run(t, 100)
+	if r.core.Reg(3) == 0 {
+		t.Error("cycle counter zero")
+	}
+	if r.core.Reg(4) == 0 {
+		t.Error("instret zero")
+	}
+	if r.core.Reg(5) != 0 {
+		t.Errorf("coreid = %d", r.core.Reg(5))
+	}
+}
+
+func TestImpreciseInterrupt(t *testing.T) {
+	r := newTCMRig(t, CoreA(), nil, `
+		la   r1, handler
+		csrw ivec, r1
+		addi r1, r0, 15
+		csrw ienable, r1
+		li   r2, 0x7FFFFFFF
+		addi r3, r0, 1
+		addv r4, r2, r3      ; overflow: raises line 0
+		addi r20, r0, 1      ; younger instructions retire (imprecise)
+		addi r21, r0, 2
+		addi r22, r0, 3
+	wait:
+		beq  r23, r0, wait   ; spin until the handler sets r23
+		halt
+	handler:
+		csrr r24, icause
+		csrr r25, idist
+		addi r23, r0, 1
+		rfe
+	`)
+	r.run(t, 2000)
+	if r.core.Reg(23) != 1 {
+		t.Fatal("handler never ran")
+	}
+	if got := r.core.Reg(24); got != 1 {
+		t.Errorf("icause = %#x, want bit0 (shared encoder, line0)", got)
+	}
+	// Imprecise: at least one younger instruction retired before
+	// recognition.
+	if got := r.core.Reg(25); got == 0 {
+		t.Errorf("idist = 0; interrupt recognised precisely?")
+	}
+	// The younger instructions did retire (not squashed).
+	if r.core.Reg(20) != 1 || r.core.Reg(21) != 2 || r.core.Reg(22) != 3 {
+		t.Error("younger instructions were squashed; interrupt was precise")
+	}
+}
+
+func TestCauseEncodingSharedVsDistinct(t *testing.T) {
+	src := `
+		la   r1, handler
+		csrw ivec, r1
+		addi r1, r0, 15
+		csrw ienable, r1
+		addi r2, r0, 7
+		divv r3, r2, r0      ; divide by zero: line 3
+	wait:
+		beq  r23, r0, wait
+		halt
+	handler:
+		csrr r24, icause
+		addi r23, r0, 1
+		rfe
+	`
+	rA := newTCMRig(t, CoreA(), nil, src)
+	rA.run(t, 2000)
+	if got := rA.core.Reg(24); got != 2 {
+		t.Errorf("core A: icause = %#x, want bit1 (lines 2,3 share bit 1)", got)
+	}
+	rC := newTCMRig(t, CoreC(), nil, src)
+	rC.run(t, 2000)
+	if got := rC.core.Reg(24); got != 8 {
+		t.Errorf("core C: icause = %#x, want bit3", got)
+	}
+}
+
+func TestWedgeOnGarbage(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Word(0xFFFFFFFF) // invalid opcode
+	r := newTCMRigBuilder(t, CoreA(), nil, b)
+	for i := 0; i < 50 && !r.core.Done(); i++ {
+		r.core.Step()
+	}
+	if !r.core.Wedged() {
+		t.Error("garbage did not wedge the core")
+	}
+}
+
+func TestPairOpWedgesCoreA(t *testing.T) {
+	// Pair ops are core C only; core A must not execute them silently.
+	// (They decode fine — the ISA is shared — but EX refuses them.)
+	r := newTCMRig(t, CoreA(), nil, `
+		addp r2, r4, r6
+		halt
+	`)
+	for i := 0; i < 100 && !r.core.Done(); i++ {
+		r.core.Step()
+	}
+	if !r.core.Wedged() {
+		t.Error("core A executed a 64-bit pair op")
+	}
+}
+
+func TestMisrSignatureDeterministic(t *testing.T) {
+	src := `
+		xor  r28, r28, r28
+		addi r1, r0, 10
+	loop:
+		add  r2, r2, r1
+		misr r2
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt
+	`
+	r1 := newTCMRig(t, CoreA(), nil, src)
+	r1.run(t, 2000)
+	r2 := newTCMRig(t, CoreA(), nil, src)
+	r2.run(t, 2000)
+	sig1, sig2 := r1.core.Reg(isa.RegSig), r2.core.Reg(isa.RegSig)
+	if sig1 == 0 {
+		t.Error("signature is zero")
+	}
+	if sig1 != sig2 {
+		t.Errorf("signatures differ across identical runs: %#x vs %#x", sig1, sig2)
+	}
+}
+
+func TestFlashFetchBreaksAdjacency(t *testing.T) {
+	// From flash (no caches) the dependent pair in the same 16-byte line
+	// co-issues, but a pair split across a line boundary cannot: the second
+	// line takes ~8 cycles to arrive, so the consumer reads the register
+	// file instead of a forwarding path. This is the Figure 1b effect.
+	src := `
+		addi r1, r0, 1
+		addi r2, r0, 2
+		addi r3, r0, 3      ; line 0 ends after next inst
+		addi r4, r0, 4
+		addi r5, r0, 5      ; line 1 starts here
+		add  r6, r5, r5     ; same line as producer: forwarded
+		nop
+		nop
+		addi r7, r0, 7      ; last word of line 2...
+		add  r8, r7, r7     ; first word of line 3: RF read, no forwarding
+		halt
+	`
+	r := newFlashRig(t, CoreA(), nil, src, 0)
+	r.run(t, 3000)
+	if r.core.Reg(6) != 10 || r.core.Reg(8) != 14 {
+		t.Fatalf("results wrong: r6=%d r8=%d", r.core.Reg(6), r.core.Reg(8))
+	}
+	if got := r.core.Counter(fault.CntIFStall); got == 0 {
+		t.Error("no IF stalls from flash fetch")
+	}
+}
+
+func TestDeterminismSameRigTwice(t *testing.T) {
+	src := `
+		li   r29, 0x20000000
+		addi r1, r0, 25
+	loop:
+		sw   r1, 0(r29)
+		lw   r2, 0(r29)
+		misr r2
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt
+	`
+	a := newFlashRig(t, CoreA(), nil, src, 0x1000)
+	a.run(t, 50000)
+	b := newFlashRig(t, CoreA(), nil, src, 0x1000)
+	b.run(t, 50000)
+	if a.core.Cycle() != b.core.Cycle() {
+		t.Errorf("cycle counts differ: %d vs %d", a.core.Cycle(), b.core.Cycle())
+	}
+	if a.core.Reg(isa.RegSig) != b.core.Reg(isa.RegSig) {
+		t.Error("signatures differ")
+	}
+}

@@ -1,0 +1,264 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/fault"
+	"repro/internal/isa"
+)
+
+// Edge-case pipeline tests: behaviours that the main test file's golden
+// programs do not pin down.
+
+func TestBackToBackTakenBranches(t *testing.T) {
+	r := newTCMRig(t, CoreA(), nil, `
+		addi r1, r0, 0
+		beq  r0, r0, a
+		addi r1, r1, 100   ; squashed
+	a:	beq  r0, r0, bb
+		addi r1, r1, 100   ; squashed
+	bb:	addi r1, r1, 1
+		halt
+	`)
+	r.run(t, 300)
+	if got := r.core.Reg(1); got != 1 {
+		t.Errorf("r1 = %d, want 1 (wrong-path instructions executed?)", got)
+	}
+}
+
+func TestBranchInLoopBodyEveryIteration(t *testing.T) {
+	// A data-dependent branch inside a counted loop: taken on even
+	// iterations only; the architectural result must reflect every
+	// individual decision.
+	r := newTCMRig(t, CoreA(), nil, `
+		addi r1, r0, 8      ; i
+		addi r2, r0, 0      ; acc
+	loop:
+		andi r3, r1, 1
+		bne  r3, r0, odd
+		addi r2, r2, 10     ; even path
+	odd:
+		addi r2, r2, 1      ; both paths
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt
+	`)
+	r.run(t, 2000)
+	// 8 iterations: i=8,7..1; even i (8,6,4,2): +11; odd: +1 => 4*11+4*1.
+	if got := r.core.Reg(2); got != 48 {
+		t.Errorf("acc = %d, want 48", got)
+	}
+}
+
+func TestJALRReturnsThroughForwardedLink(t *testing.T) {
+	// The link value produced by JAL must forward into an immediately
+	// following consumer after return.
+	r := newTCMRig(t, CoreA(), nil, `
+		jal  f
+		j    end
+	f:	add  r2, r31, r0   ; read the link register inside the callee
+		jr   r31
+	end:
+		halt
+	`)
+	r.run(t, 300)
+	if r.core.Reg(2) == 0 {
+		t.Error("link value not observable in callee")
+	}
+}
+
+func TestStoreDataForwarding(t *testing.T) {
+	// A store whose data operand was produced by the immediately preceding
+	// instruction: the value must arrive through the bypass network.
+	r := newTCMRig(t, CoreA(), nil, `
+		li   r29, 0x30000000
+		addi r1, r0, 123
+		sw   r1, 0(r29)
+		lw   r2, 0(r29)
+		halt
+	`)
+	r.run(t, 300)
+	if got := r.core.Reg(2); got != 123 {
+		t.Errorf("stored/loaded %d, want 123", got)
+	}
+}
+
+func TestStoreAddressFromLoadStalls(t *testing.T) {
+	// The store's base register comes from a load one packet earlier: the
+	// load-use interlock must also protect address generation.
+	r := newTCMRig(t, CoreA(), nil, `
+		li   r29, 0x30000000
+		li   r1, 0x30000040
+		sw   r1, 0(r29)      ; mem[base] = pointer
+		lw   r2, 0(r29)      ; r2 = pointer
+		addi r3, r0, 55
+		sw   r3, 0(r2)       ; store through the just-loaded pointer
+		lw   r4, 0x40(r29)
+		halt
+	`)
+	r.run(t, 500)
+	if got := r.core.Reg(4); got != 55 {
+		t.Errorf("pointer store wrote %d, want 55", got)
+	}
+}
+
+func TestCINVIssuesAloneAndInvalidates(t *testing.T) {
+	invalidated := 0
+	itcmSrc := `
+		cinv both
+		cinv i
+		cinv d
+		halt
+	`
+	b, err := asm.Parse(itcmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newTCMRigBuilder(t, CoreA(), nil, b)
+	// Replace the invalidate hook to count selector decoding.
+	r.core.invalidate = func(sel int32) {
+		switch sel {
+		case isa.CinvBoth, isa.CinvI, isa.CinvD:
+			invalidated++
+		default:
+			t.Errorf("bad selector %d", sel)
+		}
+	}
+	r.run(t, 200)
+	if invalidated != 3 {
+		t.Errorf("invalidate called %d times, want 3", invalidated)
+	}
+}
+
+func TestInterruptDuringLoopRedirect(t *testing.T) {
+	// An imprecise interrupt maturing right around a taken branch must not
+	// lose the loop's architectural work.
+	r := newTCMRig(t, CoreA(), nil, `
+		la   r1, handler
+		csrw ivec, r1
+		addi r1, r0, 15
+		csrw ienable, r1
+		li   r2, 0x7FFFFFFF
+		addi r3, r0, 1
+		addi r4, r0, 40     ; loop counter (long enough for recognition)
+		addi r5, r0, 0      ; acc
+	loop:
+		addv r6, r2, r3     ; overflow event on every iteration
+		addi r5, r5, 1
+		addi r4, r4, -1
+		bne  r4, r0, loop
+		halt
+	handler:
+		addi r20, r20, 1    ; count handler invocations
+		rfe
+	`)
+	r.run(t, 20000)
+	if got := r.core.Reg(5); got != 40 {
+		t.Errorf("acc = %d, want 40 (iterations lost across interrupts)", got)
+	}
+	if r.core.Reg(20) == 0 {
+		t.Error("handler never ran")
+	}
+}
+
+func TestCounterGatingFault(t *testing.T) {
+	site := fault.Site{Unit: fault.UnitPerf, Signal: fault.SigCntInc,
+		Lane: fault.CntInstret, Stuck: 0}
+	r := newTCMRig(t, CoreA(), fault.NewSingle(site), `
+		addi r1, r0, 1
+		addi r2, r0, 2
+		halt
+	`)
+	r.run(t, 100)
+	if got := r.core.Counter(fault.CntInstret); got != 0 {
+		t.Errorf("instret = %d with gated increment", got)
+	}
+	// The cycle counter is unaffected.
+	if r.core.Counter(fault.CntCycle) == 0 {
+		t.Error("cycle counter also gated")
+	}
+}
+
+func TestMuxSelFaultDeliversWrongSource(t *testing.T) {
+	// Force the lane-0 operand-A select toward EXL0 even without a
+	// dependency: the consumer reads the previous packet's lane-0 result
+	// instead of its register.
+	site := fault.Site{Unit: fault.UnitFwd, Signal: fault.SigMuxSel,
+		Lane: 0, Operand: 0, Bit: 0, Stuck: 1}
+	src := `
+		addi r1, r0, 5
+		nop
+		nop
+		nop
+		addi r2, r0, 70
+		nop
+		add  r3, r1, r0
+		nop
+		halt
+	`
+	clean := newTCMRig(t, CoreA(), nil, src)
+	clean.run(t, 300)
+	faulty := newTCMRig(t, CoreA(), fault.NewSingle(site), src)
+	faulty.run(t, 300)
+	if clean.core.Reg(3) != 5 {
+		t.Fatalf("clean r3 = %d", clean.core.Reg(3))
+	}
+	if faulty.core.Reg(3) == clean.core.Reg(3) {
+		t.Error("select fault had no architectural effect")
+	}
+}
+
+func TestWedgePCReported(t *testing.T) {
+	b, err := asm.Parse("nop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Word(0xFFFFFFFF)
+	r := newTCMRigBuilder(t, CoreA(), nil, b)
+	for i := 0; i < 100 && !r.core.Done(); i++ {
+		r.core.Step()
+	}
+	if !r.core.Wedged() {
+		t.Fatal("not wedged")
+	}
+	if r.core.wedgePC != rigITCM+4 {
+		t.Errorf("wedge pc = %#x, want %#x", r.core.wedgePC, rigITCM+4)
+	}
+}
+
+func TestDoneRequiresDrain(t *testing.T) {
+	r := newTCMRig(t, CoreA(), nil, "halt")
+	for i := 0; i < 50 && !r.core.Done(); i++ {
+		r.core.Step()
+		if r.core.Halted() && !r.core.Done() {
+			// Halted but still draining: legal intermediate state.
+			continue
+		}
+	}
+	if !r.core.Done() {
+		t.Error("never drained")
+	}
+}
+
+func TestResetRestoresCleanState(t *testing.T) {
+	r := newTCMRig(t, CoreA(), nil, `
+		addi r1, r0, 9
+		halt
+	`)
+	r.run(t, 100)
+	if r.core.Reg(1) != 9 {
+		t.Fatal("setup failed")
+	}
+	r.core.Reset(rigITCM)
+	if r.core.Reg(1) != 0 || r.core.Halted() || r.core.Cycle() != 0 {
+		t.Error("reset incomplete")
+	}
+	// Runs again identically.
+	for i := 0; i < 200 && !r.core.Done(); i++ {
+		r.core.Step()
+	}
+	if r.core.Reg(1) != 9 {
+		t.Error("re-run after reset diverged")
+	}
+}

@@ -1,0 +1,275 @@
+package cpu
+
+import (
+	"repro/internal/fault"
+	"repro/internal/isa"
+)
+
+// stepFetch keeps the fetch queue topped up, requesting 8-byte chunks
+// (one potential issue packet) through the instruction-side memory client.
+func (c *Core) stepFetch() {
+	if c.fetchBusy {
+		done, data := c.imem.Tick()
+		if !done {
+			return
+		}
+		c.fetchBusy = false
+		if c.discardFetch {
+			c.discardFetch = false
+		} else {
+			c.enqueue(data)
+			c.fetchAddr += 8
+		}
+	}
+	for !c.fetchBusy && !c.halted && len(c.fetchQ) <= fetchQCap-2 {
+		c.imem.Start(c.fetchAddr, false, 0, 8)
+		done, data := c.imem.Tick()
+		if !done {
+			c.fetchBusy = true
+			return
+		}
+		c.enqueue(data)
+		c.fetchAddr += 8
+	}
+}
+
+func (c *Core) enqueue(chunk uint64) {
+	for k := 0; k < 2; k++ {
+		pc := c.fetchAddr + uint32(k)*4
+		if pc < c.skipBelow {
+			continue
+		}
+		word := uint32(chunk >> (32 * k))
+		inst, err := isa.Decode(word)
+		c.fetchQ = append(c.fetchQ, fetched{pc: pc, inst: inst, bad: err != nil})
+		c.emit(TraceEvent{Kind: "fetch", PC: pc, Inst: inst, Lane: len(c.fetchQ)})
+	}
+}
+
+// popFetch removes the first n queue entries.
+func (c *Core) popFetch(n int) {
+	c.fetchQ = c.fetchQ[:copy(c.fetchQ, c.fetchQ[n:])]
+}
+
+// stepIssue forms the next issue packet into exPkt. exOld is the packet
+// that was in EX this cycle (it is in MEM next cycle; its loads cannot
+// forward yet, which is the load-use hazard).
+func (c *Core) stepIssue(exOld packet) {
+	if c.halted {
+		return
+	}
+	if c.ICU.WantInterrupt() {
+		vec := c.ICU.TakeInterrupt(c.nextIssuePC)
+		c.redirect(vec)
+		return
+	}
+	if len(c.fetchQ) == 0 {
+		// The pipeline wanted to issue but fetch could not supply: this is
+		// the instruction-side stall the paper's Table I counts.
+		c.bump(fault.CntIFStall, 1)
+		c.emit(TraceEvent{Kind: "stall", Why: "if"})
+		return
+	}
+	i0 := c.fetchQ[0]
+	if i0.bad {
+		c.wedged = true
+		c.wedgePC = i0.pc
+		c.halted = true
+		return
+	}
+	// Load-use: a source of the candidate matches a load destination in
+	// the packet entering MEM. Width-mismatch hazards (pair/single
+	// overlaps the 32/64-bit bypass network cannot deliver) stall the same
+	// way.
+	if c.loadUseHazard(exOld, 0, i0.inst) || c.widthHazard(exOld, i0.inst) {
+		c.bump(fault.CntHazStall, 1)
+		c.emit(TraceEvent{Kind: "stall", Why: "haz"})
+		return
+	}
+
+	c.exPkt[0] = c.mkUop(i0)
+	c.popFetch(1)
+	c.nextIssuePC = i0.pc + 4
+	c.emit(TraceEvent{Kind: "issue", Lane: 0, PC: i0.pc, Inst: i0.inst})
+
+	if i0.inst.Op.IsControl() || i0.inst.Op.IsSystem() || i0.inst.Op.IsPair() {
+		return // serialising and pair-width instructions issue alone
+	}
+	if len(c.fetchQ) == 0 {
+		return
+	}
+	i1 := c.fetchQ[0]
+	ok, casA, casB := c.canDualIssue(exOld, i0.inst, i1)
+	if !ok {
+		return
+	}
+	c.exPkt[1] = c.mkUop(i1)
+	c.exPkt[1].cascadeA = casA
+	c.exPkt[1].cascadeB = casB
+	c.popFetch(1)
+	c.nextIssuePC = i1.pc + 4
+	c.bump(fault.CntIssued2, 1)
+	c.emit(TraceEvent{Kind: "issue", Lane: 1, PC: i1.pc, Inst: i1.inst})
+}
+
+// canDualIssue decides whether i1 may share a packet with i0 and whether
+// its operands use the intra-packet cascade path.
+func (c *Core) canDualIssue(exOld packet, first isa.Inst, i1 fetched) (ok, casA, casB bool) {
+	if i1.bad || i1.inst.Op.IsControl() || i1.inst.Op.IsSystem() || i1.inst.Op.IsPair() {
+		return false, false, false
+	}
+	if first.Op.IsMem() && i1.inst.Op.IsMem() {
+		return false, false, false // single load/store unit
+	}
+	if c.loadUseHazard(exOld, 1, i1.inst) || c.widthHazard(exOld, i1.inst) {
+		return false, false, false // issue i0 alone; i1 re-checked next cycle
+	}
+
+	splitWanted := false
+
+	// Intra-packet RAW: lane1 sourcing lane0's destination.
+	raw := false
+	a, useA, b, useB := i1.inst.SrcRegs()
+	if first.WritesReg() {
+		rd := destOf(first)
+		if rd != 0 {
+			rawA := useA && c.plane.CmpEq(fault.CmpIntra(0), rd, a)
+			rawB := useB && c.plane.CmpEq(fault.CmpIntra(1), rd, b)
+			raw = rawA || rawB
+			if raw {
+				cascadable := !first.Op.IsLoad() &&
+					c.plane.Ctl(fault.CtlCascade, true)
+				if cascadable {
+					casA, casB = rawA, rawB
+				} else {
+					splitWanted = true
+				}
+			}
+		}
+	}
+	// Intra-packet pure WAW (no read of lane 0's result): the write-back
+	// order rule forces a split. When a RAW cascade already chains the two
+	// instructions the ordering is resolved and the packet may issue
+	// whole (e.g. lui/ori load-immediate pairs).
+	if !raw && first.WritesReg() && i1.inst.WritesReg() {
+		rd0, rd1 := destOf(first), destOf(i1.inst)
+		if rd0 != 0 && c.plane.CmpEq(fault.CmpIntra(2), rd0, rd1) {
+			splitWanted = true
+		}
+	}
+
+	if c.plane.Ctl(fault.CtlSplit, splitWanted) {
+		return false, false, false
+	}
+	return true, casA, casB
+}
+
+// loadUseHazard reports whether any source of inst matches a load
+// destination in pkt (the packet one stage ahead).
+func (c *Core) loadUseHazard(pkt packet, candLane uint8, inst isa.Inst) bool {
+	a, useA, b, useB := inst.SrcRegs()
+	detected := false
+	for exLane := uint8(0); exLane < 2; exLane++ {
+		u := &pkt[exLane]
+		if !u.valid || !u.isLoad || u.rd == 0 {
+			continue
+		}
+		if useA && c.plane.CmpEq(fault.CmpLoadUse(exLane, candLane, 0), u.rd, a) {
+			detected = true
+		}
+		if useB && c.plane.CmpEq(fault.CmpLoadUse(exLane, candLane, 1), u.rd, b) {
+			detected = true
+		}
+		// Pair loads also produce rd+1.
+		if u.isPair {
+			hi := (u.rd + 1) & 31
+			if useA && hi == a || useB && hi == b {
+				detected = true
+			}
+		}
+	}
+	return c.plane.Ctl(fault.CtlLoadUse, detected)
+}
+
+// widthHazard reports whether inst has a pair/single width overlap with a
+// producer in pkt (the packet one stage ahead) that the bypass network
+// cannot deliver: a 32-bit producer feeding half of a pair operand, a pair
+// producer's high word feeding a 32-bit source, or offset pair overlaps.
+// One stall cycle resolves them (the producer's register-file write becomes
+// visible before the consumer's EX). These are hard-wired width checks in
+// the issue logic, not comparator outputs, so no fault sites attach here.
+func (c *Core) widthHazard(pkt packet, inst isa.Inst) bool {
+	a, useA, b, useB := inst.SrcRegs()
+	pairA, pairB := pairOperands(inst)
+	for exLane := 0; exLane < 2; exLane++ {
+		p := &pkt[exLane]
+		if !p.valid || !p.writes || p.rd == 0 {
+			continue
+		}
+		hi := (p.rd + 1) & 31
+		check := func(s uint8, used, pairOp bool) bool {
+			if !used {
+				return false
+			}
+			sHi := (s + 1) & 31
+			switch {
+			case !p.isPair && pairOp:
+				return p.rd == s || p.rd == sHi
+			case p.isPair && !pairOp:
+				return s == hi
+			case p.isPair && pairOp:
+				return s == hi || sHi == p.rd // offset overlap
+			}
+			return false
+		}
+		if check(a, useA, pairA) || check(b, useB, pairB) {
+			return true
+		}
+	}
+	return false
+}
+
+// destOf returns the architectural destination register of inst.
+func destOf(inst isa.Inst) uint8 {
+	if inst.Op == isa.OpJAL {
+		return isa.RegLink
+	}
+	return inst.Rd
+}
+
+// pairOperands reports which source operands of inst are 64-bit register
+// pairs. Pair ALU ops read two pairs; SWP's data operand (B) is a pair; the
+// base address operand of LWP/SWP is a normal 32-bit register.
+func pairOperands(inst isa.Inst) (pairA, pairB bool) {
+	switch inst.Op {
+	case isa.OpADDP, isa.OpSUBP, isa.OpANDP, isa.OpORP, isa.OpXORP:
+		return true, true
+	case isa.OpSWP:
+		return false, true
+	}
+	return false, false
+}
+
+// mkUop decodes static fields of a fetched instruction into a uop.
+func (c *Core) mkUop(f fetched) uop {
+	op := f.inst.Op
+	u := uop{
+		valid:   true,
+		inst:    f.inst,
+		pc:      f.pc,
+		writes:  f.inst.WritesReg(),
+		rd:      destOf(f.inst),
+		isPair:  op.IsPair(),
+		isLoad:  op.IsLoad(),
+		isStore: op.IsStore(),
+	}
+	switch op {
+	case isa.OpLB, isa.OpLBU, isa.OpSB:
+		u.memSize = 1
+	case isa.OpLW, isa.OpSW:
+		u.memSize = 4
+	case isa.OpLWP, isa.OpSWP:
+		u.memSize = 8
+	}
+	return u
+}

@@ -1,0 +1,190 @@
+package fault
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// RunFunc executes the self-test procedure in a fixed environment with the
+// given injection plane and reports the final test signature plus whether
+// the run completed cleanly (halted without wedging or timing out).
+// Implementations must be safe for concurrent calls: the campaign fans out
+// over worker goroutines, each building its own SoC instance.
+type RunFunc func(p Plane) (sig uint32, ok bool)
+
+// SiteResult records one fault's outcome.
+type SiteResult struct {
+	Site      Site
+	Detected  bool
+	Signature uint32
+	Crashed   bool // run wedged or timed out (counted as detected)
+}
+
+// Report summarises a campaign.
+type Report struct {
+	Golden   uint32
+	GoldenOK bool
+	Total    int
+	Detected int
+	Results  []SiteResult
+}
+
+// Coverage returns the fault coverage in percent.
+func (r Report) Coverage() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Detected) / float64(r.Total)
+}
+
+// BySignal breaks detection down per signal class.
+func (r Report) BySignal() map[Signal][2]int {
+	out := map[Signal][2]int{}
+	for _, res := range r.Results {
+		v := out[res.Site.Signal]
+		v[1]++
+		if res.Detected {
+			v[0]++
+		}
+		out[res.Site.Signal] = v
+	}
+	return out
+}
+
+// Undetected lists the surviving fault sites (diagnosis aid).
+func (r Report) Undetected() []Site {
+	var out []Site
+	for _, res := range r.Results {
+		if !res.Detected {
+			out = append(out, res.Site)
+		}
+	}
+	return out
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%d/%d faults detected, FC %.2f%% (golden %08x)",
+		r.Detected, r.Total, r.Coverage(), r.Golden)
+}
+
+// Simulate runs the full campaign: one golden run, then one run per fault
+// site, comparing signatures. A fault is detected when the signature
+// differs from the golden one or the run does not complete (a wedged or
+// deadlocked core fails its test by construction: the watchdog expires).
+// workers <= 0 uses GOMAXPROCS.
+func Simulate(sites []Site, run RunFunc, workers int) Report {
+	golden, goldenOK := run(None)
+	rep := Report{
+		Golden:   golden,
+		GoldenOK: goldenOK,
+		Total:    len(sites),
+		Results:  make([]SiteResult, len(sites)),
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sites) {
+		workers = len(sites)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				site := sites[idx]
+				sig, ok := run(PlaneFor(site))
+				rep.Results[idx] = SiteResult{
+					Site:      site,
+					Signature: sig,
+					Crashed:   !ok,
+					Detected:  !ok || sig != golden,
+				}
+			}
+		}()
+	}
+	for i := range sites {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, res := range rep.Results {
+		if res.Detected {
+			rep.Detected++
+		}
+	}
+	return rep
+}
+
+// MinMax summarises coverage across scenario campaigns (the paper's
+// Table II reports min–max fault coverage over SoC configurations).
+type MinMax struct {
+	Min, Max float64
+	Reports  []Report
+}
+
+// NewMinMax aggregates reports.
+func NewMinMax(reports []Report) MinMax {
+	mm := MinMax{Min: 101, Max: -1, Reports: reports}
+	for _, r := range reports {
+		fc := r.Coverage()
+		if fc < mm.Min {
+			mm.Min = fc
+		}
+		if fc > mm.Max {
+			mm.Max = fc
+		}
+	}
+	if len(reports) == 0 {
+		mm.Min, mm.Max = 0, 0
+	}
+	return mm
+}
+
+// Spread returns Max-Min in coverage points.
+func (m MinMax) Spread() float64 { return m.Max - m.Min }
+
+// SortSites orders a fault list deterministically (useful for stable
+// sub-sampling in tests).
+func SortSites(sites []Site) {
+	sort.Slice(sites, func(i, j int) bool {
+		a, b := sites[i], sites[j]
+		if a.Unit != b.Unit {
+			return a.Unit < b.Unit
+		}
+		if a.Signal != b.Signal {
+			return a.Signal < b.Signal
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Lane != b.Lane {
+			return a.Lane < b.Lane
+		}
+		if a.Operand != b.Operand {
+			return a.Operand < b.Operand
+		}
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Bit != b.Bit {
+			return a.Bit < b.Bit
+		}
+		return a.Stuck < b.Stuck
+	})
+}
+
+// Sample returns every k-th site of a sorted list (test-time reduction).
+func Sample(sites []Site, k int) []Site {
+	if k <= 1 {
+		return sites
+	}
+	var out []Site
+	for i := 0; i < len(sites); i += k {
+		out = append(out, sites[i])
+	}
+	return out
+}

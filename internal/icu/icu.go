@@ -1,0 +1,187 @@
+// Package icu models the Interrupt Control Unit of the simulated cores,
+// specifically the class of interrupts the paper's third experiment
+// targets: synchronous imprecise interrupts. They are raised by a specific
+// instruction (synchronous) but recognised only after a variable number of
+// younger instructions have retired (imprecise) — the recognition logic
+// takes a fixed number of clock cycles, so how many instructions slip past
+// depends on pipeline stalls, which in a multi-core SoC depend on bus
+// contention. The test routine folds the cause and the imprecision
+// distance into its signature, which is why its signature is only stable
+// when the routine executes deterministically.
+//
+// Cores A and B implement a cost-reduced cause encoder that maps pairs of
+// event lines onto shared cause bits; core C gives every event its own bit.
+// The paper attributes core C's ~10% higher ICU coverage to exactly this
+// difference (shared bits mask some fault effects).
+package icu
+
+import "repro/internal/fault"
+
+// RecognitionDelay is the number of clock cycles the recognition pipeline
+// takes between an event being latched and the interrupt being requested at
+// the next issue boundary. The number of younger instructions that retire
+// in this window — the imprecision distance — depends on the issue rate,
+// which is what couples it to fetch and bus timing.
+const RecognitionDelay = 24
+
+// Config selects the cause-encoder variant.
+type Config struct {
+	// SharedCauseBits maps event pairs onto shared cause bits (cores A/B).
+	SharedCauseBits bool
+}
+
+// ICU is one core's interrupt control unit.
+type ICU struct {
+	cfg   Config
+	plane fault.Plane
+
+	pending [fault.NumEvents]bool
+
+	// Architectural registers (CSR-visible).
+	cause  uint32
+	dist   uint32
+	epc    uint32
+	enable uint32
+	vector uint32
+
+	// Recognition state.
+	counting  bool
+	countdown int
+	retired   uint32 // instructions retired since the trigger
+	inHandler bool
+}
+
+// New builds an ICU with the given configuration and fault plane.
+func New(cfg Config, plane fault.Plane) *ICU {
+	if plane == nil {
+		plane = fault.None
+	}
+	return &ICU{cfg: cfg, plane: plane}
+}
+
+// Reset restores power-on state (everything clear, interrupts disabled).
+func (u *ICU) Reset() {
+	*u = ICU{cfg: u.cfg, plane: u.plane}
+}
+
+// encodeCause maps pending event lines to cause bits.
+func (u *ICU) encodeCause() uint32 {
+	var c uint32
+	for line := uint8(0); line < fault.NumEvents; line++ {
+		if !u.pending[line] {
+			continue
+		}
+		if u.cfg.SharedCauseBits {
+			c |= 1 << (line / 2) // lines {0,1}->bit0, {2,3}->bit1
+		} else {
+			c |= 1 << line
+		}
+	}
+	return u.plane.Cause(c)
+}
+
+// Raise latches a synchronous event from the execute stage. The fault
+// plane can force a line stuck (spurious or missing events).
+func (u *ICU) Raise(line uint8) {
+	if u.plane.EvLine(line, true) {
+		u.pending[line] = true
+	}
+	if !u.counting && !u.inHandler {
+		u.counting = true
+		u.countdown = RecognitionDelay
+		u.retired = 0
+	}
+}
+
+// Tick advances the recognition pipeline by one clock cycle; retired is the
+// number of instructions that left the pipeline this cycle.
+func (u *ICU) Tick(retired int) {
+	// Stuck-at-1 event lines raise events spontaneously.
+	for line := uint8(0); line < fault.NumEvents; line++ {
+		if !u.pending[line] && u.plane.EvLine(line, false) {
+			u.Raise(line)
+		}
+		// Stuck-at-0 lines drop latched events.
+		if u.pending[line] && !u.plane.EvLine(line, true) {
+			u.pending[line] = false
+		}
+	}
+	if !u.counting {
+		return
+	}
+	u.retired += uint32(retired)
+	if u.countdown > 0 {
+		u.countdown--
+	}
+}
+
+// WantInterrupt reports whether the recognition pipeline has matured and an
+// enabled pending event should redirect the core at the next issue
+// boundary.
+func (u *ICU) WantInterrupt() bool {
+	if u.inHandler || !u.counting || u.countdown > 0 {
+		return false
+	}
+	return u.encodeCause()&u.plane.Enable(u.enable) != 0
+}
+
+// TakeInterrupt commits the interrupt: latches cause/distance/EPC, clears
+// pending state and returns the handler vector. resumePC is the PC of the
+// oldest instruction that has not entered the pipeline.
+func (u *ICU) TakeInterrupt(resumePC uint32) (vector uint32) {
+	u.cause = u.encodeCause()
+	u.dist = u.plane.Dist(u.retired & 0xFF)
+	u.epc = u.plane.EPC(resumePC)
+	for i := range u.pending {
+		u.pending[i] = false
+	}
+	u.counting = false
+	u.inHandler = true
+	return u.vector
+}
+
+// ReturnFromException ends handler mode and returns the resume PC.
+func (u *ICU) ReturnFromException() uint32 {
+	u.inHandler = false
+	return u.epc
+}
+
+// InHandler reports whether the core is executing the handler.
+func (u *ICU) InHandler() bool { return u.inHandler }
+
+// PendingMask returns the raw pending lines (CSR ipend).
+func (u *ICU) PendingMask() uint32 {
+	var m uint32
+	for line := uint8(0); line < fault.NumEvents; line++ {
+		if u.pending[line] {
+			m |= 1 << line
+		}
+	}
+	return m
+}
+
+// CSR accessors used by the CPU's CSRR/CSRW implementation.
+
+func (u *ICU) Cause() uint32  { return u.cause }
+func (u *ICU) Dist() uint32   { return u.dist }
+func (u *ICU) EPC() uint32    { return u.epc }
+func (u *ICU) Enable() uint32 { return u.enable }
+func (u *ICU) Vector() uint32 { return u.vector }
+
+func (u *ICU) SetEnable(v uint32) { u.enable = v & (1<<fault.NumEvents - 1) }
+func (u *ICU) SetVector(v uint32) { u.vector = v &^ 3 }
+
+// ClearPending drops the pending lines set in mask (write-one-to-clear,
+// the ipend CSR write semantics). When nothing remains pending the
+// recognition pipeline is also cleared, so a stale matured countdown
+// cannot make a later event fire instantly with an inflated distance.
+func (u *ICU) ClearPending(mask uint32) {
+	for line := uint8(0); line < fault.NumEvents; line++ {
+		if mask&(1<<line) != 0 {
+			u.pending[line] = false
+		}
+	}
+	if u.PendingMask() == 0 {
+		u.counting = false
+	}
+}

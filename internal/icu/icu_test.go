@@ -1,0 +1,172 @@
+package icu
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestRaiseRecognitionFlow(t *testing.T) {
+	u := New(Config{}, nil)
+	u.SetEnable(0xF)
+	u.SetVector(0x400)
+	u.Raise(fault.EvDivZero)
+	if u.WantInterrupt() {
+		t.Fatal("interrupt before recognition delay")
+	}
+	retired := 0
+	for i := 0; i < RecognitionDelay; i++ {
+		u.Tick(2)
+		retired += 2
+	}
+	if !u.WantInterrupt() {
+		t.Fatal("interrupt not requested after delay")
+	}
+	vec := u.TakeInterrupt(0x1234)
+	if vec != 0x400 {
+		t.Errorf("vector %#x", vec)
+	}
+	if u.Cause() != 1<<fault.EvDivZero {
+		t.Errorf("cause %#x", u.Cause())
+	}
+	if u.Dist() != uint32(retired) {
+		t.Errorf("dist %d, want %d", u.Dist(), retired)
+	}
+	if u.EPC() != 0x1234 {
+		t.Errorf("epc %#x", u.EPC())
+	}
+	if !u.InHandler() {
+		t.Error("not in handler")
+	}
+	if u.WantInterrupt() {
+		t.Error("re-entrant interrupt")
+	}
+	if pc := u.ReturnFromException(); pc != 0x1234 {
+		t.Errorf("rfe pc %#x", pc)
+	}
+	if u.InHandler() {
+		t.Error("still in handler after rfe")
+	}
+}
+
+func TestDisabledInterruptStaysPending(t *testing.T) {
+	u := New(Config{}, nil)
+	u.SetEnable(0)
+	u.Raise(fault.EvOverflowAdd)
+	for i := 0; i < RecognitionDelay+4; i++ {
+		u.Tick(1)
+	}
+	if u.WantInterrupt() {
+		t.Error("masked interrupt requested")
+	}
+	if u.PendingMask() != 1<<fault.EvOverflowAdd {
+		t.Errorf("pending %#x", u.PendingMask())
+	}
+	u.ClearPending(0xF)
+	if u.PendingMask() != 0 {
+		t.Error("clear failed")
+	}
+	// A later raise must restart the recognition pipeline from scratch.
+	u.SetEnable(0xF)
+	u.Raise(fault.EvOverflowSub)
+	if u.WantInterrupt() {
+		t.Error("stale countdown reused after ClearPending")
+	}
+}
+
+func TestSharedVsDistinctCauseEncoding(t *testing.T) {
+	shared := New(Config{SharedCauseBits: true}, nil)
+	shared.SetEnable(0xF)
+	shared.Raise(fault.EvOverflowAdd) // line 0 -> bit 0
+	shared.Raise(fault.EvOverflowSub) // line 1 -> bit 0 (masked together)
+	for i := 0; i < RecognitionDelay; i++ {
+		shared.Tick(0)
+	}
+	shared.TakeInterrupt(0)
+	if shared.Cause() != 1 {
+		t.Errorf("shared cause %#x, want 1", shared.Cause())
+	}
+
+	distinct := New(Config{}, nil)
+	distinct.SetEnable(0xF)
+	distinct.Raise(fault.EvOverflowAdd)
+	distinct.Raise(fault.EvOverflowSub)
+	for i := 0; i < RecognitionDelay; i++ {
+		distinct.Tick(0)
+	}
+	distinct.TakeInterrupt(0)
+	if distinct.Cause() != 3 {
+		t.Errorf("distinct cause %#x, want 3", distinct.Cause())
+	}
+}
+
+func TestCauseBitMaskingDetectabilityAsymmetry(t *testing.T) {
+	// A stuck-at-1 on cause bit 0 is masked on cores A/B whenever lines 0
+	// or 1 are pending anyway; with distinct encoding the same fault can
+	// still alias. What matters for the paper's Table III effect: for a
+	// line-1 event, shared encoding cannot distinguish a line-0 stuck line
+	// from the real cause — distinct encoding can.
+	evFault := fault.Site{Unit: fault.UnitICU, Signal: fault.SigEvLine, Path: 0, Stuck: 1}
+	run := func(cfg Config) uint32 {
+		u := New(cfg, fault.NewSingle(evFault))
+		u.SetEnable(0xF)
+		u.Raise(fault.EvOverflowSub) // line 1
+		for i := 0; i < RecognitionDelay; i++ {
+			u.Tick(0)
+		}
+		u.TakeInterrupt(0)
+		return u.Cause()
+	}
+	goldenShared := func() uint32 {
+		u := New(Config{SharedCauseBits: true}, nil)
+		u.SetEnable(0xF)
+		u.Raise(fault.EvOverflowSub)
+		for i := 0; i < RecognitionDelay; i++ {
+			u.Tick(0)
+		}
+		u.TakeInterrupt(0)
+		return u.Cause()
+	}()
+	goldenDistinct := func() uint32 {
+		u := New(Config{}, nil)
+		u.SetEnable(0xF)
+		u.Raise(fault.EvOverflowSub)
+		for i := 0; i < RecognitionDelay; i++ {
+			u.Tick(0)
+		}
+		u.TakeInterrupt(0)
+		return u.Cause()
+	}()
+	if run(Config{SharedCauseBits: true}) != goldenShared {
+		t.Error("shared encoding detected the stuck line (expected masking)")
+	}
+	if run(Config{}) == goldenDistinct {
+		t.Error("distinct encoding failed to expose the stuck line")
+	}
+}
+
+func TestDistanceFaultInjection(t *testing.T) {
+	s := fault.Site{Unit: fault.UnitICU, Signal: fault.SigDist, Bit: 0, Stuck: 1}
+	u := New(Config{}, fault.NewSingle(s))
+	u.SetEnable(0xF)
+	u.Raise(fault.EvDivZero)
+	for i := 0; i < RecognitionDelay; i++ {
+		u.Tick(2)
+	}
+	u.TakeInterrupt(0)
+	want := uint32(2*RecognitionDelay) | 1
+	if u.Dist() != want {
+		t.Errorf("dist %d, want %d", u.Dist(), want)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	u := New(Config{}, nil)
+	u.SetEnable(0xF)
+	u.SetVector(0x100)
+	u.Raise(fault.EvDivZero)
+	u.Reset()
+	if u.PendingMask() != 0 || u.Enable() != 0 || u.Vector() != 0 || u.WantInterrupt() {
+		t.Error("reset incomplete")
+	}
+}

@@ -1,0 +1,54 @@
+package isa
+
+// Control and Status Register numbers. CSRs are read with CSRR and written
+// with CSRW; the performance counters are read-only from software.
+const (
+	CsrCycle    = 0 // clock cycles since reset
+	CsrInstret  = 1 // instructions retired
+	CsrIFStall  = 2 // cycles the pipeline waited on instruction fetch
+	CsrMemStall = 3 // cycles the pipeline waited on data memory
+	CsrHazStall = 4 // bubbles inserted by the hazard detection control unit
+	CsrIssued2  = 5 // dual-issue packets (both lanes filled)
+
+	CsrICause  = 8  // interrupt cause bits (ICU)
+	CsrIDist   = 9  // imprecision distance of the last taken interrupt
+	CsrIEPC    = 10 // resume PC saved by the last taken interrupt
+	CsrIEnable = 11 // interrupt enable mask (bit per cause line)
+	CsrIPend   = 12 // pending event lines (read-only)
+	CsrIVec    = 13 // interrupt vector address
+
+	CsrCoreID = 16 // hardwired core identifier (0=A, 1=B, 2=C)
+)
+
+// CsrName returns a symbolic name for the CSR number, for disassembly.
+func CsrName(n int32) string {
+	switch n {
+	case CsrCycle:
+		return "cycle"
+	case CsrInstret:
+		return "instret"
+	case CsrIFStall:
+		return "ifstall"
+	case CsrMemStall:
+		return "memstall"
+	case CsrHazStall:
+		return "hazstall"
+	case CsrIssued2:
+		return "issued2"
+	case CsrICause:
+		return "icause"
+	case CsrIDist:
+		return "idist"
+	case CsrIEPC:
+		return "iepc"
+	case CsrIEnable:
+		return "ienable"
+	case CsrIPend:
+		return "ipend"
+	case CsrIVec:
+		return "ivec"
+	case CsrCoreID:
+		return "coreid"
+	}
+	return "csr?"
+}

@@ -1,0 +1,50 @@
+package isa
+
+import "fmt"
+
+// String renders the instruction in assembler syntax, e.g. "add r3, r1, r2".
+func (i Inst) String() string {
+	switch FormatOf(i.Op) {
+	case FmtNone:
+		return i.Op.String()
+	case FmtR:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case FmtRShamt:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case FmtI:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case FmtLui:
+		return fmt.Sprintf("%s r%d, 0x%x", i.Op, i.Rd, uint32(i.Imm)&0xFFFF)
+	case FmtMem:
+		reg := i.Rd
+		if i.Op.IsStore() {
+			reg = i.Rs2
+		}
+		return fmt.Sprintf("%s r%d, %d(r%d)", i.Op, reg, i.Imm, i.Rs1)
+	case FmtBranch:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rs1, i.Rs2, i.Imm)
+	case FmtJump:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	case FmtJR:
+		return fmt.Sprintf("%s r%d", i.Op, i.Rs1)
+	case FmtJALR:
+		return fmt.Sprintf("%s r%d, r%d", i.Op, i.Rd, i.Rs1)
+	case FmtCSRR:
+		return fmt.Sprintf("%s r%d, %s", i.Op, i.Rd, CsrName(i.Imm))
+	case FmtCSRW:
+		return fmt.Sprintf("%s %s, r%d", i.Op, CsrName(i.Imm), i.Rs1)
+	case FmtCINV:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	}
+	return i.Op.String()
+}
+
+// Disasm decodes and renders a memory word; undecodable words render as
+// ".word 0x…".
+func Disasm(w uint32) string {
+	i, err := Decode(w)
+	if err != nil {
+		return fmt.Sprintf(".word 0x%08x", w)
+	}
+	return i.String()
+}

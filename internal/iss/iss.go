@@ -1,0 +1,267 @@
+// Package iss is a functional instruction-set simulator: it executes the
+// ISA one instruction at a time with no pipeline, no caches and no timing.
+// Its only purpose is differential testing — the architectural results of
+// the cycle-accurate dual-issue pipeline (in any SoC configuration, under
+// any bus contention) must match this interpreter exactly, because timing
+// must never change semantics. The two implementations share nothing
+// beyond the instruction decoder.
+package iss
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Memory is the flat byte-addressable memory the interpreter runs against.
+type Memory interface {
+	Read(addr uint32, n int) uint64
+	Write(addr uint32, v uint64, n int)
+}
+
+// SparseMem is a simple paged memory suitable for mirroring the SoC map.
+type SparseMem struct {
+	pages map[uint32][]byte // 4 KiB pages
+}
+
+// NewSparseMem returns an empty memory; unwritten bytes read as zero.
+func NewSparseMem() *SparseMem { return &SparseMem{pages: map[uint32][]byte{}} }
+
+func (m *SparseMem) page(addr uint32, create bool) []byte {
+	key := addr >> 12
+	p, ok := m.pages[key]
+	if !ok && create {
+		p = make([]byte, 1<<12)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// Read implements Memory (naturally aligned accesses only, like the SoC's
+// memory clients, which truncate low address bits).
+func (m *SparseMem) Read(addr uint32, n int) uint64 {
+	addr &^= uint32(n - 1)
+	var buf [8]byte
+	for i := 0; i < n; i++ {
+		if p := m.page(addr+uint32(i), false); p != nil {
+			buf[i] = p[(addr+uint32(i))&0xFFF]
+		}
+	}
+	switch n {
+	case 1:
+		return uint64(buf[0])
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(buf[:4]))
+	case 8:
+		return binary.LittleEndian.Uint64(buf[:8])
+	}
+	panic(fmt.Sprintf("iss: bad size %d", n))
+}
+
+// Write implements Memory.
+func (m *SparseMem) Write(addr uint32, v uint64, n int) {
+	addr &^= uint32(n - 1)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	for i := 0; i < n; i++ {
+		p := m.page(addr+uint32(i), true)
+		p[(addr+uint32(i))&0xFFF] = buf[i]
+	}
+}
+
+// LoadWords stores a program image.
+func (m *SparseMem) LoadWords(base uint32, words []uint32) {
+	for i, w := range words {
+		m.Write(base+uint32(i)*4, uint64(w), 4)
+	}
+}
+
+// ISS is the interpreter state.
+type ISS struct {
+	Regs   [32]uint32
+	PC     uint32
+	Mem    Memory
+	Has64  bool
+	Halted bool
+
+	instret int64
+}
+
+// New builds an interpreter starting at entry.
+func New(mem Memory, entry uint32, has64 bool) *ISS {
+	return &ISS{Mem: mem, PC: entry, Has64: has64}
+}
+
+// Instret returns the retired-instruction count.
+func (s *ISS) Instret() int64 { return s.instret }
+
+func (s *ISS) reg(r uint8) uint32 { return s.Regs[r&31] }
+
+func (s *ISS) setReg(r uint8, v uint32) {
+	if r&31 != 0 {
+		s.Regs[r&31] = v
+	}
+}
+
+func (s *ISS) regPair(r uint8) uint64 {
+	return uint64(s.reg(r)) | uint64(s.reg((r+1)&31))<<32
+}
+
+func (s *ISS) setRegPair(r uint8, v uint64) {
+	s.setReg(r, uint32(v))
+	s.setReg((r+1)&31, uint32(v>>32))
+}
+
+// Step executes one instruction. It returns an error for undecodable words
+// or operations outside the interpreter's supported subset (CSR, cache and
+// interrupt operations are timing- or microarchitecture-coupled and are
+// deliberately not modelled here).
+func (s *ISS) Step() error {
+	if s.Halted {
+		return nil
+	}
+	word := uint32(s.Mem.Read(s.PC, 4))
+	inst, err := isa.Decode(word)
+	if err != nil {
+		return fmt.Errorf("iss: pc %#x: %w", s.PC, err)
+	}
+	next := s.PC + 4
+	a := s.reg(inst.Rs1)
+	b := s.reg(inst.Rs2)
+	imm := inst.Imm
+
+	if inst.Op.IsPair() && !s.Has64 {
+		return fmt.Errorf("iss: pc %#x: pair op on 32-bit core", s.PC)
+	}
+
+	switch inst.Op {
+	case isa.OpADD:
+		s.setReg(inst.Rd, a+b)
+	case isa.OpSUB:
+		s.setReg(inst.Rd, a-b)
+	case isa.OpAND:
+		s.setReg(inst.Rd, a&b)
+	case isa.OpOR:
+		s.setReg(inst.Rd, a|b)
+	case isa.OpXOR:
+		s.setReg(inst.Rd, a^b)
+	case isa.OpNOR:
+		s.setReg(inst.Rd, ^(a | b))
+	case isa.OpSLT:
+		s.setReg(inst.Rd, boolTo32(int32(a) < int32(b)))
+	case isa.OpSLTU:
+		s.setReg(inst.Rd, boolTo32(a < b))
+	case isa.OpSLLV:
+		s.setReg(inst.Rd, a<<(b&31))
+	case isa.OpSRLV:
+		s.setReg(inst.Rd, a>>(b&31))
+	case isa.OpSRAV:
+		s.setReg(inst.Rd, uint32(int32(a)>>(b&31)))
+	case isa.OpMUL:
+		s.setReg(inst.Rd, a*b)
+	case isa.OpSLL:
+		s.setReg(inst.Rd, a<<uint32(imm&31))
+	case isa.OpSRL:
+		s.setReg(inst.Rd, a>>uint32(imm&31))
+	case isa.OpSRA:
+		s.setReg(inst.Rd, uint32(int32(a)>>uint32(imm&31)))
+
+	case isa.OpADDI:
+		s.setReg(inst.Rd, a+uint32(imm))
+	case isa.OpANDI:
+		s.setReg(inst.Rd, a&uint32(imm))
+	case isa.OpORI:
+		s.setReg(inst.Rd, a|uint32(imm))
+	case isa.OpXORI:
+		s.setReg(inst.Rd, a^uint32(imm))
+	case isa.OpSLTI:
+		s.setReg(inst.Rd, boolTo32(int32(a) < imm))
+	case isa.OpLUI:
+		s.setReg(inst.Rd, uint32(imm)<<16)
+
+	case isa.OpADDP:
+		s.setRegPair(inst.Rd, s.regPair(inst.Rs1)+s.regPair(inst.Rs2))
+	case isa.OpSUBP:
+		s.setRegPair(inst.Rd, s.regPair(inst.Rs1)-s.regPair(inst.Rs2))
+	case isa.OpANDP:
+		s.setRegPair(inst.Rd, s.regPair(inst.Rs1)&s.regPair(inst.Rs2))
+	case isa.OpORP:
+		s.setRegPair(inst.Rd, s.regPair(inst.Rs1)|s.regPair(inst.Rs2))
+	case isa.OpXORP:
+		s.setRegPair(inst.Rd, s.regPair(inst.Rs1)^s.regPair(inst.Rs2))
+
+	case isa.OpLW:
+		s.setReg(inst.Rd, uint32(s.Mem.Read(a+uint32(imm), 4)))
+	case isa.OpLB:
+		s.setReg(inst.Rd, uint32(int32(int8(uint8(s.Mem.Read(a+uint32(imm), 1))))))
+	case isa.OpLBU:
+		s.setReg(inst.Rd, uint32(s.Mem.Read(a+uint32(imm), 1))&0xFF)
+	case isa.OpSW:
+		s.Mem.Write(a+uint32(imm), uint64(b), 4)
+	case isa.OpSB:
+		s.Mem.Write(a+uint32(imm), uint64(b), 1)
+	case isa.OpLWP:
+		s.setRegPair(inst.Rd, s.Mem.Read(a+uint32(imm), 8))
+	case isa.OpSWP:
+		s.Mem.Write(a+uint32(imm), s.regPair(inst.Rs2), 8)
+
+	case isa.OpBEQ:
+		if a == b {
+			next = s.PC + 4 + uint32(imm)
+		}
+	case isa.OpBNE:
+		if a != b {
+			next = s.PC + 4 + uint32(imm)
+		}
+	case isa.OpBLT:
+		if int32(a) < int32(b) {
+			next = s.PC + 4 + uint32(imm)
+		}
+	case isa.OpBGE:
+		if int32(a) >= int32(b) {
+			next = s.PC + 4 + uint32(imm)
+		}
+
+	case isa.OpJ:
+		next = s.PC + 4 + uint32(imm)
+	case isa.OpJAL:
+		s.setReg(isa.RegLink, s.PC+4)
+		next = s.PC + 4 + uint32(imm)
+	case isa.OpJR:
+		next = a
+	case isa.OpJALR:
+		s.setReg(inst.Rd, s.PC+4)
+		next = a
+
+	case isa.OpNOP:
+		// nothing
+	case isa.OpHALT:
+		s.Halted = true
+	default:
+		return fmt.Errorf("iss: pc %#x: unsupported op %v", s.PC, inst.Op)
+	}
+	s.instret++
+	s.PC = next
+	return nil
+}
+
+// Run steps until HALT or the instruction budget is exhausted.
+func (s *ISS) Run(maxInstrs int64) error {
+	for !s.Halted && s.instret < maxInstrs {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	if !s.Halted {
+		return fmt.Errorf("iss: did not halt within %d instructions", maxInstrs)
+	}
+	return nil
+}
+
+func boolTo32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,164 @@
+// Package mem provides the memory devices of the simulated SoC: shared
+// flash (code storage with multi-cycle, per-bank access latency), shared
+// SRAM, and per-core tightly-coupled memories (TCMs). Devices expose plain
+// byte-addressed storage plus an access-latency model; all multi-byte values
+// are little-endian.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Physical memory map of the SoC. The uncached SRAM alias maps to the same
+// storage as SRAMBase but is never routed through the private caches; it is
+// used for inter-core synchronisation flags.
+const (
+	FlashBase = 0x0000_0000
+	FlashSize = 1 << 20 // 1 MiB
+
+	SRAMBase         = 0x2000_0000
+	SRAMSize         = 256 << 10
+	SRAMUncachedBase = 0x2800_0000 // alias of SRAMBase, uncacheable
+
+	DTCMBase  = 0x3000_0000 // + coreID*TCMStride, private
+	ITCMBase  = 0x3400_0000 // + coreID*TCMStride, private
+	TCMSize   = 16 << 10
+	TCMStride = 1 << 16
+
+	// LineBytes is the width of a bus burst and of one cache line.
+	LineBytes = 16
+)
+
+// Device is byte-addressable storage with an access-cost model. Addresses
+// are device-relative (0-based).
+type Device interface {
+	// Size returns the device capacity in bytes.
+	Size() uint32
+	// Read copies len(dst) bytes starting at off into dst.
+	Read(off uint32, dst []byte)
+	// Write stores src at off. Read-only devices ignore writes.
+	Write(off uint32, src []byte)
+	// AccessCycles returns how many bus cycles an access of n bytes at off
+	// costs (the same for read and write in this model).
+	AccessCycles(off uint32, n int) int
+}
+
+// RAM is simple SRAM with uniform latency.
+type RAM struct {
+	data    []byte
+	latency int
+}
+
+// NewRAM returns a RAM of the given size and access latency in cycles.
+func NewRAM(size uint32, latency int) *RAM {
+	return &RAM{data: make([]byte, size), latency: latency}
+}
+
+func (r *RAM) Size() uint32 { return uint32(len(r.data)) }
+
+func (r *RAM) Read(off uint32, dst []byte) { copy(dst, r.data[off:]) }
+
+func (r *RAM) Write(off uint32, src []byte) { copy(r.data[off:], src) }
+
+func (r *RAM) AccessCycles(uint32, int) int { return r.latency }
+
+// Flash models the code flash: writable only through the loader (LoadWords),
+// read-only from the bus, with per-bank wait states. Bank latencies differ
+// slightly, which is one reason the paper's "code position in memory"
+// scenario knob affects timing.
+type Flash struct {
+	data     []byte
+	bankSize uint32
+	lat      []int
+}
+
+// NewFlash creates a flash of the given size split into equal banks; lat[i]
+// is the access latency of bank i and must be non-empty.
+func NewFlash(size uint32, bankLatencies []int) *Flash {
+	if len(bankLatencies) == 0 {
+		panic("mem: flash needs at least one bank latency")
+	}
+	if size%uint32(len(bankLatencies)) != 0 {
+		panic("mem: flash size not divisible by bank count")
+	}
+	return &Flash{
+		data:     make([]byte, size),
+		bankSize: size / uint32(len(bankLatencies)),
+		lat:      append([]int(nil), bankLatencies...),
+	}
+}
+
+func (f *Flash) Size() uint32 { return uint32(len(f.data)) }
+
+func (f *Flash) Read(off uint32, dst []byte) { copy(dst, f.data[off:]) }
+
+// Write is ignored: flash is not bus-writable (mirrors real hardware, and
+// keeps wild stores from a faulty program from corrupting code).
+func (f *Flash) Write(uint32, []byte) {}
+
+func (f *Flash) AccessCycles(off uint32, _ int) int {
+	b := off / f.bankSize
+	if int(b) >= len(f.lat) {
+		b = uint32(len(f.lat) - 1)
+	}
+	return f.lat[b]
+}
+
+// LoadWords programs the flash image at the given offset (loader path, not
+// a bus access).
+func (f *Flash) LoadWords(off uint32, words []uint32) error {
+	end := uint64(off) + uint64(len(words))*4
+	if end > uint64(len(f.data)) {
+		return fmt.Errorf("mem: flash image [%#x,%#x) exceeds size %#x", off, end, len(f.data))
+	}
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(f.data[off+uint32(i)*4:], w)
+	}
+	return nil
+}
+
+// TCM is a single-cycle tightly-coupled memory private to one core.
+type TCM struct {
+	data []byte
+}
+
+// NewTCM returns a TCM of the given size.
+func NewTCM(size uint32) *TCM { return &TCM{data: make([]byte, size)} }
+
+func (t *TCM) Size() uint32                 { return uint32(len(t.data)) }
+func (t *TCM) Read(off uint32, dst []byte)  { copy(dst, t.data[off:]) }
+func (t *TCM) Write(off uint32, src []byte) { copy(t.data[off:], src) }
+func (t *TCM) AccessCycles(uint32, int) int { return 1 }
+
+// Word helpers shared by devices and the CPU.
+
+// ReadWord reads a little-endian 32-bit word from d at off.
+func ReadWord(d Device, off uint32) uint32 {
+	var b [4]byte
+	d.Read(off, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// WriteWord writes a little-endian 32-bit word to d at off.
+func WriteWord(d Device, off uint32, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	d.Write(off, b[:])
+}
+
+// DTCMFor returns the base address of core coreID's data TCM.
+func DTCMFor(coreID int) uint32 { return DTCMBase + uint32(coreID)*TCMStride }
+
+// ITCMFor returns the base address of core coreID's instruction TCM.
+func ITCMFor(coreID int) uint32 { return ITCMBase + uint32(coreID)*TCMStride }
+
+// InTCM reports whether addr falls in core coreID's private TCM windows.
+func InTCM(addr uint32, coreID int) bool {
+	d := DTCMFor(coreID)
+	i := ITCMFor(coreID)
+	return (addr >= d && addr < d+TCMSize) || (addr >= i && addr < i+TCMSize)
+}
+
+// LineAddr returns the line-aligned base of addr.
+func LineAddr(addr uint32) uint32 { return addr &^ uint32(LineBytes-1) }

@@ -1,0 +1,291 @@
+package sbst
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// Forwarding-logic test generator, after the dual-issue SBST algorithm of
+// Bernardi et al. [19]: it exhaustively exercises every forwarding path of
+// the dual-issue pipeline — interpipeline (producer and consumer in the
+// same issue packet, the cascade path) and intrapipeline (producer in one
+// of the two previous packets, the EX/MEM- and MEM/WB-latch paths) — for
+// every consumer lane and operand, driving complementary data patterns
+// through each path and folding every consumer result into the software
+// MISR signature.
+//
+// Packet discipline: the generator emits instructions strictly in
+// co-issueable pairs so issue-packet parity is known by construction; this
+// is exactly the property bus-contention fetch stalls destroy, which is why
+// the routine's fault coverage becomes scenario-dependent without the
+// cache-based strategy.
+
+// ForwardingOptions configures generation.
+type ForwardingOptions struct {
+	DataBase uint32 // pattern table address (SRAM)
+	// WithPerfCounters folds pipeline stall/dual-issue counter deltas into
+	// the signature (the complete algorithm of [19]); disable for the
+	// Table II variant.
+	WithPerfCounters bool
+	// Pairs64 adds 64-bit paired-register path groups (core C only).
+	Pairs64 bool
+	// DummyLoadAfterStore follows every store with a load of the same
+	// location, the paper's fix-up for no-write-allocate data caches.
+	DummyLoadAfterStore bool
+}
+
+// forwarding test register map (within the r1..r22 window):
+const (
+	fwdP   = 1 // pattern value
+	fwdN   = 2 // complemented pattern
+	fwdT0  = 3 // producer copies / consumer results
+	fwdT1  = 4
+	fwdT2  = 6
+	fwdT3  = 8
+	fwdC0  = 10 // consumer destinations
+	fwdC1  = 12
+	fwdF0  = 14 // fillers
+	fwdF1  = 16
+	fwdCnt = 17 // counter snapshot base (r17..r20)
+)
+
+// sigCheckpointOff is the write-only signature checkpoint slot in the
+// routine's scratch area.
+const sigCheckpointOff = int32(96)
+
+var fwdPatterns = []uint32{
+	0x00000000, 0xFFFFFFFF, 0xAAAAAAAA, 0x55555555,
+	0x0F0F0F0F, 0xC3A50FF0,
+}
+
+// NewForwardingTest builds the forwarding-logic routine.
+func NewForwardingTest(o ForwardingOptions) *Routine {
+	r := &Routine{
+		Name:             "forwarding",
+		Target:           "forwarding",
+		DataBase:         o.DataBase,
+		UsesPerfCounters: o.WithPerfCounters,
+	}
+	// Pattern table: value then complement, pairwise.
+	for _, p := range fwdPatterns {
+		r.DataWords = append(r.DataWords, p, ^p)
+	}
+	r.ScratchBytes = 96
+
+	r.Blocks = append(r.Blocks, RegInitBlock())
+	if o.WithPerfCounters {
+		r.Blocks = append(r.Blocks, Block{
+			Name: "pc-begin",
+			Emit: func(b *asm.Builder) { emitCounterSnap(b, fwdCnt) },
+		})
+	}
+	for i := range fwdPatterns {
+		idx := i
+		r.Blocks = append(r.Blocks, Block{
+			Name: fmt.Sprintf("pattern%d", idx),
+			Emit: func(b *asm.Builder) { emitForwardingGroup(b, idx, o) },
+		})
+	}
+	if o.Pairs64 {
+		r.Blocks = append(r.Blocks, Block{
+			Name: "pairs64",
+			Emit: func(b *asm.Builder) { emitPairGroups(b, o) },
+		})
+	}
+	if o.WithPerfCounters {
+		r.Blocks = append(r.Blocks, Block{
+			Name: "pc-end",
+			Emit: func(b *asm.Builder) { emitCounterDelta(b, fwdCnt) },
+		})
+	}
+	return r
+}
+
+// counterSet is the pipeline-stall counter set the complete algorithm of
+// [19] folds into the signature: stalls inserted by the hazard unit,
+// dual-issue packets, and the fetch- and data-side stall counts. The last
+// two are what bus contention inflates, so any multi-core execution outside
+// the caches breaks this signature.
+var counterSet = []int32{isa.CsrHazStall, isa.CsrIssued2, isa.CsrIFStall, isa.CsrMemStall}
+
+// emitCounterSnap saves the counter set into base..base+3.
+func emitCounterSnap(b *asm.Builder, base uint8) {
+	for i, csr := range counterSet {
+		b.CsrR(base+uint8(i), csr)
+	}
+}
+
+// emitCounterDelta folds the counter deltas since emitCounterSnap into the
+// signature. CSR reads serialise, so packet parity is clean afterwards.
+func emitCounterDelta(b *asm.Builder, base uint8) {
+	for i, csr := range counterSet {
+		b.CsrR(fwdT0, csr)
+		b.R(isa.OpSUB, fwdT0, fwdT0, base+uint8(i))
+		b.Misr(fwdT0)
+	}
+}
+
+// emitForwardingGroup emits the full path sweep for pattern index idx.
+// Every fragment is an exact number of co-issueable pairs.
+func emitForwardingGroup(b *asm.Builder, idx int, o ForwardingOptions) {
+	off := int32(idx * 8)
+
+	// Load pattern and complement. The ALU partner keeps parity; it must
+	// not touch the loads' destinations.
+	b.Load(isa.OpLW, fwdP, isa.RegBase, off)
+	b.R(isa.OpOR, fwdF0, fwdF0, isa.RegZero)
+	b.Load(isa.OpLW, fwdN, isa.RegBase, off+4)
+	b.R(isa.OpOR, fwdF1, fwdF1, isa.RegZero)
+	// One packet of distance so the loads retire (their values then come
+	// from the register file inside the producers below).
+	b.Nop()
+	b.Nop()
+
+	// --- Interpipeline: cascade path, lane 1, both operands. ---
+	// [or T0 = P][add C0 = T0 + T0]: lane1 reads lane0 through the
+	// cascade on A and B.
+	b.R(isa.OpOR, fwdT0, fwdP, isa.RegZero)
+	b.R(isa.OpADD, fwdC0, fwdT0, fwdT0)
+	b.Misr(fwdC0)
+	// Cascade on operand B only: [or T1 = N][sub C1 = F0 - T1].
+	b.R(isa.OpOR, fwdT1, fwdN, isa.RegZero)
+	b.R(isa.OpSUB, fwdC1, fwdF0, fwdT1)
+	b.Misr(fwdC1)
+
+	// --- Intrapipeline, distance 1 (EX/MEM latch), consumer lane 0. ---
+	// [or T0 = P ; or T1 = N][add C0 = T0 + T1 ; or F0]: consumer lane0
+	// takes opA from EXL0 and opB from EXL1.
+	b.R(isa.OpOR, fwdT0, fwdP, isa.RegZero)
+	b.R(isa.OpOR, fwdT1, fwdN, isa.RegZero)
+	b.R(isa.OpADD, fwdC0, fwdT0, fwdT1)
+	b.R(isa.OpOR, fwdF0, fwdF1, isa.RegZero)
+	b.Misr(fwdC0)
+	// Swapped: opA from EXL1, opB from EXL0.
+	b.R(isa.OpOR, fwdT0, fwdN, isa.RegZero)
+	b.R(isa.OpOR, fwdT1, fwdP, isa.RegZero)
+	b.R(isa.OpXOR, fwdC0, fwdT1, fwdT0)
+	b.R(isa.OpOR, fwdF0, fwdF1, isa.RegZero)
+	b.Misr(fwdC0)
+
+	// --- Intrapipeline, distance 1, consumer lane 1. ---
+	// [or T2 = P ; or T3 = N][or F0 ; add C1 = T2 + T3].
+	b.R(isa.OpOR, fwdT2, fwdP, isa.RegZero)
+	b.R(isa.OpOR, fwdT3, fwdN, isa.RegZero)
+	b.R(isa.OpOR, fwdF0, fwdF1, isa.RegZero)
+	b.R(isa.OpADD, fwdC1, fwdT2, fwdT3)
+	b.Misr(fwdC1)
+
+	// --- Intrapipeline, distance 2 (MEM/WB latch), both lanes, both
+	// operands. [producers][independent packet][consumers].
+	b.R(isa.OpOR, fwdT0, fwdP, isa.RegZero)
+	b.R(isa.OpOR, fwdT1, fwdN, isa.RegZero)
+	b.R(isa.OpOR, fwdF0, fwdF1, isa.RegZero)
+	b.R(isa.OpOR, fwdF1, fwdF0, isa.RegZero)
+	b.R(isa.OpADD, fwdC0, fwdT0, fwdT1) // lane0: MEML0 opA, MEML1 opB
+	b.R(isa.OpSUB, fwdC1, fwdT1, fwdT0) // lane1: MEML1 opA, MEML0 opB
+	b.Misr(fwdC0)
+	b.Misr(fwdC1)
+
+	// --- Remaining lane-1 combinations: opB from EX/MEM lane 0 and opA
+	// from MEM/WB lane 0. ---
+	// [or T0=P ; or F0][or F1 ; xor C1=F0^T0]: lane1 opA <- EXL1 (F0),
+	// opB <- EXL0 (T0).
+	b.R(isa.OpOR, fwdT0, fwdP, isa.RegZero)
+	b.R(isa.OpOR, fwdF0, fwdF1, isa.RegZero)
+	b.R(isa.OpOR, fwdF1, fwdF0, isa.RegZero)
+	b.R(isa.OpXOR, fwdC1, fwdF0, fwdT0)
+	b.Misr(fwdC1)
+	// [or T0=N ; filler][filler ; or T1=P][or T2 ; add C1=T0+T1]: lane1
+	// opA <- MEML0 (T0, two packets back, lane 0), opB <- EXL1 (T1).
+	b.R(isa.OpOR, fwdT0, fwdN, isa.RegZero)
+	b.R(isa.OpOR, fwdF0, fwdF1, isa.RegZero)
+	b.R(isa.OpOR, fwdF1, fwdF0, isa.RegZero)
+	b.R(isa.OpOR, fwdT1, fwdP, isa.RegZero)
+	b.R(isa.OpOR, fwdT2, fwdF0, isa.RegZero)
+	b.R(isa.OpADD, fwdC1, fwdT0, fwdT1)
+	b.Misr(fwdC1)
+
+	// --- Load-data forwarding (MEM/WB latch carries load data). ---
+	// Store the pattern then load it back; consumer two packets later.
+	b.Store(isa.OpSW, fwdP, isa.RegBase, int32(len(fwdPatterns)*8)+off)
+	b.R(isa.OpOR, fwdF0, fwdF1, isa.RegZero)
+	if o.DummyLoadAfterStore {
+		b.Load(isa.OpLW, fwdF1, isa.RegBase, int32(len(fwdPatterns)*8)+off)
+		b.R(isa.OpOR, fwdF0, fwdF0, isa.RegZero)
+	}
+	b.Load(isa.OpLW, fwdT0, isa.RegBase, int32(len(fwdPatterns)*8)+off)
+	b.R(isa.OpOR, fwdF0, fwdF1, isa.RegZero)
+	b.Nop()
+	b.Nop()
+	b.R(isa.OpADD, fwdC0, fwdT0, fwdT0)
+	b.R(isa.OpOR, fwdF1, fwdF0, isa.RegZero)
+	b.Misr(fwdC0)
+
+	// --- Load-use (one-bubble stall, then MEM/WB forward). ---
+	b.Load(isa.OpLW, fwdT1, isa.RegBase, off)
+	b.R(isa.OpOR, fwdF0, fwdF0, isa.RegZero)
+	b.R(isa.OpXOR, fwdC1, fwdT1, fwdN) // stalls one cycle, then forwards
+	b.R(isa.OpOR, fwdF1, fwdF1, isa.RegZero)
+	b.Misr(fwdC1)
+
+	// --- Signature checkpoint. ---
+	// STLs periodically spill the running signature so a watchdog can
+	// localise a failure. The checkpoint is write-only: this is precisely
+	// the store the paper's rule 1 is about — under a no-write-allocate
+	// data cache it misses on every execution-loop pass unless a dummy
+	// load pulled the line in, and the resulting bus write re-couples the
+	// "isolated" loop to bus contention.
+	b.Store(isa.OpSW, isa.RegSig, isa.RegBase, sigCheckpointOff)
+	b.R(isa.OpOR, fwdF0, fwdF0, isa.RegZero)
+	if o.DummyLoadAfterStore {
+		b.Load(isa.OpLW, fwdF1, isa.RegBase, sigCheckpointOff)
+		b.R(isa.OpOR, fwdF0, fwdF0, isa.RegZero)
+	}
+}
+
+// emitPairGroups exercises the 64-bit extension of the forwarding network
+// (core C): pair producers feed pair consumers at distances 1 and 2
+// through the widened EXL0/MEML0 paths. Pair operations issue alone, so
+// the cascade and lane-1 paths keep their 32-bit-only excitation — one of
+// the structural reasons core C's forwarding coverage trails cores A/B.
+func emitPairGroups(b *asm.Builder, o ForwardingOptions) {
+	for i := 0; i < len(fwdPatterns); i += 2 {
+		off := int32(i * 8)
+		// Build a pair (P, ~P) in (r1,r2) and (r3,r4).
+		b.Load(isa.OpLW, 1, isa.RegBase, off)
+		b.Load(isa.OpLW, 2, isa.RegBase, off+4)
+		b.Load(isa.OpLW, 3, isa.RegBase, off+4)
+		b.Load(isa.OpLW, 4, isa.RegBase, off)
+		b.Nop()
+		b.Nop()
+		// Distance 1 (EXL0, 64-bit): producer then consumer pair ops.
+		b.R(isa.OpORP, 6, 2, 2)  // (r6,r7) = pair(r2)
+		b.R(isa.OpADDP, 8, 6, 6) // consumer reads EXL0 64-bit
+		b.Misr(8)
+		b.Misr(9)
+		// Distance 2 (MEML0, 64-bit).
+		b.R(isa.OpXORP, 10, 2, 4)
+		b.Nop()
+		b.Nop()
+		b.R(isa.OpSUBP, 12, 10, 2)
+		b.Misr(12)
+		b.Misr(13)
+		// Pair store/load path.
+		scratch := int32(len(fwdPatterns)*8) + 32
+		b.Store(isa.OpSWP, 8, isa.RegBase, scratch)
+		b.Nop()
+		if o.DummyLoadAfterStore {
+			b.Load(isa.OpLWP, 18, isa.RegBase, scratch)
+			b.Nop()
+		}
+		b.Load(isa.OpLWP, 14, isa.RegBase, scratch)
+		b.Nop()
+		b.Nop()
+		b.Nop()
+		b.R(isa.OpADDP, 16, 14, 14)
+		b.Misr(16)
+		b.Misr(17)
+	}
+}

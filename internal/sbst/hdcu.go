@@ -1,0 +1,316 @@
+package sbst
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// Hazard Detection Control Unit test generator: the complete algorithm of
+// [19], i.e. the forwarding sweep plus sequences that exercise the hazard
+// comparators and control lines, observed through the performance counters
+// (wrongly inserted or missing stalls do not corrupt dataflow, so only
+// counter deltas reveal them). This routine's signature therefore contains
+// pipeline stall counts — exactly the quantity that fluctuates with bus
+// contention, which is why the paper's multi-core runs of this routine fail
+// outright without the cache-based strategy.
+
+// HDCUOptions configures generation.
+type HDCUOptions struct {
+	DataBase            uint32
+	DummyLoadAfterStore bool
+}
+
+// Comparator-diversity register pairs: 6 against registers differing in
+// exactly one index bit (6^1=7, 6^2=4, 6^4=2, 6^8=14, 6^16=22), exercising
+// each XNOR bit of the load-use comparators in the "almost equal" state
+// that detects stuck-at-1 bits.
+var hdcuNearMiss = []uint8{7, 4, 2, 14, 22}
+
+// NewHDCUTest builds the HDCU routine.
+func NewHDCUTest(o HDCUOptions) *Routine {
+	r := &Routine{
+		Name:             "hdcu",
+		Target:           "hdcu",
+		DataBase:         o.DataBase,
+		UsesPerfCounters: true,
+	}
+	r.DataWords = []uint32{0x13572468, 0x87654321, 0xDEADBEEF, 0x0BADF00D}
+	r.ScratchBytes = 32
+
+	r.Blocks = append(r.Blocks, RegInitBlock())
+	r.Blocks = append(r.Blocks, Block{
+		Name: "snap",
+		Emit: func(b *asm.Builder) { emitCounterSnap(b, fwdCnt) },
+	})
+	r.Blocks = append(r.Blocks, Block{
+		Name: "loaduse-real",
+		Emit: emitLoadUseReal,
+	})
+	for i := range hdcuNearMiss {
+		bit := i
+		r.Blocks = append(r.Blocks, Block{
+			Name: fmt.Sprintf("loaduse-nearmiss-b%d", bit),
+			Emit: func(b *asm.Builder) { emitLoadUseNearMiss(b, hdcuNearMiss[bit]) },
+		})
+		r.Blocks = append(r.Blocks, Block{
+			Name: fmt.Sprintf("cmp-sweep-b%d", bit),
+			Emit: func(b *asm.Builder) { emitCmpSweep(b, uint8(bit)) },
+		})
+	}
+	r.Blocks = append(r.Blocks, Block{
+		Name: "cmp-realdep",
+		Emit: emitCmpRealDeps,
+	})
+	r.Blocks = append(r.Blocks, Block{
+		Name: "dualissue",
+		Emit: emitDualIssueChecks,
+	})
+	r.Blocks = append(r.Blocks, Block{
+		Name: "fold",
+		Emit: func(b *asm.Builder) { emitHDCUFold(b, fwdCnt) },
+	})
+	return r
+}
+
+// emitLoadUseReal creates genuine load-use hazards in every combination of
+// producer lane and consumer lane/operand, each costing exactly one hazard
+// stall when the HDCU works.
+func emitLoadUseReal(b *asm.Builder) {
+	// Producer in lane 0, consumer lane 0 operand A.
+	b.Load(isa.OpLW, 6, isa.RegBase, 0)
+	b.R(isa.OpOR, 10, 10, isa.RegZero)
+	b.R(isa.OpADD, 11, 6, isa.RegZero) // stall; then MEM/WB forward
+	b.R(isa.OpOR, 12, 12, isa.RegZero)
+	b.Misr(11)
+	// Producer lane 0, consumer operand B.
+	b.Load(isa.OpLW, 6, isa.RegBase, 4)
+	b.R(isa.OpOR, 10, 10, isa.RegZero)
+	b.R(isa.OpSUB, 11, isa.RegZero, 6)
+	b.R(isa.OpOR, 12, 12, isa.RegZero)
+	b.Misr(11)
+	// Producer in lane 1 (ALU first, load second in the packet).
+	b.R(isa.OpOR, 10, 10, isa.RegZero)
+	b.Load(isa.OpLW, 6, isa.RegBase, 8)
+	b.R(isa.OpADD, 11, 6, 6)
+	b.R(isa.OpOR, 12, 12, isa.RegZero)
+	b.Misr(11)
+	// Consumer in lane 1.
+	b.Load(isa.OpLW, 6, isa.RegBase, 12)
+	b.R(isa.OpOR, 10, 10, isa.RegZero)
+	b.R(isa.OpOR, 12, 12, isa.RegZero)
+	b.R(isa.OpXOR, 11, 12, 6)
+	b.Misr(11)
+}
+
+// emitLoadUseNearMiss loads into r6 and immediately consumes the register
+// whose index differs in one bit. Fault-free this costs zero hazard
+// stalls; a stuck-at-1 comparator bit makes the HDCU see a dependency and
+// insert one, which the counter delta exposes.
+func emitLoadUseNearMiss(b *asm.Builder, other uint8) {
+	b.Load(isa.OpLW, 6, isa.RegBase, 0)
+	b.R(isa.OpOR, 10, 10, isa.RegZero)
+	b.R(isa.OpADD, 11, other, other) // no true dependency on r6
+	b.R(isa.OpOR, 12, 12, isa.RegZero)
+	b.Misr(11)
+}
+
+// emitDualIssueChecks runs known-shape packet sequences whose dual-issue
+// count is fixed by construction: cascade pairs (must co-issue), WAW pairs
+// (must split) and mixed fillers. The issued2 delta betrays stuck split or
+// cascade control lines.
+func emitDualIssueChecks(b *asm.Builder) {
+	for k := 0; k < 4; k++ {
+		// Cascade pair: co-issues, issued2++.
+		b.I(isa.OpADDI, 6, isa.RegZero, int32(k+1))
+		b.R(isa.OpADD, 7, 6, 6)
+		b.Misr(7)
+		// WAW pair: must split (issued2 unchanged by these two).
+		b.I(isa.OpADDI, 8, isa.RegZero, int32(k+17))
+		b.I(isa.OpADDI, 8, isa.RegZero, int32(k+33))
+		b.Misr(8)
+		// Independent pair: co-issues.
+		b.R(isa.OpOR, 9, 8, isa.RegZero)
+		b.R(isa.OpOR, 10, 7, isa.RegZero)
+		b.Misr(9)
+		b.Misr(10)
+	}
+}
+
+// emitHDCUFold folds the stall/issue counter deltas into the signature.
+// Under the cache-based strategy every delta is deterministic; executed
+// from contended flash they fluctuate and break the signature.
+func emitHDCUFold(b *asm.Builder, base uint8) {
+	emitCounterDelta(b, base)
+}
+
+// emitCmpSweep is the systematic near-miss sweep for index bit `bit` of
+// the hazard comparators, in the style of [19]'s exhaustive dependency
+// enumeration. A producer writes r6; a consumer then sources the register
+// whose index differs from 6 in exactly that bit, in every structural
+// position: each forwarding comparator (producer lane x distance x
+// consumer lane x operand), the intra-packet RAW/WAW comparators and both
+// load-use candidate slots. Fault-free there is no dependency and the
+// consumer reads its register-file value; a stuck-at-1 comparator bit
+// fabricates a match, so the consumer receives the producer's value (or a
+// spurious stall/split fires), which the signature or the counter deltas
+// expose. The matching stuck-at-0 faults are covered by the routine's real
+// dependencies going missing.
+func emitCmpSweep(b *asm.Builder, bit uint8) {
+	s := uint8(6) ^ (1 << bit) // the near-miss register: 7, 4, 2, 14, 22
+	v := int32(600) + int32(bit)*7
+
+	// Re-seed the registers this sweep observes (they must hold known,
+	// distinct values; fillers use r9/r10 to stay clear of the near-miss
+	// set).
+	b.I(isa.OpADDI, s, isa.RegZero, int32(s)*0x101)
+	b.I(isa.OpADDI, 9, isa.RegZero, 0x123)
+	b.I(isa.OpADDI, 10, isa.RegZero, 0x321)
+	b.Nop()
+
+	// Distance 1 (EX/MEM latch), producer in lane 0 then lane 1, consumer
+	// in both lanes and on both operands.
+	for prodLane := 0; prodLane < 2; prodLane++ {
+		emitProducer := func() {
+			if prodLane == 0 {
+				b.I(isa.OpADDI, 6, isa.RegZero, v)
+				b.R(isa.OpOR, 9, 10, isa.RegZero)
+			} else {
+				b.R(isa.OpOR, 9, 10, isa.RegZero)
+				b.I(isa.OpADDI, 6, isa.RegZero, v)
+			}
+		}
+		// Consumer lane 0, operand A.
+		emitProducer()
+		b.R(isa.OpADD, 11, s, isa.RegZero)
+		b.R(isa.OpOR, 10, 9, isa.RegZero)
+		b.Misr(11)
+		// Consumer lane 0, operand B.
+		emitProducer()
+		b.R(isa.OpSUB, 11, isa.RegZero, s)
+		b.R(isa.OpOR, 10, 9, isa.RegZero)
+		b.Misr(11)
+		// Consumer lane 1, operand A.
+		emitProducer()
+		b.R(isa.OpOR, 10, 9, isa.RegZero)
+		b.R(isa.OpADD, 11, s, isa.RegZero)
+		b.Misr(11)
+		// Consumer lane 1, operand B.
+		emitProducer()
+		b.R(isa.OpOR, 10, 9, isa.RegZero)
+		b.R(isa.OpSUB, 11, isa.RegZero, s)
+		b.Misr(11)
+
+		// Distance 2 (MEM/WB latch): one independent packet between
+		// producer and the same four consumer positions.
+		for pos := 0; pos < 4; pos++ {
+			emitProducer()
+			b.R(isa.OpOR, 9, 10, isa.RegZero)
+			b.R(isa.OpOR, 10, 9, isa.RegZero)
+			switch pos {
+			case 0:
+				b.R(isa.OpADD, 11, s, isa.RegZero)
+				b.R(isa.OpOR, 9, 10, isa.RegZero)
+			case 1:
+				b.R(isa.OpSUB, 11, isa.RegZero, s)
+				b.R(isa.OpOR, 9, 10, isa.RegZero)
+			case 2:
+				b.R(isa.OpOR, 9, 10, isa.RegZero)
+				b.R(isa.OpADD, 11, s, isa.RegZero)
+			default:
+				b.R(isa.OpOR, 9, 10, isa.RegZero)
+				b.R(isa.OpSUB, 11, isa.RegZero, s)
+			}
+			b.Misr(11)
+		}
+	}
+
+	// Intra-packet RAW comparators (operands A and B): a false match turns
+	// into a cascade, handing the consumer the producer's value.
+	b.I(isa.OpADDI, 6, isa.RegZero, v)
+	b.R(isa.OpADD, 11, s, isa.RegZero) // CmpIntra RAW on operand A
+	b.Misr(11)
+	b.I(isa.OpADDI, 6, isa.RegZero, v)
+	b.R(isa.OpSUB, 11, isa.RegZero, s) // CmpIntra RAW on operand B
+	b.Misr(11)
+	// Intra-packet WAW comparator: a false match splits the packet, which
+	// only the dual-issue counter delta can see.
+	b.I(isa.OpADDI, 6, isa.RegZero, v)
+	b.I(isa.OpADDI, s, isa.RegZero, int32(s)*0x101)
+	b.Misr(s)
+
+	// Load-use comparators: producer load in each lane, candidate in each
+	// slot and operand; a false match inserts a spurious stall (counter
+	// delta), a missing match is covered by loaduse-real.
+	for prodLane := 0; prodLane < 2; prodLane++ {
+		emitLoad := func() {
+			if prodLane == 0 {
+				b.Load(isa.OpLW, 6, isa.RegBase, 0)
+				b.R(isa.OpOR, 9, 10, isa.RegZero)
+			} else {
+				b.R(isa.OpOR, 9, 10, isa.RegZero)
+				b.Load(isa.OpLW, 6, isa.RegBase, 0)
+			}
+		}
+		emitLoad()
+		b.R(isa.OpADD, 11, s, isa.RegZero)
+		b.R(isa.OpOR, 10, 9, isa.RegZero)
+		b.Misr(11)
+		emitLoad()
+		b.R(isa.OpSUB, 11, isa.RegZero, s)
+		b.R(isa.OpOR, 10, 9, isa.RegZero)
+		b.Misr(11)
+		emitLoad()
+		b.R(isa.OpOR, 10, 9, isa.RegZero)
+		b.R(isa.OpADD, 11, s, isa.RegZero)
+		b.Misr(11)
+		emitLoad()
+		b.R(isa.OpOR, 10, 9, isa.RegZero)
+		b.R(isa.OpSUB, 11, isa.RegZero, s)
+		b.Misr(11)
+	}
+}
+
+// emitCmpRealDeps drives a genuine r6 dependency through every forwarding
+// comparator position (producer lane x distance x consumer lane x operand).
+// A stuck-at-0 bit anywhere in a comparator kills its match outright, so
+// the consumer silently reads the stale register-file value instead of the
+// bypass — one real dependency per position exposes all five bits' SA0
+// faults. (The near-miss sweep in emitCmpSweep covers the SA1 polarity.)
+func emitCmpRealDeps(b *asm.Builder) {
+	val := int32(0x700)
+	for prodLane := 0; prodLane < 2; prodLane++ {
+		for dist := 1; dist <= 2; dist++ {
+			for pos := 0; pos < 4; pos++ { // consumer lane x operand
+				val += 3
+				if prodLane == 0 {
+					b.I(isa.OpADDI, 6, isa.RegZero, val)
+					b.R(isa.OpOR, 9, 10, isa.RegZero)
+				} else {
+					b.R(isa.OpOR, 9, 10, isa.RegZero)
+					b.I(isa.OpADDI, 6, isa.RegZero, val)
+				}
+				if dist == 2 {
+					b.R(isa.OpOR, 9, 10, isa.RegZero)
+					b.R(isa.OpOR, 10, 9, isa.RegZero)
+				}
+				switch pos {
+				case 0: // consumer lane 0, operand A
+					b.R(isa.OpADD, 11, 6, isa.RegZero)
+					b.R(isa.OpOR, 9, 10, isa.RegZero)
+				case 1: // lane 0, operand B
+					b.R(isa.OpSUB, 11, isa.RegZero, 6)
+					b.R(isa.OpOR, 9, 10, isa.RegZero)
+				case 2: // lane 1, operand A
+					b.R(isa.OpOR, 9, 10, isa.RegZero)
+					b.R(isa.OpADD, 11, 6, isa.RegZero)
+				default: // lane 1, operand B
+					b.R(isa.OpOR, 9, 10, isa.RegZero)
+					b.R(isa.OpSUB, 11, isa.RegZero, 6)
+				}
+				b.Misr(11)
+			}
+		}
+	}
+}

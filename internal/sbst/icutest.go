@@ -1,0 +1,193 @@
+package sbst
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// ICU test generator for synchronous imprecise interrupts, after the
+// strategy of Singh et al. [21]: each interrupt source is triggered by the
+// instruction class that raises it (overflowing ADDV/SUBV/MULV, DIVV by
+// zero); a fixed-length padding sequence follows the trigger so the
+// recognition pipeline matures mid-padding; the handler captures the cause
+// and the imprecision distance — how many younger instructions retired
+// before recognition — and the main flow folds both into the signature.
+//
+// The imprecision distance is a direct function of pipeline occupancy
+// between trigger and recognition. Executed from contended flash it varies
+// run to run, so this routine's signature is only stable when execution is
+// isolated in the caches (or a TCM). The routine deliberately contains no
+// data-dependent branches: after the padding the handler has always run
+// (cached case) or the flag value itself becomes part of the signature.
+
+// ICUOptions configures generation.
+type ICUOptions struct {
+	DataBase            uint32
+	DummyLoadAfterStore bool
+	// TriggerReps repeats each trigger sequence in a counted loop
+	// (identical flow on every execution). Real ICU procedures fire every
+	// source several times; it also makes the routine's run time dominate
+	// its code size, the regime of the paper's Table IV. 0 means 24.
+	TriggerReps int
+}
+
+func (o ICUOptions) reps() int32 {
+	if o.TriggerReps > 0 {
+		return int32(o.TriggerReps)
+	}
+	return 24
+}
+
+// icuPad is the padding length (instructions) after each trigger; it must
+// exceed the recognition window even at full dual-issue rate so the handler
+// has always run before the trigger block folds its observations.
+const icuPad = 56
+
+// NewICUTest builds the imprecise-interrupt routine.
+func NewICUTest(o ICUOptions) *Routine {
+	r := &Routine{
+		Name:           "icu",
+		Target:         "icu",
+		DataBase:       o.DataBase,
+		UsesInterrupts: true,
+		NoSplit:        true,
+	}
+	r.DataWords = []uint32{0x7FFFFFFF, 0x80000000, 0x00010000, 0x12345678}
+	r.ScratchBytes = 32
+
+	r.Blocks = append(r.Blocks, RegInitBlock())
+	r.Blocks = append(r.Blocks, Block{Name: "setup", Emit: emitICUSetup})
+	type trig struct {
+		name string
+		op   isa.Op
+		// operand immediates are loaded from the data table
+		aOff, bOff int32
+	}
+	trigs := []trig{
+		{"addv-ovf", isa.OpADDV, 0, 0},   // MaxInt32 + MaxInt32: overflow
+		{"subv-ovf", isa.OpSUBV, 4, 0},   // MinInt32 - MaxInt32: overflow
+		{"mulv-ovf", isa.OpMULV, 8, 8},   // 0x10000 * 0x10000: overflow
+		{"divv-dbz", isa.OpDIVV, 12, -1}, // x / 0
+	}
+	for _, tg := range trigs {
+		for variant := 0; variant < 3; variant++ {
+			tg, variant := tg, variant
+			r.Blocks = append(r.Blocks, Block{
+				Name: fmt.Sprintf("%s-v%d", tg.name, variant),
+				Emit: func(b *asm.Builder) {
+					emitTrigger(b, tg.op, tg.aOff, tg.bOff, variant, o.reps())
+				},
+			})
+		}
+	}
+	r.Blocks = append(r.Blocks, Block{Name: "masked", Emit: emitMaskedTrigger})
+	r.Blocks = append(r.Blocks, Block{Name: "handler", Emit: emitHandler})
+	return r
+}
+
+// emitICUSetup points the vector at the handler block and enables all
+// lines. The handler label is routine-local; NewICUTest emits the handler
+// once at the end of the body, jumped over by fall-through protection
+// inside its own block.
+func emitICUSetup(b *asm.Builder) {
+	b.LiAddr(1, "icu_handler")
+	b.CsrW(isa.CsrIVec, 1)
+	b.I(isa.OpADDI, 1, isa.RegZero, 15)
+	b.CsrW(isa.CsrIEnable, 1)
+}
+
+// emitTrigger raises one event and folds flag, cause and distance.
+// Variants change the padding's issue shape so recognition lands at
+// different pipeline occupancies, producing distinct distances.
+func emitTrigger(b *asm.Builder, op isa.Op, aOff, bOff int32, variant int, reps int32) {
+	b.I(isa.OpADDI, 22, isa.RegZero, reps)
+	top := b.AutoLabel("trig")
+	b.Label(top)
+	// Clear the handler flag and captured registers.
+	b.R(isa.OpXOR, 23, 23, 23)
+	b.R(isa.OpXOR, 24, 24, 24)
+	b.R(isa.OpXOR, 25, 25, 25)
+	b.R(isa.OpXOR, 21, 21, 21)
+	// Load operands; the trigger consumes the second load in its load-use
+	// shadow, so the moment the event is raised — and with it where the
+	// recognition window lands in the padding stream — is coupled to the
+	// data access latency the bus dictates.
+	b.Load(isa.OpLW, 2, isa.RegBase, aOff)
+	b.Nop()
+	if bOff >= 0 {
+		b.Load(isa.OpLW, 3, isa.RegBase, bOff)
+	} else {
+		b.R(isa.OpXOR, 3, 3, 3) // zero divisor for DIVV
+	}
+	// Trigger.
+	b.R(op, 4, 2, 3)
+	// Fixed-length padding. A load heads the shadow of every trigger so
+	// the retire pattern inside the recognition window — and therefore the
+	// imprecision distance — depends on data-access latency; the variants
+	// then differ in issue shape to produce distinct distances.
+	b.Load(isa.OpLW, 8, isa.RegBase, 0)
+	for i := 1; i < icuPad; i++ {
+		switch variant {
+		case 0:
+			b.I(isa.OpADDI, 5, 5, 1) // serial chain: cascade pairs
+		case 1:
+			b.R(isa.OpOR, uint8(6+i%4), 5, isa.RegZero) // independent: dual issue
+		default:
+			if i%3 == 0 {
+				b.Load(isa.OpLW, 8, isa.RegBase, 0) // memory traffic in the shadow
+			} else {
+				b.I(isa.OpADDI, 9, 9, 1)
+			}
+		}
+	}
+	// Fold the handler's observations. In a deterministic execution the
+	// handler has always run by now (flag == 1).
+	b.Misr(23)
+	b.Misr(24)
+	b.Misr(25)
+	b.Misr(21)
+	b.I(isa.OpADDI, 22, 22, -1)
+	b.Branch(isa.OpBNE, 22, isa.RegZero, top)
+}
+
+// emitMaskedTrigger raises an event with interrupts disabled: no handler
+// runs; the pending line is observed through ipend, folded, then cleared.
+// This exercises the enable-mask and pending-line fault sites.
+func emitMaskedTrigger(b *asm.Builder) {
+	b.CsrW(isa.CsrIEnable, isa.RegZero)
+	b.R(isa.OpXOR, 23, 23, 23)
+	b.Nop()
+	b.Load(isa.OpLW, 2, isa.RegBase, 12)
+	b.R(isa.OpXOR, 3, 3, 3)
+	b.R(isa.OpDIVV, 4, 2, 3) // pending, but masked
+	for i := 0; i < 8; i++ {
+		b.Nop()
+	}
+	b.CsrR(5, isa.CsrIPend)
+	b.Misr(5)
+	b.Misr(23) // flag must still be zero
+	b.I(isa.OpADDI, 6, isa.RegZero, 15)
+	b.CsrW(isa.CsrIPend, 6) // write-one-to-clear
+	b.CsrW(isa.CsrIEnable, 6)
+}
+
+// emitHandler is the interrupt handler block, placed at the end of the
+// body behind a jump so straight-line execution never falls into it.
+func emitHandler(b *asm.Builder) {
+	skip := b.AutoLabel("skip")
+	b.Jump(isa.OpJ, skip)
+	b.Label("icu_handler")
+	b.CsrR(24, isa.CsrICause)
+	b.CsrR(25, isa.CsrIDist)
+	b.CsrR(21, isa.CsrIEPC)
+	// Observe EPC bits [5:2]: the word-offset within the padding window.
+	// Folding absolute address bits would make the signature differ between
+	// otherwise-equivalent program placements for no diagnostic gain.
+	b.Shift(isa.OpSRL, 21, 21, 2)
+	b.I(isa.OpANDI, 21, 21, 0xF)
+	b.I(isa.OpADDI, 23, isa.RegZero, 1)
+	b.Emit(isa.Inst{Op: isa.OpRFE})
+	b.Label(skip)
+}

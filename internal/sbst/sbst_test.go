@@ -1,0 +1,205 @@
+package sbst
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+const testDataBase = mem.SRAMBase + 0x1000
+
+// assemblePlain checks a routine assembles standalone.
+func assemblePlain(t *testing.T, r *Routine) *asm.Program {
+	t.Helper()
+	b := asm.NewBuilder()
+	r.EmitPlain(b)
+	b.Halt()
+	p, err := b.Assemble(0x1000)
+	if err != nil {
+		t.Fatalf("%s: %v", r.Name, err)
+	}
+	return p
+}
+
+func allRoutines() []*Routine {
+	return []*Routine{
+		NewForwardingTest(ForwardingOptions{DataBase: testDataBase}),
+		NewForwardingTest(ForwardingOptions{DataBase: testDataBase, WithPerfCounters: true}),
+		NewForwardingTest(ForwardingOptions{DataBase: testDataBase, Pairs64: true}),
+		NewForwardingTest(ForwardingOptions{DataBase: testDataBase, DummyLoadAfterStore: true}),
+		NewHDCUTest(HDCUOptions{DataBase: testDataBase}),
+		NewICUTest(ICUOptions{DataBase: testDataBase}),
+		NewICUTest(ICUOptions{DataBase: testDataBase, TriggerReps: 2}),
+		NewALUTest(testDataBase),
+		NewShiftTest(testDataBase),
+		NewMulTest(testDataBase),
+		NewLoadStoreTest(testDataBase),
+		NewBranchTest(testDataBase),
+	}
+}
+
+func TestAllRoutinesAssemble(t *testing.T) {
+	for _, r := range allRoutines() {
+		p := assemblePlain(t, r)
+		if p.Size() == 0 {
+			t.Errorf("%s: empty program", r.Name)
+		}
+		size, err := r.SizeBytes()
+		if err != nil {
+			t.Errorf("%s: SizeBytes: %v", r.Name, err)
+		}
+		if size <= 0 {
+			t.Errorf("%s: size %d", r.Name, size)
+		}
+		t.Logf("%-12s %5d bytes, %2d blocks, data %d bytes",
+			r.Name, size, len(r.Blocks), r.DataSize())
+	}
+}
+
+func TestBlocksAreIndividuallyAssemblable(t *testing.T) {
+	// The cache strategy's splitter sizes blocks standalone; every block of
+	// a splittable routine must assemble in isolation.
+	for _, r := range allRoutines() {
+		if r.NoSplit {
+			continue
+		}
+		for _, blk := range r.Blocks {
+			b := asm.NewBuilder()
+			blk.Emit(b)
+			if _, err := b.Assemble(0); err != nil {
+				t.Errorf("%s/%s: %v", r.Name, blk.Name, err)
+			}
+		}
+	}
+}
+
+func TestRoutinesRespectRegisterConventions(t *testing.T) {
+	// Routines must not write the wrapper's loop counter (r30) or the base
+	// pointer (r29).
+	for _, r := range allRoutines() {
+		b := asm.NewBuilder()
+		r.EmitBody(b)
+		p, err := b.Assemble(0)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		for i, w := range p.Words {
+			inst, err := isa.Decode(w)
+			if err != nil {
+				continue // data words
+			}
+			if !inst.WritesReg() {
+				continue
+			}
+			rd := inst.Rd
+			if inst.Op == isa.OpJAL {
+				rd = isa.RegLink
+			}
+			if rd == isa.RegLoop || rd == isa.RegBase {
+				t.Errorf("%s word %d: %v writes reserved register", r.Name, i, inst)
+			}
+		}
+	}
+}
+
+func TestForwardingRoutineStoresHaveDummyLoads(t *testing.T) {
+	r := NewForwardingTest(ForwardingOptions{DataBase: testDataBase, DummyLoadAfterStore: true})
+	b := asm.NewBuilder()
+	r.EmitBody(b)
+	p, err := b.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every store must be followed within a few instructions by a load of
+	// the same base+offset.
+	insts := make([]isa.Inst, 0, len(p.Words))
+	for _, w := range p.Words {
+		if inst, err := isa.Decode(w); err == nil {
+			insts = append(insts, inst)
+		}
+	}
+	for i, inst := range insts {
+		if !inst.Op.IsStore() {
+			continue
+		}
+		found := false
+		for k := i + 1; k < i+6 && k < len(insts); k++ {
+			cand := insts[k]
+			if cand.Op.IsLoad() && cand.Rs1 == inst.Rs1 && cand.Imm == inst.Imm {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("store at %d (%v) lacks a dummy load", i, inst)
+		}
+	}
+}
+
+func TestICURoutineIsNoSplit(t *testing.T) {
+	r := NewICUTest(ICUOptions{DataBase: testDataBase})
+	if !r.NoSplit {
+		t.Error("ICU routine must be NoSplit (handler is cross-referenced)")
+	}
+	if !r.UsesInterrupts {
+		t.Error("UsesInterrupts flag unset")
+	}
+}
+
+func TestMisrReferenceProperties(t *testing.T) {
+	// Misr must be sensitive to every bit of its input: flipping any bit of
+	// v changes the result.
+	prop := func(sig, v uint32, bit uint8) bool {
+		bit %= 32
+		return Misr(sig, v) != Misr(sig, v^(1<<bit))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	// And to history: two streams differing in one element diverge.
+	if MisrStream(1, 2, 3) == MisrStream(1, 2, 4) {
+		t.Error("MISR insensitive to last element")
+	}
+	if MisrStream(1, 2, 3) == MisrStream(2, 1, 3) {
+		t.Error("MISR insensitive to order")
+	}
+}
+
+func TestStandardSTLDistinctDataAreas(t *testing.T) {
+	lib := StandardSTL(testDataBase)
+	if len(lib) < 5 {
+		t.Fatalf("library has %d routines", len(lib))
+	}
+	seen := map[uint32]string{}
+	for _, r := range lib {
+		if prev, dup := seen[r.DataBase]; dup {
+			t.Errorf("%s and %s share data base %#x", prev, r.Name, r.DataBase)
+		}
+		seen[r.DataBase] = r.Name
+	}
+}
+
+func TestRegInitBlockCoversOperandWindow(t *testing.T) {
+	b := asm.NewBuilder()
+	RegInitBlock().Emit(b)
+	p, err := b.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	written := map[uint8]bool{}
+	for _, w := range p.Words {
+		inst, err := isa.Decode(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		written[inst.Rd] = true
+	}
+	for reg := uint8(1); reg <= 22; reg++ {
+		if !written[reg] {
+			t.Errorf("r%d not initialised", reg)
+		}
+	}
+}

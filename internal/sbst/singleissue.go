@@ -1,0 +1,83 @@
+package sbst
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// Single-issue-oriented forwarding test, in the style of Psarakis et al.,
+// "Systematic software-based self-test for pipelined processors" (DAC
+// 2006 — the paper's reference [18]). The paper chose the dual-issue
+// algorithm of [19] instead, because a test written against a scalar
+// pipeline model exercises dependencies only at instruction distance 1 and
+// 2 in a *single* stream: on a dual-issue machine both producer and
+// consumer fall into packets without any control over lanes, so the
+// interpipeline (cascade) path and the lane-crossing bypass combinations
+// are hit only by accident. This generator exists as that baseline: same
+// patterns, same MISR observation, no packet discipline.
+func NewForwardingTestSingleIssue(dataBase uint32) *Routine {
+	r := &Routine{
+		Name:     "forwarding-si",
+		Target:   "forwarding",
+		DataBase: dataBase,
+	}
+	for _, p := range fwdPatterns {
+		r.DataWords = append(r.DataWords, p, ^p)
+	}
+	r.ScratchBytes = 96
+
+	r.Blocks = append(r.Blocks, RegInitBlock())
+	for i := range fwdPatterns {
+		idx := i
+		r.Blocks = append(r.Blocks, Block{
+			Name: fmt.Sprintf("si-pattern%d", idx),
+			Emit: func(b *asm.Builder) { emitSingleIssueGroup(b, idx) },
+		})
+	}
+	return r
+}
+
+// emitSingleIssueGroup drives a pattern through distance-1 and distance-2
+// dependencies the way a scalar-pipeline test would: one linear chain,
+// no filler instructions to steer lanes or packets.
+func emitSingleIssueGroup(b *asm.Builder, idx int) {
+	off := int32(idx * 8)
+	b.Load(isa.OpLW, fwdP, isa.RegBase, off)
+	b.Load(isa.OpLW, fwdN, isa.RegBase, off+4)
+	b.Nop()
+	b.Nop()
+
+	// Distance 1: producer immediately followed by consumer (on a scalar
+	// 5-stage pipe this is the EX-to-EX bypass; on the dual-issue core it
+	// lands on the cascade or EXL0 path depending on packet formation).
+	b.R(isa.OpOR, fwdT0, fwdP, isa.RegZero)
+	b.R(isa.OpADD, fwdC0, fwdT0, fwdT0)
+	b.Misr(fwdC0)
+	b.R(isa.OpOR, fwdT1, fwdN, isa.RegZero)
+	b.R(isa.OpSUB, fwdC0, fwdT1, fwdP)
+	b.Misr(fwdC0)
+
+	// Distance 2: one unrelated instruction between producer and consumer.
+	b.R(isa.OpOR, fwdT0, fwdN, isa.RegZero)
+	b.Nop()
+	b.R(isa.OpXOR, fwdC0, fwdT0, fwdP)
+	b.Misr(fwdC0)
+
+	// Load-to-use at distance 1 and 2.
+	b.Load(isa.OpLW, fwdT0, isa.RegBase, off)
+	b.R(isa.OpADD, fwdC0, fwdT0, fwdT0)
+	b.Misr(fwdC0)
+	b.Load(isa.OpLW, fwdT1, isa.RegBase, off+4)
+	b.Nop()
+	b.R(isa.OpXOR, fwdC0, fwdT1, fwdN)
+	b.Misr(fwdC0)
+
+	// Store/load-back.
+	b.Store(isa.OpSW, fwdP, isa.RegBase, int32(len(fwdPatterns)*8)+off)
+	b.Load(isa.OpLW, fwdT0, isa.RegBase, int32(len(fwdPatterns)*8)+off)
+	b.Nop()
+	b.R(isa.OpADD, fwdC0, fwdT0, fwdT0)
+	b.Misr(fwdC0)
+}

@@ -1,0 +1,188 @@
+package sbst
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// Generic boot-time STL routines. These are the "rest of the library":
+// conventional self-test procedures for the ALU, shifter, multiplier and
+// load/store path that are not sensitive to multi-core timing (their
+// signatures are pure dataflow). The Table I experiment runs them in
+// parallel on 1–3 cores to measure how bus contention scales the stall
+// counts; they also serve as the background workload whose bus traffic the
+// fault campaigns replay.
+
+// NewALUTest exercises the adder/logic units with a pattern sweep.
+func NewALUTest(dataBase uint32) *Routine {
+	r := &Routine{Name: "alu", Target: "alu", DataBase: dataBase}
+	r.DataWords = []uint32{
+		0x00000000, 0xFFFFFFFF, 0xAAAAAAAA, 0x55555555,
+		0x01234567, 0x89ABCDEF, 0x7FFFFFFF, 0x80000000,
+	}
+	r.ScratchBytes = 32
+	n := len(r.DataWords)
+	r.Blocks = append(r.Blocks, Block{Name: "sweep", Emit: func(b *asm.Builder) {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				b.Load(isa.OpLW, 1, isa.RegBase, int32(i*4))
+				b.Load(isa.OpLW, 2, isa.RegBase, int32(j*4))
+				b.R(isa.OpADD, 3, 1, 2)
+				b.R(isa.OpSUB, 4, 1, 2)
+				b.R(isa.OpAND, 5, 1, 2)
+				b.R(isa.OpOR, 6, 1, 2)
+				b.R(isa.OpXOR, 7, 1, 2)
+				b.R(isa.OpNOR, 8, 1, 2)
+				b.R(isa.OpSLT, 9, 1, 2)
+				b.R(isa.OpSLTU, 10, 1, 2)
+				for reg := uint8(3); reg <= 10; reg++ {
+					b.Misr(reg)
+				}
+			}
+		}
+	}})
+	return r
+}
+
+// NewShiftTest exercises the barrel shifter at every shift amount.
+func NewShiftTest(dataBase uint32) *Routine {
+	r := &Routine{Name: "shift", Target: "shifter", DataBase: dataBase}
+	r.DataWords = []uint32{0x80000001, 0xA5A5A5A5, 0x00000001}
+	r.ScratchBytes = 16
+	r.Blocks = append(r.Blocks, Block{Name: "amounts", Emit: func(b *asm.Builder) {
+		for w := 0; w < len(r.DataWords); w++ {
+			b.Load(isa.OpLW, 1, isa.RegBase, int32(w*4))
+			b.Nop()
+			b.Nop()
+			b.Nop()
+			for sh := int32(0); sh < 32; sh += 3 {
+				b.Shift(isa.OpSLL, 3, 1, sh)
+				b.Shift(isa.OpSRL, 4, 1, sh)
+				b.Shift(isa.OpSRA, 5, 1, sh)
+				b.Misr(3)
+				b.Misr(4)
+				b.Misr(5)
+			}
+			// Variable shifts through registers.
+			b.I(isa.OpADDI, 6, isa.RegZero, 13)
+			b.R(isa.OpSLLV, 7, 1, 6)
+			b.R(isa.OpSRLV, 8, 1, 6)
+			b.R(isa.OpSRAV, 9, 1, 6)
+			b.Misr(7)
+			b.Misr(8)
+			b.Misr(9)
+		}
+	}})
+	return r
+}
+
+// NewMulTest exercises the multiplier (including the overflow-detecting
+// MULV in its non-trapping range).
+func NewMulTest(dataBase uint32) *Routine {
+	r := &Routine{Name: "mul", Target: "multiplier", DataBase: dataBase}
+	r.DataWords = []uint32{3, 0x10001, 0xFFFF, 0x7FFF, 0x00FF00FF}
+	r.ScratchBytes = 16
+	r.Blocks = append(r.Blocks, Block{Name: "products", Emit: func(b *asm.Builder) {
+		n := len(r.DataWords)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b.Load(isa.OpLW, 1, isa.RegBase, int32(i*4))
+				b.Load(isa.OpLW, 2, isa.RegBase, int32(j*4))
+				b.Nop()
+				b.Nop()
+				b.R(isa.OpMUL, 3, 1, 2)
+				b.Misr(3)
+			}
+		}
+	}})
+	return r
+}
+
+// NewLoadStoreTest exercises the load/store unit with word and byte
+// traffic, marching addresses across a scratch buffer.
+func NewLoadStoreTest(dataBase uint32) *Routine {
+	r := &Routine{Name: "loadstore", Target: "lsu", DataBase: dataBase}
+	r.DataWords = []uint32{0xDEADBEEF, 0x01020304}
+	r.ScratchBytes = 128
+	r.Blocks = append(r.Blocks, Block{Name: "march", Emit: func(b *asm.Builder) {
+		base := int32(len(r.DataWords) * 4)
+		for k := int32(0); k < 16; k++ {
+			b.Load(isa.OpLW, 1, isa.RegBase, (k%2)*4)
+			b.Nop()
+			b.Nop()
+			b.Nop()
+			b.I(isa.OpADDI, 2, 1, k)
+			b.Store(isa.OpSW, 2, isa.RegBase, base+k*4)
+			b.Load(isa.OpLW, 3, isa.RegBase, base+k*4)
+			b.Nop()
+			b.Nop()
+			b.Nop()
+			b.Misr(3)
+			b.Store(isa.OpSB, 3, isa.RegBase, base+64+k)
+			b.Load(isa.OpLBU, 4, isa.RegBase, base+64+k)
+			b.Nop()
+			b.Nop()
+			b.Nop()
+			b.Misr(4)
+		}
+	}})
+	return r
+}
+
+// NewBranchTest exercises the branch comparators; every branch is taken or
+// not taken identically on every execution, as the cache-based strategy
+// requires.
+func NewBranchTest(dataBase uint32) *Routine {
+	r := &Routine{Name: "branch", Target: "branch", DataBase: dataBase}
+	r.DataWords = []uint32{5, 0xFFFFFFFB} // 5, -5
+	r.ScratchBytes = 16
+	r.Blocks = append(r.Blocks, Block{Name: "compares", Emit: func(b *asm.Builder) {
+		b.Load(isa.OpLW, 1, isa.RegBase, 0)
+		b.Load(isa.OpLW, 2, isa.RegBase, 4)
+		b.Nop()
+		b.Nop()
+		cases := []struct {
+			op       isa.Op
+			rs1, rs2 uint8
+			taken    bool
+		}{
+			{isa.OpBEQ, 1, 1, true}, {isa.OpBEQ, 1, 2, false},
+			{isa.OpBNE, 1, 2, true}, {isa.OpBNE, 2, 2, false},
+			{isa.OpBLT, 2, 1, true}, {isa.OpBLT, 1, 2, false},
+			{isa.OpBGE, 1, 2, true}, {isa.OpBGE, 2, 1, false},
+		}
+		for idx, cs := range cases {
+			lbl := b.AutoLabel(fmt.Sprintf("br%d_", idx))
+			b.I(isa.OpADDI, 5, isa.RegZero, int32(100+idx))
+			b.Branch(cs.op, cs.rs1, cs.rs2, lbl)
+			b.I(isa.OpADDI, 5, 5, 1) // executed only when not taken
+			b.Label(lbl)
+			b.Misr(5)
+		}
+		// A counted loop: taken N-1 times then falls through, the same on
+		// every execution.
+		b.I(isa.OpADDI, 6, isa.RegZero, 8)
+		b.R(isa.OpXOR, 7, 7, 7)
+		top := b.AutoLabel("loop")
+		b.Label(top)
+		b.R(isa.OpADD, 7, 7, 6)
+		b.I(isa.OpADDI, 6, 6, -1)
+		b.Branch(isa.OpBNE, 6, isa.RegZero, top)
+		b.Misr(7)
+	}})
+	return r
+}
+
+// StandardSTL returns the generic library used as the Table I parallel
+// workload for one core, with per-core data areas carved from dataBase.
+func StandardSTL(dataBase uint32) []*Routine {
+	return []*Routine{
+		NewALUTest(dataBase),
+		NewShiftTest(dataBase + 0x100),
+		NewMulTest(dataBase + 0x200),
+		NewLoadStoreTest(dataBase + 0x300),
+		NewBranchTest(dataBase + 0x400),
+	}
+}

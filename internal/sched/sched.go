@@ -1,0 +1,149 @@
+// Package sched implements a parallel boot-time STL scheduler in the
+// spirit of Floridia et al., "A decentralized scheduler for on-line
+// self-test routines in multi-core automotive system-on-chips" (ITC 2019,
+// the paper's reference [13]): the library's routines are partitioned
+// across the cores to minimise the boot-test makespan, each core runs its
+// share back to back, and the cores synchronise at the end through
+// per-core completion flags in uncached SRAM (no cross-core cache
+// coherence is needed or assumed).
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sbst"
+	"repro/internal/soc"
+)
+
+// Task is one schedulable routine with a cost estimate.
+type Task struct {
+	Routine *sbst.Routine
+	// EstCycles drives the partitioning; when zero, the routine's code
+	// size is used as a proxy (straight-line STL routines execute in time
+	// roughly proportional to their length).
+	EstCycles int64
+}
+
+func (t Task) cost() int64 {
+	if t.EstCycles > 0 {
+		return t.EstCycles
+	}
+	size, err := t.Routine.SizeBytes()
+	if err != nil {
+		return 1
+	}
+	return int64(size)
+}
+
+// Plan assigns tasks to cores.
+type Plan struct {
+	PerCore [soc.NumCores][]Task
+	NCores  int
+}
+
+// Partition distributes tasks over nCores with the classic longest
+// processing time (LPT) greedy rule: sort by descending cost, always give
+// the next task to the least-loaded core.
+func Partition(tasks []Task, nCores int) (Plan, error) {
+	if nCores < 1 || nCores > soc.NumCores {
+		return Plan{}, fmt.Errorf("sched: core count %d out of range", nCores)
+	}
+	sorted := append([]Task(nil), tasks...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].cost() > sorted[j].cost() })
+	var plan Plan
+	plan.NCores = nCores
+	var load [soc.NumCores]int64
+	for _, t := range sorted {
+		best := 0
+		for c := 1; c < nCores; c++ {
+			if load[c] < load[best] {
+				best = c
+			}
+		}
+		plan.PerCore[best] = append(plan.PerCore[best], t)
+		load[best] += t.cost()
+	}
+	return plan, nil
+}
+
+// Makespan returns the estimated finishing cost per core.
+func (p Plan) Makespan() [soc.NumCores]int64 {
+	var load [soc.NumCores]int64
+	for c, tasks := range p.PerCore {
+		for _, t := range tasks {
+			load[c] += t.cost()
+		}
+	}
+	return load
+}
+
+// flagAddr is core id's completion flag in the uncached SRAM alias. The
+// flags live in a reserved line at the top of SRAM.
+func flagAddr(id int) uint32 {
+	return mem.SRAMUncachedBase + mem.SRAMSize - 64 + uint32(id)*4
+}
+
+// barrier emits the decentralized completion protocol: publish this core's
+// flag, then spin until every participating core has published its own.
+// The flags are uncached, so the protocol needs no coherence support.
+func barrier(id, nCores int) func(*asm.Builder) {
+	return func(b *asm.Builder) {
+		b.I(isa.OpADDI, 1, isa.RegZero, 1)
+		b.Li(2, flagAddr(id))
+		b.Store(isa.OpSW, 1, 2, 0)
+		for other := 0; other < nCores; other++ {
+			if other == id {
+				continue
+			}
+			b.Li(2, flagAddr(other))
+			wait := b.AutoLabel(fmt.Sprintf("wait%d_", other))
+			b.Label(wait)
+			// Back off between polls so spinning cores do not saturate the
+			// bus and slow the cores still testing.
+			b.I(isa.OpADDI, 4, isa.RegZero, 48)
+			pause := b.AutoLabel(fmt.Sprintf("pause%d_", other))
+			b.Label(pause)
+			b.I(isa.OpADDI, 4, 4, -1)
+			b.Branch(isa.OpBNE, 4, isa.RegZero, pause)
+			b.Load(isa.OpLW, 3, 2, 0)
+			b.Branch(isa.OpBEQ, 3, isa.RegZero, wait)
+		}
+	}
+}
+
+// Jobs converts the plan into runnable per-core jobs using the given
+// strategy factory (per core, so a TCM-based strategy can bind its core
+// ID). Every core's program ends with the completion barrier.
+func (p Plan) Jobs(strategyFor func(coreID int) core.Strategy) [soc.NumCores]*core.CoreJob {
+	var jobs [soc.NumCores]*core.CoreJob
+	for id := 0; id < p.NCores; id++ {
+		var routines []*sbst.Routine
+		for _, t := range p.PerCore[id] {
+			routines = append(routines, t.Routine)
+		}
+		if len(routines) == 0 {
+			// An idle core still participates in the barrier.
+			routines = nil
+		}
+		jobs[id] = &core.CoreJob{
+			Routines: routines,
+			Strategy: strategyFor(id),
+			CodeBase: soc.CodeLow + uint32(id)*0x8000,
+			Epilogue: barrier(id, p.NCores),
+		}
+	}
+	return jobs
+}
+
+// ClearFlags zeroes the barrier flags in the SoC's SRAM before a run.
+func ClearFlags(s *soc.SoC) {
+	base := flagAddr(0) - mem.SRAMUncachedBase
+	for id := 0; id < soc.NumCores; id++ {
+		mem.WriteWord(s.SRAM, base+uint32(id)*4, 0)
+	}
+}

@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sbst"
+	"repro/internal/soc"
+)
+
+func stlTasks(coreCount int) []Task {
+	var tasks []Task
+	for i := 0; i < coreCount; i++ {
+		for _, r := range sbst.StandardSTL(mem.SRAMBase + 0x2000*uint32(i+1)) {
+			tasks = append(tasks, Task{Routine: r})
+		}
+	}
+	return tasks
+}
+
+// loopyTasks returns the STL with each routine iterating its sweep, the
+// compute-bound regime where parallel testing pays off.
+func loopyTasks(coreCount, reps int) []Task {
+	var tasks []Task
+	for i := 0; i < coreCount; i++ {
+		for _, r := range sbst.StandardSTL(mem.SRAMBase + 0x2000*uint32(i+1)) {
+			rr := sbst.Repeat(r, reps)
+			size, _ := rr.SizeBytes()
+			tasks = append(tasks, Task{Routine: rr, EstCycles: int64(size) * int64(reps)})
+		}
+	}
+	return tasks
+}
+
+func TestPartitionBalances(t *testing.T) {
+	tasks := stlTasks(2) // 10 routines
+	plan, err := Partition(tasks, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, pc := range plan.PerCore {
+		total += len(pc)
+	}
+	if total != len(tasks) {
+		t.Fatalf("%d of %d tasks assigned", total, len(tasks))
+	}
+	load := plan.Makespan()
+	min, max := load[0], load[0]
+	for _, l := range load[:3] {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	// LPT keeps the imbalance small: the largest load is within 2x the
+	// smallest for this mix.
+	if min == 0 || max > 2*min {
+		t.Errorf("unbalanced plan: %v", load)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := Partition(nil, 0); err == nil {
+		t.Error("0 cores accepted")
+	}
+	if _, err := Partition(nil, soc.NumCores+1); err == nil {
+		t.Error("too many cores accepted")
+	}
+}
+
+func TestScheduledRunCompletesWithBarrier(t *testing.T) {
+	tasks := stlTasks(1) // 5 routines over 3 cores
+	plan, err := Partition(tasks, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := plan.Jobs(func(int) core.Strategy { return core.Plain{} })
+	cfg := soc.DefaultConfig() // all cores active, no caches
+	results, s, err := core.RunJobs(cfg, jobs, 6_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 3; id++ {
+		if results[id] == nil || !results[id].OK {
+			t.Fatalf("core %d failed: %+v", id, results[id])
+		}
+	}
+	// Every barrier flag must be set.
+	base := flagAddr(0) - mem.SRAMUncachedBase
+	for id := 0; id < 3; id++ {
+		if mem.ReadWord(s.SRAM, base+uint32(id)*4) != 1 {
+			t.Errorf("core %d never published its flag", id)
+		}
+	}
+}
+
+func TestParallelBeatsSerial(t *testing.T) {
+	tasks := loopyTasks(2, 6) // ten iterating routines: compute-bound when cached
+	serialPlan, _ := Partition(tasks, 1)
+	parPlan, _ := Partition(tasks, 3)
+
+	// With uncached flash execution, bus contention can eat the whole
+	// parallel gain (that is Table I's point); the scheduler pays off once
+	// code executes from the private caches.
+	run := func(plan Plan, active int) int64 {
+		jobs := plan.Jobs(func(int) core.Strategy { return core.Plain{} })
+		cfg := soc.DefaultConfig()
+		for id := 0; id < soc.NumCores; id++ {
+			cfg.Cores[id].Active = id < active
+			cfg.Cores[id].CachesOn = true
+			cfg.Cores[id].WriteAlloc = true
+		}
+		results, _, err := core.RunJobs(cfg, jobs, 8_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var max int64
+		for id := 0; id < active; id++ {
+			if results[id] == nil || !results[id].OK {
+				t.Fatalf("core %d failed", id)
+			}
+			if results[id].Cycles > max {
+				max = results[id].Cycles
+			}
+		}
+		return max
+	}
+	serial := run(serialPlan, 1)
+	parallel := run(parPlan, 3)
+	if parallel >= serial {
+		t.Errorf("parallel schedule (%d cycles) not faster than serial (%d)", parallel, serial)
+	}
+	t.Logf("serial %d cycles, parallel %d cycles (%.2fx)",
+		serial, parallel, float64(serial)/float64(parallel))
+}
+
+func TestFlagAddressesDisjoint(t *testing.T) {
+	seen := map[uint32]bool{}
+	for id := 0; id < soc.NumCores; id++ {
+		a := flagAddr(id)
+		if seen[a] {
+			t.Fatal("flag collision")
+		}
+		seen[a] = true
+		if a < mem.SRAMUncachedBase || a >= mem.SRAMUncachedBase+mem.SRAMSize {
+			t.Errorf("flag %d outside the uncached alias: %#x", id, a)
+		}
+	}
+}

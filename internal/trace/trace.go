@@ -1,0 +1,162 @@
+// Package trace reconstructs pipeline diagrams from the CPU's trace-event
+// stream, reproducing the paper's Figure 1: the same dependent instruction
+// pair shown once with the forwarding path exercised (producer and consumer
+// in back-to-back issue packets) and once broken apart by multi-core fetch
+// stalls, with the consumer reading the register file instead.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+// stage occupancy labels in pipeline order.
+var stageNames = []string{"IS", "EX", "ME", "WB"}
+
+const (
+	stIssue = iota
+	stEx
+	stMem
+	stWb
+	numStages
+)
+
+// instLine is one instruction's reconstructed timeline.
+type instLine struct {
+	pc     uint32
+	inst   isa.Inst
+	lane   int
+	cycles [numStages]int64 // absolute cycle the instruction entered each stage
+	fwd    []string         // forwarding annotations, e.g. "opA<-EX-EX"
+	seq    int
+}
+
+// Recorder collects trace events for a PC window.
+type Recorder struct {
+	Lo, Hi uint32 // PC window of interest (inclusive, exclusive)
+
+	lines  map[int64]*instLine // keyed by issue identity (cycle*4+lane... see key)
+	byAddr map[uint32][]*instLine
+	order  []*instLine
+}
+
+// NewRecorder observes instructions with Lo <= PC < Hi.
+func NewRecorder(lo, hi uint32) *Recorder {
+	return &Recorder{
+		Lo: lo, Hi: hi,
+		lines:  map[int64]*instLine{},
+		byAddr: map[uint32][]*instLine{},
+	}
+}
+
+// Fn returns the cpu.TraceFn to attach.
+func (r *Recorder) Fn() cpu.TraceFn { return r.observe }
+
+func pathName(p int) string {
+	switch p {
+	case 1, 2:
+		return "EX-EX"
+	case 3, 4:
+		return "MEM-EX"
+	case 5:
+		return "cascade"
+	}
+	return "RF"
+}
+
+func (r *Recorder) observe(ev cpu.TraceEvent) {
+	if ev.PC < r.Lo || ev.PC >= r.Hi {
+		return
+	}
+	switch ev.Kind {
+	case "issue":
+		ln := &instLine{pc: ev.PC, inst: ev.Inst, lane: ev.Lane, seq: len(r.order)}
+		for i := range ln.cycles {
+			ln.cycles[i] = -1
+		}
+		ln.cycles[stIssue] = ev.Cycle
+		r.byAddr[ev.PC] = append(r.byAddr[ev.PC], ln)
+		r.order = append(r.order, ln)
+	case "ex", "mem", "wb", "fwd":
+		lns := r.byAddr[ev.PC]
+		if len(lns) == 0 {
+			return
+		}
+		ln := lns[len(lns)-1] // latest dynamic instance of this PC
+		switch ev.Kind {
+		case "ex":
+			ln.cycles[stEx] = ev.Cycle
+		case "mem":
+			ln.cycles[stMem] = ev.Cycle
+		case "wb":
+			ln.cycles[stWb] = ev.Cycle
+		case "fwd":
+			op := "A"
+			if ev.Operand == 1 {
+				op = "B"
+			}
+			ln.fwd = append(ln.fwd, fmt.Sprintf("op%s<-%s", op, pathName(ev.Path)))
+		}
+	}
+}
+
+// ForwardingUsed reports whether any recorded instruction at pc received an
+// operand through a non-register-file path.
+func (r *Recorder) ForwardingUsed(pc uint32) bool {
+	for _, ln := range r.byAddr[pc] {
+		if len(ln.fwd) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Render draws the ASCII pipeline diagram of everything recorded.
+func (r *Recorder) Render() string {
+	if len(r.order) == 0 {
+		return "(no instructions recorded)\n"
+	}
+	lines := append([]*instLine(nil), r.order...)
+	sort.SliceStable(lines, func(i, j int) bool { return lines[i].seq < lines[j].seq })
+
+	min, max := int64(1<<62), int64(0)
+	for _, ln := range lines {
+		for _, c := range ln.cycles {
+			if c >= 0 {
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s|", "cycle ->")
+	for c := min; c <= max; c++ {
+		fmt.Fprintf(&sb, "%3d", c-min+1)
+	}
+	sb.WriteString("\n")
+	for _, ln := range lines {
+		fmt.Fprintf(&sb, "%-28s|", fmt.Sprintf("%08x %v", ln.pc, ln.inst))
+		for c := min; c <= max; c++ {
+			cell := " ."
+			for st, sc := range ln.cycles {
+				if sc == c {
+					cell = stageNames[st]
+				}
+			}
+			fmt.Fprintf(&sb, "%3s", cell)
+		}
+		if len(ln.fwd) > 0 {
+			fmt.Fprintf(&sb, "  [%s]", strings.Join(ln.fwd, " "))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+func ev(cycle int64, kind string, lane int, pc uint32, inst isa.Inst) cpu.TraceEvent {
+	return cpu.TraceEvent{Cycle: cycle, Kind: kind, Lane: lane, PC: pc, Inst: inst}
+}
+
+func TestRecorderBuildsTimeline(t *testing.T) {
+	r := NewRecorder(0x100, 0x110)
+	fn := r.Fn()
+	add := isa.Inst{Op: isa.OpADD, Rd: 2, Rs1: 1, Rs2: 1}
+	or := isa.Inst{Op: isa.OpOR, Rd: 1, Rs1: 5}
+
+	fn(ev(10, "issue", 0, 0x100, or))
+	fn(ev(10, "issue", 1, 0x104, add))
+	fn(ev(11, "ex", 0, 0x100, or))
+	fn(ev(11, "ex", 1, 0x104, add))
+	fn(cpu.TraceEvent{Cycle: 11, Kind: "fwd", Lane: 1, PC: 0x104, Inst: add, Operand: 0, Path: 5})
+	fn(ev(12, "mem", 0, 0x100, or))
+	fn(ev(13, "wb", 0, 0x100, or))
+	fn(ev(13, "wb", 1, 0x104, add))
+	// Outside the window: ignored.
+	fn(ev(14, "issue", 0, 0x200, or))
+
+	out := r.Render()
+	if !strings.Contains(out, "IS") || !strings.Contains(out, "EX") || !strings.Contains(out, "WB") {
+		t.Errorf("missing stage cells:\n%s", out)
+	}
+	if !strings.Contains(out, "cascade") {
+		t.Errorf("missing forwarding annotation:\n%s", out)
+	}
+	if strings.Contains(out, "00000200") {
+		t.Error("out-of-window instruction rendered")
+	}
+	if !r.ForwardingUsed(0x104) {
+		t.Error("ForwardingUsed(0x104) = false")
+	}
+	if r.ForwardingUsed(0x100) {
+		t.Error("ForwardingUsed(0x100) = true")
+	}
+}
+
+func TestRecorderMultipleDynamicInstances(t *testing.T) {
+	// The same PC issuing twice (a loop) creates two lines; stage events
+	// attach to the latest instance.
+	r := NewRecorder(0x100, 0x104)
+	fn := r.Fn()
+	nop := isa.Inst{Op: isa.OpNOP}
+	fn(ev(1, "issue", 0, 0x100, nop))
+	fn(ev(2, "ex", 0, 0x100, nop))
+	fn(ev(10, "issue", 0, 0x100, nop))
+	fn(ev(11, "ex", 0, 0x100, nop))
+	out := r.Render()
+	if strings.Count(out, "00000100") != 2 {
+		t.Errorf("expected two dynamic instances:\n%s", out)
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	r := NewRecorder(0, 0)
+	if out := r.Render(); !strings.Contains(out, "no instructions") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestPathNames(t *testing.T) {
+	want := map[int]string{0: "RF", 1: "EX-EX", 2: "EX-EX", 3: "MEM-EX", 4: "MEM-EX", 5: "cascade"}
+	for p, name := range want {
+		if got := pathName(p); got != name {
+			t.Errorf("pathName(%d) = %q, want %q", p, got, name)
+		}
+	}
+}
