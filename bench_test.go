@@ -6,7 +6,9 @@
 package repro_test
 
 import (
+	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/bus"
 	"repro/internal/core"
@@ -39,6 +41,37 @@ func BenchmarkTableII(b *testing.B) {
 		}
 		b.ReportMetric(rows[0].MaxFC-rows[0].MinFC, "coreA-FC-spread-pts")
 		b.ReportMetric(rows[0].CacheFC, "coreA-cache-FC-pct")
+	}
+}
+
+// BenchmarkCampaignEngineSpeedup times the quick Table II campaign under
+// the legacy engine (SoC rebuilt and program reassembled per fault, full
+// watchdog budget every run) and the arena engine (one long-lived SoC per
+// worker, fault runs are reset + plane-swap with divergence-bounded early
+// exit), verifies the results are identical, and reports the wall-clock
+// speedup as a metric. The PR acceptance bar is >= 2x.
+func BenchmarkCampaignEngineSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		legacyRows, err := experiments.TableII(experiments.Options{Quick: true, Engine: experiments.EngineLegacy})
+		if err != nil {
+			b.Fatal(err)
+		}
+		legacy := time.Since(t0)
+
+		t0 = time.Now()
+		arenaRows, err := experiments.TableII(experiments.Options{Quick: true, Engine: experiments.EngineArena})
+		if err != nil {
+			b.Fatal(err)
+		}
+		arena := time.Since(t0)
+
+		if !reflect.DeepEqual(legacyRows, arenaRows) {
+			b.Fatalf("engines disagree:\nlegacy %+v\narena  %+v", legacyRows, arenaRows)
+		}
+		b.ReportMetric(legacy.Seconds()/arena.Seconds(), "speedup-vs-legacy")
+		b.ReportMetric(arena.Seconds(), "arena-s")
+		b.ReportMetric(legacy.Seconds(), "legacy-s")
 	}
 }
 

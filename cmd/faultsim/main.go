@@ -7,14 +7,20 @@
 // Usage:
 //
 //	faultsim [-routine forwarding|hdcu|icu] [-core 0|1|2]
-//	         [-strategy plain|cache|tcm] [-multicore] [-bitstep N] [-v]
+//	         [-strategy plain|cache|tcm] [-multicore] [-bitstep N]
+//	         [-engine arena|legacy] [-workers N] [-v]
+//
+// The default "arena" engine keeps one long-lived SoC per worker (program
+// loaded once, each fault run is reset + plane-swap) and terminates runs
+// early once they observably diverge from the golden trace and stop making
+// progress; "legacy" rebuilds the SoC per fault and always simulates to the
+// full watchdog budget. Both engines produce identical reports.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"repro/internal/bus"
 	"repro/internal/core"
@@ -30,9 +36,14 @@ func main() {
 	strategyName := flag.String("strategy", "cache", "execution strategy: plain, cache or tcm")
 	multicore := flag.Bool("multicore", true, "replay 3-core bus contention around the core under test")
 	bitStep := flag.Int("bitstep", 1, "enumerate every Nth data bit (campaign reduction)")
+	engine := flag.String("engine", "arena", "campaign engine: arena (reusable SoCs, early exit) or legacy (rebuild per fault)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "list undetected faults")
 	flag.Parse()
+	if *engine != "arena" && *engine != "legacy" {
+		fmt.Fprintf(os.Stderr, "faultsim: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
 
 	dataBase := func(id int) uint32 { return mem.SRAMBase + 0x2000*uint32(id+1) }
 	mkRoutine := func(id int) *sbst.Routine {
@@ -119,40 +130,20 @@ func main() {
 	}
 	traffic := rec.EventsByMaster()
 	budget := golden.Cycles*8 + 20_000
+	replayCfg := cfg
+	replayCfg.Replay = traffic
 
-	run := func(p fault.Plane) (uint32, bool) {
-		c := cfg
-		c.Replay = traffic
-		for id := 0; id < soc.NumCores; id++ {
-			c.Cores[id].Active = id == *coreID
-		}
-		c.Cores[*coreID].Plane = p
-		var j [soc.NumCores]*core.CoreJob
-		j[*coreID] = jobs[*coreID]
-		res, _, err := core.RunJobs(c, j, budget)
-		if err != nil || res[*coreID] == nil {
-			return 0, false
-		}
-		return res[*coreID].Signature, res[*coreID].OK
-	}
-
-	rep := fault.Simulate(sites, run, *workers)
-	fmt.Printf("routine=%s core=%c strategy=%s multicore=%v\n",
-		*routineName, rune('A'+*coreID), *strategyName, *multicore)
+	rep, err := core.RunCampaign(replayCfg, *coreID, jobs[*coreID], sites,
+		budget, *workers, *engine == "legacy")
+	fail(err)
+	fmt.Printf("routine=%s core=%c strategy=%s multicore=%v engine=%s\n",
+		*routineName, rune('A'+*coreID), *strategyName, *multicore, *engine)
 	fmt.Println(rep.String())
 
 	fmt.Println("per-signal breakdown:")
-	type row struct {
-		sig  fault.Signal
-		d, t int
-	}
-	var rows []row
-	for sig, dt := range rep.BySignal() {
-		rows = append(rows, row{sig, dt[0], dt[1]})
-	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].sig < rows[j].sig })
-	for _, r := range rows {
-		fmt.Printf("  %-8v %4d/%4d (%.1f%%)\n", r.sig, r.d, r.t, 100*float64(r.d)/float64(r.t))
+	for _, st := range rep.BySignal() {
+		fmt.Printf("  %-8v %4d/%4d (%.1f%%)\n", st.Signal, st.Detected, st.Total,
+			100*float64(st.Detected)/float64(st.Total))
 	}
 	if *verbose {
 		fmt.Println("undetected faults:")

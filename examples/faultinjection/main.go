@@ -7,7 +7,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -59,17 +58,9 @@ func main() {
 	rep := fault.Simulate(sites, runOnce, 0)
 	fmt.Println("campaign:", rep.String())
 	fmt.Println("per-signal breakdown:")
-	type row struct {
-		sig  fault.Signal
-		d, t int
-	}
-	var rows []row
-	for sig, dt := range rep.BySignal() {
-		rows = append(rows, row{sig, dt[0], dt[1]})
-	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].sig < rows[j].sig })
-	for _, r := range rows {
-		fmt.Printf("  %-8v %3d/%3d (%.1f%%)\n", r.sig, r.d, r.t, 100*float64(r.d)/float64(r.t))
+	for _, st := range rep.BySignal() {
+		fmt.Printf("  %-8v %3d/%3d (%.1f%%)\n", st.Signal, st.Detected, st.Total,
+			100*float64(st.Detected)/float64(st.Total))
 	}
 	if und := rep.Undetected(); len(und) > 0 {
 		fmt.Printf("first undetected survivors (%d total):\n", len(und))

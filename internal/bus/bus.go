@@ -7,6 +7,7 @@ package bus
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mem"
 )
@@ -38,10 +39,12 @@ type request struct {
 	addr   uint32
 	write  bool
 	n      int
-	wdata  []byte
-	rdata  []byte
 	done   bool
 	issued int64 // cycle the request was submitted
+	// data carries the write payload or receives the read result. A fixed
+	// line-sized buffer keeps the per-transaction hot path allocation-free
+	// (bursts never exceed one line).
+	data [mem.LineBytes]byte
 }
 
 // Bus is the shared system interconnect. It is not safe for concurrent use;
@@ -57,6 +60,10 @@ type Bus struct {
 	owner     int // master being served, -1 if idle
 	remaining int // cycles left on current transaction
 	rrNext    int // round-robin scan start
+	// pending is a bitmask of masters with an active, not-yet-completed
+	// request; it lets the per-cycle wait accounting and the arbiter scan
+	// only live requests instead of every master slot.
+	pending uint64
 
 	totalBusy int64
 	recorder  *Recorder
@@ -64,6 +71,9 @@ type Bus struct {
 
 // New creates a bus with n master ports and the given address regions.
 func New(nMasters int, policy Arbitration, regions []Region) *Bus {
+	if nMasters > 64 {
+		panic("bus: more than 64 masters")
+	}
 	return &Bus{
 		regions: regions,
 		policy:  policy,
@@ -75,6 +85,22 @@ func New(nMasters int, policy Arbitration, regions []Region) *Bus {
 
 // NumMasters returns the number of master ports.
 func (b *Bus) NumMasters() int { return len(b.reqs) }
+
+// Reset restores the bus to power-on state: all requests dropped, statistics
+// cleared, arbitration state rewound and any attached recorder detached. The
+// regions and master ports survive, so the bus can immediately serve a fresh
+// run without reallocation.
+func (b *Bus) Reset() {
+	clear(b.reqs)
+	clear(b.stats)
+	b.cycle = 0
+	b.owner = -1
+	b.remaining = 0
+	b.rrNext = 0
+	b.pending = 0
+	b.totalBusy = 0
+	b.recorder = nil
+}
 
 // Cycle returns the current bus cycle count.
 func (b *Bus) Cycle() int64 { return b.cycle }
@@ -113,11 +139,14 @@ func (b *Bus) Step() {
 		}
 	}
 	// Account waiting for everyone still queued behind the bus.
-	for id := range b.reqs {
-		r := &b.reqs[id]
-		if r.active && !r.done && id != b.owner {
-			b.stats[id].WaitCycles++
-		}
+	wait := b.pending
+	if b.owner >= 0 {
+		wait &^= 1 << b.owner
+	}
+	for wait != 0 {
+		id := bits.TrailingZeros64(wait)
+		wait &= wait - 1
+		b.stats[id].WaitCycles++
 	}
 	if b.owner < 0 {
 		b.grantNext()
@@ -125,27 +154,21 @@ func (b *Bus) Step() {
 }
 
 func (b *Bus) grantNext() {
-	n := len(b.reqs)
+	if b.pending == 0 {
+		return
+	}
 	pick := -1
 	switch b.policy {
 	case RoundRobin:
-		for k := 0; k < n; k++ {
-			id := (b.rrNext + k) % n
-			if b.reqs[id].active && !b.reqs[id].done {
-				pick = id
-				break
-			}
+		// First pending master at or after rrNext, wrapping.
+		if hi := b.pending >> b.rrNext; hi != 0 {
+			pick = b.rrNext + bits.TrailingZeros64(hi)
+		} else {
+			pick = bits.TrailingZeros64(b.pending)
 		}
-		if pick >= 0 {
-			b.rrNext = (pick + 1) % n
-		}
+		b.rrNext = (pick + 1) % len(b.reqs)
 	case FixedPriority:
-		for id := 0; id < n; id++ {
-			if b.reqs[id].active && !b.reqs[id].done {
-				pick = id
-				break
-			}
-		}
+		pick = bits.TrailingZeros64(b.pending)
 	}
 	if pick < 0 {
 		return
@@ -169,16 +192,17 @@ func (b *Bus) complete(id int) {
 	dev, off, ok := b.resolve(r.addr)
 	if ok {
 		if r.write {
-			dev.Write(off, r.wdata[:r.n])
+			dev.Write(off, r.data[:r.n])
 		} else {
-			dev.Read(off, r.rdata[:r.n])
+			dev.Read(off, r.data[:r.n])
 		}
 	} else if !r.write {
 		for i := 0; i < r.n; i++ {
-			r.rdata[i] = 0xFF
+			r.data[i] = 0xFF
 		}
 	}
 	r.done = true
+	b.pending &^= 1 << id
 	b.stats[id].Transactions++
 }
 
@@ -221,8 +245,9 @@ func (p *Port) StartRead(addr uint32, n int) {
 	if n > mem.LineBytes {
 		panic("bus: burst longer than a line")
 	}
-	*r = request{active: true, addr: addr, n: n, issued: p.bus.cycle}
-	r.rdata = make([]byte, n)
+	r.active, r.write, r.done = true, false, false
+	r.addr, r.n, r.issued = addr, n, p.bus.cycle
+	p.bus.pending |= 1 << p.id
 	p.bus.record(p.id, addr, false, n)
 }
 
@@ -236,21 +261,27 @@ func (p *Port) StartWrite(addr uint32, data []byte) {
 	if len(data) > mem.LineBytes {
 		panic("bus: burst longer than a line")
 	}
-	*r = request{active: true, addr: addr, write: true, n: len(data), issued: p.bus.cycle}
-	r.wdata = append([]byte(nil), data...)
+	r.active, r.write, r.done = true, true, false
+	r.addr, r.n, r.issued = addr, len(data), p.bus.cycle
+	copy(r.data[:], data)
+	p.bus.pending |= 1 << p.id
 	p.bus.record(p.id, addr, true, len(data))
 }
 
 // Take consumes a completed request and returns the read data (nil for
-// writes). It panics if the request has not completed.
+// writes). It panics if the request has not completed. The returned slice
+// aliases the port's transaction buffer and is only valid until the next
+// request is submitted on this port.
 func (p *Port) Take() []byte {
 	r := &p.bus.reqs[p.id]
 	if !r.active || !r.done {
 		panic("bus: Take before completion")
 	}
-	data := r.rdata
-	*r = request{}
-	return data
+	r.active, r.done = false, false
+	if r.write {
+		return nil
+	}
+	return r.data[:r.n]
 }
 
 // Cancel aborts a queued or completed request. It is a no-op when idle and
@@ -264,5 +295,6 @@ func (p *Port) Cancel() {
 	if p.bus.owner == p.id && !r.done {
 		panic("bus: cancel of in-service request")
 	}
-	*r = request{}
+	r.active, r.done = false, false
+	p.bus.pending &^= 1 << p.id
 }

@@ -74,6 +74,7 @@ func (b *Bus) record(id int, addr uint32, write bool, n int) {
 // core experiences.
 type Replayer struct {
 	port *Port
+	req  *request // direct handle on the port's request slot (hot path)
 	log  []TrafficEvent
 	next int
 	buf  [16]byte
@@ -81,16 +82,26 @@ type Replayer struct {
 
 // NewReplayer builds a replayer for port over the given trace.
 func NewReplayer(port *Port, log []TrafficEvent) *Replayer {
-	return &Replayer{port: port, log: log}
+	return &Replayer{port: port, req: &port.bus.reqs[port.id], log: log}
 }
 
+// Reset rewinds the replayer to the start of its trace. The caller must
+// reset the bus as well (a stale in-flight request would otherwise be
+// mistaken for a replayed one).
+func (r *Replayer) Reset() { r.next = 0 }
+
 // Step advances the replayer by one cycle; call once per bus cycle after
-// Bus.Step.
+// Bus.Step. It is stepped once per simulated cycle for the whole campaign,
+// so it polls its request slot directly instead of going through the port
+// accessors.
 func (r *Replayer) Step(now int64) {
-	if r.port.Done() {
-		r.port.Take()
+	if r.req.active {
+		if !r.req.done {
+			return // in flight
+		}
+		r.req.active, r.req.done = false, false // take
 	}
-	if r.port.Busy() || r.next >= len(r.log) {
+	if r.next >= len(r.log) {
 		return
 	}
 	ev := r.log[r.next]

@@ -233,6 +233,21 @@ func (c *Cache) InvalidateAll() {
 	c.stats.Invalidates++
 }
 
+// Reset restores power-on state: every line invalid and clean, statistics
+// and the LRU clock cleared. Unlike InvalidateAll it does not count as an
+// invalidate event — it models a cold reset, not a CINV instruction.
+func (c *Cache) Reset() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w].valid = false
+			c.sets[s][w].dirty = false
+			c.sets[s][w].age = 0
+		}
+	}
+	c.tick = 0
+	c.stats = Stats{}
+}
+
 // ResidentLines counts valid lines (used in tests and by the strategy
 // checker to verify a routine fits).
 func (c *Cache) ResidentLines() int {

@@ -23,6 +23,10 @@ type Client interface {
 	// already in service; the caller must then keep Ticking until done and
 	// discard the result.
 	TryAbort() bool
+	// Reset unconditionally drops all in-flight state and internal buffers,
+	// returning the client to power-on idle. The caller is responsible for
+	// resetting the bus underneath (Reset never touches bus requests).
+	Reset()
 }
 
 func alignTo(addr uint32, size int) uint32 { return addr &^ uint32(size-1) }
@@ -173,6 +177,10 @@ func (c *Ctrl) TryAbort() bool {
 	return false
 }
 
+// Reset implements Client: the state machine returns to idle. Bus requests
+// are dropped by the bus's own reset.
+func (c *Ctrl) Reset() { c.state = ctrlIdle }
+
 // Bypass is an uncached bus client. With LineBuffer enabled it keeps the
 // last line read and serves reads within it in a single cycle — this models
 // the line-wide flash prefetch buffer of the fetch unit, which is what lets
@@ -288,6 +296,12 @@ func (b *Bypass) TryAbort() bool {
 	return false
 }
 
+// Reset implements Client: drops the prefetch buffer and in-flight state.
+func (b *Bypass) Reset() {
+	b.state = ctrlIdle
+	b.bufValid = false
+}
+
 // TCMClient serves a core-private tightly-coupled memory in a single cycle
 // without touching the bus.
 type TCMClient struct {
@@ -344,6 +358,9 @@ func (t *TCMClient) TryAbort() bool {
 	t.pending = false
 	return true
 }
+
+// Reset implements Client.
+func (t *TCMClient) Reset() { t.pending = false }
 
 // Interface conformance checks.
 var (

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/isa"
+	"repro/internal/soc"
+)
+
+// Arena is a reusable fault-simulation worker: one long-lived SoC with the
+// program assembled and loaded exactly once, serving thousands of fault runs
+// as reset + plane-swap instead of soc.New + reassemble + reload. The
+// per-run hot path is allocation-free.
+//
+// An Arena additionally supports early exit on observable divergence: during
+// construction it captures the golden run's observable trace (every
+// data-side store the core under test performs, with value and cycle), and
+// faulty runs are watched against that trace. Two watchdogs bound runs that
+// can no longer reach a clean outcome long before the full cycle budget:
+//
+//   - hang: no observable store for more than 8x the golden run's largest
+//     store-to-store gap (and at least one whole golden run) plus slack —
+//     the wedged/deadlocked class, which under the plain budget burns 8x
+//     the golden cycle count per fault;
+//   - flood: a run that has observably diverged keeps storing past 8x the
+//     golden store count (plus slack) — the runaway-loop class.
+//
+// The margins apply the same 8x stall-factor assumption the legacy watchdog
+// budget (golden cycles x 8 + 20_000) embodies, at store-gap rather than
+// whole-run granularity, so both engines misclassify only runs slowed by
+// more than 8x — and the engine-equivalence tests pin that they agree on
+// every site of the shipped universes. ArenaOptions.NoEarlyExit restores
+// the exact legacy budget semantics. Runs that halt (cleanly or wedged)
+// are never cut short, so their signatures are exact.
+type Arena struct {
+	s      *soc.SoC
+	id     int
+	entry  uint32
+	budget int64
+	early  bool
+
+	// Golden observable trace and derived watchdog bounds.
+	golden    []obsEvent
+	hangLimit int64
+	floodCap  int
+
+	// Per-run monitor state (reset by Run).
+	capturing bool
+	idx       int
+	count     int
+	diverged  bool
+	lastObs   int64
+
+	last       RunResult
+	runs       int64
+	earlyExits int64
+}
+
+// obsEvent is one observable event: a completed data-side store of the core
+// under test. The cycle stamp calibrates the hang watchdog; divergence
+// compares only address, value and size (a faulty run that is merely slower
+// is not observably divergent).
+type obsEvent struct {
+	addr  uint32
+	val   uint64
+	size  int
+	cycle int64
+}
+
+// ArenaOptions tunes an Arena.
+type ArenaOptions struct {
+	// NoEarlyExit disables the divergence watchdogs; every run then uses
+	// the full cycle budget exactly like the legacy engine.
+	NoEarlyExit bool
+}
+
+// earlySlack mirrors the constant term of the legacy watchdog budget.
+const earlySlack = 20_000
+
+// NewArena assembles the SoC once and runs the fault-free golden once to
+// capture the observable trace. cfg should carry the replayed background
+// traffic; only core id is activated regardless of cfg's Active flags.
+func NewArena(cfg soc.Config, id int, job *CoreJob, budget int64, opt ArenaOptions) (*Arena, error) {
+	for k := 0; k < soc.NumCores; k++ {
+		cfg.Cores[k].Active = k == id
+		cfg.Cores[k].Plane = nil // planes are swapped per run
+	}
+	prog, err := buildProgram(job)
+	if err != nil {
+		return nil, fmt.Errorf("arena core%d: %w", id, err)
+	}
+	s := soc.New(cfg)
+	if err := s.Load(prog); err != nil {
+		return nil, fmt.Errorf("arena core%d: %w", id, err)
+	}
+	for _, r := range job.routines() {
+		loadRoutineData(s, r)
+	}
+	s.SealBaseline()
+
+	a := &Arena{s: s, id: id, entry: prog.Base, budget: budget}
+	s.Cores[id].Core.SetStoreObserver(a.observe)
+
+	// Golden capture run: records the observable trace and calibrates the
+	// watchdog bounds. When it fails (the campaign will reject the golden
+	// anyway) early exit stays disabled and runs simply use the full budget.
+	a.capturing = true
+	_, ok := a.Run(fault.None)
+	a.capturing = false
+	if ok && !opt.NoEarlyExit {
+		a.calibrate()
+	}
+	return a, nil
+}
+
+// calibrate derives the watchdog bounds from the captured golden trace.
+func (a *Arena) calibrate() {
+	a.early = true
+	if len(a.golden) == 0 {
+		// No observable events at all: nothing to watch, keep the plain
+		// budget (the hang limit below would equal it anyway).
+		a.early = false
+		return
+	}
+	var maxGap, prev int64
+	for _, ev := range a.golden {
+		if g := ev.cycle - prev; g > maxGap {
+			maxGap = g
+		}
+		prev = ev.cycle
+	}
+	if g := a.last.Cycles - prev; g > maxGap {
+		maxGap = g
+	}
+	a.hangLimit = maxGap * 8
+	if a.hangLimit < a.last.Cycles {
+		// Never call a run hung for a silence shorter than one entire
+		// golden run: routines with dense stores would otherwise get an
+		// aggressive limit, and a hung run still stops at ~1/8 of the
+		// legacy budget.
+		a.hangLimit = a.last.Cycles
+	}
+	a.hangLimit += earlySlack
+	a.floodCap = len(a.golden)*8 + 1_000
+}
+
+// observe receives every completed store of the core under test.
+func (a *Arena) observe(addr uint32, val uint64, size int) {
+	a.lastObs = a.s.Cycle()
+	if a.capturing {
+		a.golden = append(a.golden, obsEvent{addr: addr, val: val, size: size, cycle: a.lastObs})
+		return
+	}
+	if !a.diverged {
+		if a.idx >= len(a.golden) {
+			a.diverged = true
+		} else if g := a.golden[a.idx]; g.addr != addr || g.val != val || g.size != size {
+			a.diverged = true
+		}
+		a.idx++
+	}
+	a.count++
+}
+
+// Run executes one fault run under plane p (fault.None for golden) and
+// reports the final signature plus whether the run completed cleanly. It is
+// the fault.RunFunc of this arena; each arena serves one worker goroutine.
+func (a *Arena) Run(p fault.Plane) (sig uint32, ok bool) {
+	s := a.s
+	s.Reset()
+	s.SetPlane(a.id, p)
+	s.Start(a.id, a.entry)
+	a.idx, a.count, a.diverged, a.lastObs = 0, 0, false, 0
+	a.runs++
+
+	aborted := false
+	var cycles int64
+	for cycles < a.budget {
+		if s.Done() {
+			break
+		}
+		s.Step()
+		cycles = s.Cycle()
+		if a.early && !a.capturing {
+			if cycles-a.lastObs > a.hangLimit || (a.diverged && a.count > a.floodCap) {
+				aborted = true
+				a.earlyExits++
+				break
+			}
+		}
+	}
+
+	u := s.Cores[a.id]
+	done := s.Done() && !aborted
+	a.last = RunResult{
+		Signature: u.Core.Reg(isa.RegSig),
+		OK:        done && !u.Core.Wedged(),
+		Wedged:    u.Core.Wedged(),
+		Cycles:    u.Core.Cycle(),
+		IFStall:   u.Core.Counter(fault.CntIFStall),
+		MemStall:  u.Core.Counter(fault.CntMemStall),
+		HazStall:  u.Core.Counter(fault.CntHazStall),
+		Issued2:   u.Core.Counter(fault.CntIssued2),
+		Instret:   u.Core.Counter(fault.CntInstret),
+	}
+	return a.last.Signature, a.last.OK
+}
+
+// SoC exposes the underlying system (cache statistics, bus state) for
+// inspection after a run.
+func (a *Arena) SoC() *soc.SoC { return a.s }
+
+// Last returns the full result of the most recent Run.
+func (a *Arena) Last() RunResult { return a.last }
+
+// GoldenEvents returns the length of the captured observable trace.
+func (a *Arena) GoldenEvents() int { return len(a.golden) }
+
+// Runs returns how many runs this arena has served (including the golden
+// capture run).
+func (a *Arena) Runs() int64 { return a.runs }
+
+// EarlyExits returns how many runs the divergence watchdogs terminated
+// before the full budget.
+func (a *Arena) EarlyExits() int64 { return a.earlyExits }
+
+// RunCampaign fault-simulates job on core id for every site, in the replay
+// environment cfg with the given per-run cycle budget — the shared engine
+// dispatch behind experiments campaigns and cmd/faultsim. legacy selects
+// the rebuild-per-fault reference engine (fresh SoC and reassembled
+// program per run, full budget); otherwise each worker drives one reusable
+// Arena. Both engines produce identical reports. workers <= 0 uses
+// GOMAXPROCS.
+func RunCampaign(cfg soc.Config, id int, job *CoreJob, sites []fault.Site, budget int64, workers int, legacy bool) (fault.Report, error) {
+	if legacy {
+		runOne := func(p fault.Plane) (uint32, bool) {
+			c := cfg
+			for k := 0; k < soc.NumCores; k++ {
+				c.Cores[k].Active = k == id
+			}
+			c.Cores[id].Plane = p
+			var jobs [soc.NumCores]*CoreJob
+			jobs[id] = job
+			res, _, err := RunJobs(c, jobs, budget)
+			if err != nil || res[id] == nil {
+				return 0, false
+			}
+			return res[id].Signature, res[id].OK
+		}
+		return fault.Simulate(sites, runOne, workers), nil
+	}
+	// Arenas are independent, and each construction simulates one golden
+	// capture run — build them concurrently so campaign startup costs one
+	// golden-run latency instead of one per worker.
+	n := fault.Workers(workers, len(sites))
+	arenas := make([]*Arena, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			arenas[w], errs[w] = NewArena(cfg, id, job, budget, ArenaOptions{})
+		}(w)
+	}
+	wg.Wait()
+	runners := make([]fault.RunFunc, n)
+	for w := range runners {
+		if errs[w] != nil {
+			return fault.Report{}, errs[w]
+		}
+		runners[w] = arenas[w].Run
+	}
+	return fault.SimulateWith(sites, runners), nil
+}

@@ -44,6 +44,16 @@ type fetched struct {
 	bad  bool // undecodable word
 }
 
+// decCacheSize is the decode-cache capacity (power of two).
+const decCacheSize = 256
+
+type decEntry struct {
+	word  uint32
+	valid bool
+	bad   bool
+	inst  isa.Inst
+}
+
 // uop is an instruction in flight.
 type uop struct {
 	valid  bool
@@ -95,7 +105,11 @@ type TraceFn func(TraceEvent)
 type Core struct {
 	cfg   Config
 	plane fault.Plane
-	ICU   *icu.ICU
+	// cntIncClean caches fault.AffectsCounterInc(plane): counters are
+	// bumped several times per cycle, and a plane transparent to counter
+	// increments lets bump skip the per-increment plane call.
+	cntIncClean bool
+	ICU         *icu.ICU
 
 	imem cache.Client
 	dmem cache.Client
@@ -113,11 +127,20 @@ type Core struct {
 	discardFetch bool
 	fetchQ       []fetched
 	nextIssuePC  uint32
+	// decCache memoises isa.Decode, which is pure in the fetched word:
+	// loop bodies re-decode the same handful of words every iteration (and
+	// every fault run of a reusable arena re-decodes the same program).
+	// Direct-mapped; survives Reset by construction.
+	decCache [decCacheSize]decEntry
 
-	// Pipeline latches.
-	exPkt  packet
-	memPkt packet
-	wbPkt  packet
+	// Pipeline latches. The packets live in the fixed latches array and
+	// the stage pointers rotate over it each cycle — advancing the
+	// pipeline is three pointer swaps instead of three packet copies,
+	// which matters at one advance per simulated cycle per core.
+	latches [3]packet
+	exPkt   *packet
+	memPkt  *packet
+	wbPkt   *packet
 
 	// MEM stage progress.
 	memLane    int // lane currently accessing memory (0,1) or -1
@@ -132,8 +155,14 @@ type Core struct {
 	// the Figure 1 demo and the coverage analysis read it.
 	PathUse [2][2][fault.NumPaths]int64
 
-	trace TraceFn
+	trace    TraceFn
+	storeObs StoreFn
 }
+
+// StoreFn observes completed data-side stores (address, value, size in
+// bytes). The fault-simulation arenas use it to compare a faulty run's
+// observable behaviour against the golden run's.
+type StoreFn func(addr uint32, val uint64, size int)
 
 // New builds a core. imem and dmem are the fetch- and data-side memory
 // clients (wired by the SoC), invalidate is the CINV callback (may be nil),
@@ -145,16 +174,19 @@ func New(cfg Config, imem, dmem cache.Client, invalidate func(sel int32), plane 
 	if invalidate == nil {
 		invalidate = func(int32) {}
 	}
-	return &Core{
-		cfg:        cfg,
-		plane:      plane,
-		ICU:        icu.New(cfg.ICU, plane),
-		imem:       imem,
-		dmem:       dmem,
-		invalidate: invalidate,
-		fetchQ:     make([]fetched, 0, fetchQCap),
-		memLane:    -1,
+	c := &Core{
+		cfg:         cfg,
+		plane:       plane,
+		cntIncClean: !fault.AffectsCounterInc(plane),
+		ICU:         icu.New(cfg.ICU, plane),
+		imem:        imem,
+		dmem:        dmem,
+		invalidate:  invalidate,
+		fetchQ:      make([]fetched, 0, fetchQCap),
+		memLane:     -1,
 	}
+	c.exPkt, c.memPkt, c.wbPkt = &c.latches[0], &c.latches[1], &c.latches[2]
+	return c
 }
 
 // Reset restores architectural state and points fetch at pc.
@@ -164,19 +196,36 @@ func (c *Core) Reset(pc uint32) {
 	c.fetchQ = c.fetchQ[:0]
 	c.fetchBusy = false
 	c.discardFetch = false
-	c.exPkt, c.memPkt, c.wbPkt = packet{}, packet{}, packet{}
+	c.latches = [3]packet{}
 	c.memLane = -1
 	c.memStarted = false
 	c.cycle = 0
 	c.halted = false
 	c.wedged = false
+	c.wedgePC = 0
 	c.PathUse = [2][2][fault.NumPaths]int64{}
 	c.ICU.Reset()
 	c.redirect(pc)
 }
 
+// SetPlane swaps the fault-injection plane of the core and its ICU (nil
+// restores fault-free). Combined with Reset this lets one long-lived core
+// serve many fault runs without being rebuilt.
+func (c *Core) SetPlane(plane fault.Plane) {
+	if plane == nil {
+		plane = fault.None
+	}
+	c.plane = plane
+	c.cntIncClean = !fault.AffectsCounterInc(plane)
+	c.ICU.SetPlane(plane)
+}
+
 // SetTracer attaches fn (nil detaches).
 func (c *Core) SetTracer(fn TraceFn) { c.trace = fn }
+
+// SetStoreObserver attaches fn to the MEM stage's store completion (nil
+// detaches).
+func (c *Core) SetStoreObserver(fn StoreFn) { c.storeObs = fn }
 
 // Config returns the core's configuration.
 func (c *Core) Config() Config { return c.cfg }
@@ -218,7 +267,7 @@ func (c *Core) emit(ev TraceEvent) {
 // bump increments performance counter id through the fault plane's
 // increment gate.
 func (c *Core) bump(id int, by uint64) {
-	if c.plane.CounterInc(uint8(id), true) {
+	if c.cntIncClean || c.plane.CounterInc(uint8(id), true) {
 		c.counters[id] += by
 	}
 }
@@ -252,10 +301,7 @@ func (c *Core) Step() {
 	c.cycle++
 	c.bump(fault.CntCycle, 1)
 
-	// Snapshot latches: all stage logic reads pre-cycle state.
-	exOld, memOld, wbOld := c.exPkt, c.memPkt, c.wbPkt
-
-	// WB: retire.
+	// WB: retire (reads the MEM/WB latch, mutates only the register file).
 	retired := 0
 	for lane := 0; lane < 2; lane++ {
 		u := &c.wbPkt[lane]
@@ -268,26 +314,37 @@ func (c *Core) Step() {
 		c.emit(TraceEvent{Kind: "wb", Lane: lane, PC: u.pc, Inst: u.inst})
 	}
 
+	// Snapshot the EX/MEM results: stepMEM fills load results in place,
+	// and the forwarding network below must observe the pre-cycle values.
+	// The result words are the only fields stepMEM mutates that the
+	// forwarding network reads, so nothing else needs a copy.
+	memRes := [2]uint64{c.memPkt[0].result, c.memPkt[1].result}
+
 	// MEM: progress the packet's memory accesses.
 	memDone := c.stepMEM()
 
 	if memDone {
 		// EX: execute the packet entering MEM next cycle, reading
 		// forwarding sources from the pre-cycle MEM/WB latches.
-		c.stepEX(&c.exPkt, memOld, wbOld)
+		c.stepEX(c.exPkt, c.memPkt, &memRes, c.wbPkt)
 
-		// Advance latches.
+		// Advance latches by rotating the packet buffers: the retired
+		// MEM/WB packet becomes the cleared new issue slot.
+		spare := c.wbPkt
 		c.wbPkt = c.memPkt
 		c.memPkt = c.exPkt
-		c.exPkt = packet{}
+		*spare = packet{}
+		c.exPkt = spare
 		c.memLane = -1
 		c.memStarted = false
 
 		// Issue: form the next packet (may be squashed by redirects that
 		// stepEX performed, since redirect cleared the fetch queue).
-		c.stepIssue(exOld)
+		// c.memPkt now holds the packet that was in EX this cycle — the
+		// load-use hazard source.
+		c.stepIssue(c.memPkt)
 	} else {
-		c.wbPkt = packet{}
+		*c.wbPkt = packet{}
 		if c.exPkt.any() || c.memPkt.any() {
 			c.bump(fault.CntMemStall, 1)
 			c.emit(TraceEvent{Kind: "stall", Why: "mem"})
@@ -346,6 +403,9 @@ func (c *Core) stepMEM() bool {
 		}
 		if u.isLoad {
 			u.result = c.loadExtend(u.inst.Op, data)
+		}
+		if u.isStore && c.storeObs != nil {
+			c.storeObs(u.memAddr, u.storeVal, u.memSize)
 		}
 		u.memSize = 0 // mark this lane's access complete
 		c.memLane = -1

@@ -12,14 +12,16 @@ const openBusValue = ^uint64(0)
 // stepEX executes the packet in the EX stage. memOld and wbOld are the
 // pre-cycle EX/MEM and MEM/WB latches, i.e. the packets issued one and two
 // packets earlier — the producers the forwarding network can bypass from.
-func (c *Core) stepEX(pkt *packet, memOld, wbOld packet) {
+// memRes carries memOld's pre-MEM-stage result words (the MEM stage fills
+// load results into the latch in place before EX runs).
+func (c *Core) stepEX(pkt, memOld *packet, memRes *[2]uint64, wbOld *packet) {
 	var casVal uint64 // lane 0 result, input to the cascade path
 	for lane := 0; lane < 2; lane++ {
 		u := &pkt[lane]
 		if !u.valid {
 			continue
 		}
-		a, b := c.readOperands(lane, u, memOld, wbOld, casVal)
+		a, b := c.readOperands(lane, u, memOld, memRes, wbOld, casVal)
 		c.execute(u, a, b)
 		if lane == 0 {
 			casVal = u.result
@@ -30,14 +32,14 @@ func (c *Core) stepEX(pkt *packet, memOld, wbOld packet) {
 
 // readOperands resolves both source operands of u through the forwarding
 // network.
-func (c *Core) readOperands(lane int, u *uop, memOld, wbOld packet, casVal uint64) (a, b uint64) {
+func (c *Core) readOperands(lane int, u *uop, memOld *packet, memRes *[2]uint64, wbOld *packet, casVal uint64) (a, b uint64) {
 	srcA, useA, srcB, useB := u.inst.SrcRegs()
 	pairA, pairB := pairOperands(u.inst)
 	if useA {
-		a = c.forward(uint8(lane), 0, srcA, pairA, u, memOld, wbOld, u.cascadeA, casVal)
+		a = c.forward(uint8(lane), 0, srcA, pairA, u, memOld, memRes, wbOld, u.cascadeA, casVal)
 	}
 	if useB {
-		b = c.forward(uint8(lane), 1, srcB, pairB, u, memOld, wbOld, u.cascadeB, casVal)
+		b = c.forward(uint8(lane), 1, srcB, pairB, u, memOld, memRes, wbOld, u.cascadeB, casVal)
 	}
 	return a, b
 }
@@ -48,7 +50,7 @@ func (c *Core) readOperands(lane int, u *uop, memOld, wbOld packet, casVal uint6
 // MEM/WB lane0 > register file. Loads in EX/MEM cannot forward (their data
 // arrives at the end of MEM); the hazard unit prevents that case with a
 // stall, so under fault-free operation it never arises here.
-func (c *Core) forward(lane, operand, src uint8, pairOp bool, u *uop, memOld, wbOld packet, cascade bool, casVal uint64) uint64 {
+func (c *Core) forward(lane, operand, src uint8, pairOp bool, u *uop, memOld *packet, memRes *[2]uint64, wbOld *packet, cascade bool, casVal uint64) uint64 {
 	sel := uint8(fault.PathRF)
 	switch {
 	case cascade && lane == 1:
@@ -69,9 +71,9 @@ func (c *Core) forward(lane, operand, src uint8, pairOp bool, u *uop, memOld, wb
 	case fault.PathRF:
 		v = c.readRF(src, pairOp)
 	case fault.PathEXL0:
-		v = memOld[0].result
+		v = memRes[0]
 	case fault.PathEXL1:
-		v = memOld[1].result
+		v = memRes[1]
 	case fault.PathMEML0:
 		v = wbOld[0].result
 	case fault.PathMEML1:

@@ -40,9 +40,13 @@ func (c *Core) enqueue(chunk uint64) {
 			continue
 		}
 		word := uint32(chunk >> (32 * k))
-		inst, err := isa.Decode(word)
-		c.fetchQ = append(c.fetchQ, fetched{pc: pc, inst: inst, bad: err != nil})
-		c.emit(TraceEvent{Kind: "fetch", PC: pc, Inst: inst, Lane: len(c.fetchQ)})
+		e := &c.decCache[(word^word>>11^word>>22)&(decCacheSize-1)]
+		if !e.valid || e.word != word {
+			inst, err := isa.Decode(word)
+			*e = decEntry{word: word, valid: true, bad: err != nil, inst: inst}
+		}
+		c.fetchQ = append(c.fetchQ, fetched{pc: pc, inst: e.inst, bad: e.bad})
+		c.emit(TraceEvent{Kind: "fetch", PC: pc, Inst: e.inst, Lane: len(c.fetchQ)})
 	}
 }
 
@@ -54,7 +58,7 @@ func (c *Core) popFetch(n int) {
 // stepIssue forms the next issue packet into exPkt. exOld is the packet
 // that was in EX this cycle (it is in MEM next cycle; its loads cannot
 // forward yet, which is the load-use hazard).
-func (c *Core) stepIssue(exOld packet) {
+func (c *Core) stepIssue(exOld *packet) {
 	if c.halted {
 		return
 	}
@@ -87,7 +91,7 @@ func (c *Core) stepIssue(exOld packet) {
 		return
 	}
 
-	c.exPkt[0] = c.mkUop(i0)
+	c.mkUop(&c.exPkt[0], i0)
 	c.popFetch(1)
 	c.nextIssuePC = i0.pc + 4
 	c.emit(TraceEvent{Kind: "issue", Lane: 0, PC: i0.pc, Inst: i0.inst})
@@ -103,7 +107,7 @@ func (c *Core) stepIssue(exOld packet) {
 	if !ok {
 		return
 	}
-	c.exPkt[1] = c.mkUop(i1)
+	c.mkUop(&c.exPkt[1], i1)
 	c.exPkt[1].cascadeA = casA
 	c.exPkt[1].cascadeB = casB
 	c.popFetch(1)
@@ -114,7 +118,7 @@ func (c *Core) stepIssue(exOld packet) {
 
 // canDualIssue decides whether i1 may share a packet with i0 and whether
 // its operands use the intra-packet cascade path.
-func (c *Core) canDualIssue(exOld packet, first isa.Inst, i1 fetched) (ok, casA, casB bool) {
+func (c *Core) canDualIssue(exOld *packet, first isa.Inst, i1 fetched) (ok, casA, casB bool) {
 	if i1.bad || i1.inst.Op.IsControl() || i1.inst.Op.IsSystem() || i1.inst.Op.IsPair() {
 		return false, false, false
 	}
@@ -166,7 +170,7 @@ func (c *Core) canDualIssue(exOld packet, first isa.Inst, i1 fetched) (ok, casA,
 
 // loadUseHazard reports whether any source of inst matches a load
 // destination in pkt (the packet one stage ahead).
-func (c *Core) loadUseHazard(pkt packet, candLane uint8, inst isa.Inst) bool {
+func (c *Core) loadUseHazard(pkt *packet, candLane uint8, inst isa.Inst) bool {
 	a, useA, b, useB := inst.SrcRegs()
 	detected := false
 	for exLane := uint8(0); exLane < 2; exLane++ {
@@ -198,7 +202,7 @@ func (c *Core) loadUseHazard(pkt packet, candLane uint8, inst isa.Inst) bool {
 // One stall cycle resolves them (the producer's register-file write becomes
 // visible before the consumer's EX). These are hard-wired width checks in
 // the issue logic, not comparator outputs, so no fault sites attach here.
-func (c *Core) widthHazard(pkt packet, inst isa.Inst) bool {
+func (c *Core) widthHazard(pkt *packet, inst isa.Inst) bool {
 	a, useA, b, useB := inst.SrcRegs()
 	pairA, pairB := pairOperands(inst)
 	for exLane := 0; exLane < 2; exLane++ {
@@ -250,10 +254,12 @@ func pairOperands(inst isa.Inst) (pairA, pairB bool) {
 	return false, false
 }
 
-// mkUop decodes static fields of a fetched instruction into a uop.
-func (c *Core) mkUop(f fetched) uop {
+// mkUop decodes static fields of a fetched instruction into *u (in place:
+// this runs once per issued instruction, and the issue slot is already
+// zeroed by the latch rotation).
+func (c *Core) mkUop(u *uop, f fetched) {
 	op := f.inst.Op
-	u := uop{
+	*u = uop{
 		valid:   true,
 		inst:    f.inst,
 		pc:      f.pc,
@@ -271,5 +277,4 @@ func (c *Core) mkUop(f fetched) uop {
 	case isa.OpLWP, isa.OpSWP:
 		u.memSize = 8
 	}
-	return u
 }

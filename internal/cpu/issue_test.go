@@ -19,7 +19,7 @@ func issueProbe(t *testing.T, first, second isa.Inst, exLoad bool) (dual bool, c
 			writes: true, isLoad: true, memSize: 4}
 	}
 	_ = first
-	ok, a, b := c.canDualIssue(exOld, first, fetched{inst: second})
+	ok, a, b := c.canDualIssue(&exOld, first, fetched{inst: second})
 	return ok, a, b
 }
 
@@ -92,7 +92,7 @@ func TestWidthHazardRules(t *testing.T) {
 			isa.Inst{Op: isa.OpADD, Rd: 8, Rs1: 9, Rs2: 10}, false},
 	}
 	for _, cse := range cases {
-		if got := c.widthHazard(cse.pkt, cse.inst); got != cse.want {
+		if got := c.widthHazard(&cse.pkt, cse.inst); got != cse.want {
 			t.Errorf("%s: widthHazard = %v, want %v", cse.name, got, cse.want)
 		}
 	}

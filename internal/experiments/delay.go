@@ -42,12 +42,8 @@ func DelayFaults(o Options) ([]DelayRow, error) {
 			if id >= spec.active {
 				continue
 			}
-			c := campaign{
-				underTest: id,
-				cfg:       baseConfig(spec.active, false),
-				jobs:      forwardingJobs(id, spec, func(int) core.Strategy { return core.Plain{} }, false),
-				workers:   o.Workers,
-			}
+			c := newCampaign(o, id, baseConfig(spec.active, false),
+				forwardingJobs(id, spec, func(int) core.Strategy { return core.Plain{} }, false))
 			rep, err := c.run(sites)
 			if err != nil {
 				return nil, fmt.Errorf("delay core %s: %w", coreName(id), err)
@@ -57,13 +53,9 @@ func DelayFaults(o Options) ([]DelayRow, error) {
 		mm := fault.NewMinMax(reports)
 
 		spec := scenarioSpec{active: 3, pos: soc.CodeLow, pad: 0}
-		c := campaign{
-			underTest: id,
-			cfg:       baseConfig(3, true),
-			jobs: forwardingJobs(id, spec,
-				func(int) core.Strategy { return core.CacheBased{WriteAllocate: true} }, false),
-			workers: o.Workers,
-		}
+		c := newCampaign(o, id, baseConfig(3, true),
+			forwardingJobs(id, spec,
+				func(int) core.Strategy { return core.CacheBased{WriteAllocate: true} }, false))
 		cacheRep, err := c.run(sites)
 		if err != nil {
 			return nil, fmt.Errorf("delay core %s cached: %w", coreName(id), err)

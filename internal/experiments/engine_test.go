@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/soc"
+)
+
+// runBothEngines executes the same campaign under the legacy
+// (rebuild-per-fault, full-budget) and arena (reusable SoC, early-exit)
+// engines and requires bit-identical reports: same golden, same detected
+// set, same signatures, same crash flags, site by site.
+func runBothEngines(t *testing.T, mk func(o Options) campaign, sites []fault.Site) {
+	t.Helper()
+	legacy, err := mk(Options{Engine: EngineLegacy}).run(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena, err := mk(Options{Engine: EngineArena}).run(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Golden != arena.Golden || legacy.GoldenOK != arena.GoldenOK {
+		t.Fatalf("golden mismatch: legacy %08x/%v, arena %08x/%v",
+			legacy.Golden, legacy.GoldenOK, arena.Golden, arena.GoldenOK)
+	}
+	if legacy.Detected != arena.Detected {
+		t.Errorf("detected %d (legacy) != %d (arena)", legacy.Detected, arena.Detected)
+	}
+	for i := range legacy.Results {
+		if legacy.Results[i] != arena.Results[i] {
+			t.Errorf("site %v: legacy %+v, arena %+v",
+				sites[i], legacy.Results[i], arena.Results[i])
+		}
+	}
+	if !reflect.DeepEqual(legacy.BySignal(), arena.BySignal()) {
+		t.Error("per-signal breakdown differs between engines")
+	}
+}
+
+// TestEngineEquivalenceForwarding compares the engines on the quick
+// forwarding universe (stuck-at plus transition faults) in the uncached
+// multi-core replay environment of Table II.
+func TestEngineEquivalenceForwarding(t *testing.T) {
+	sites := fault.ForwardingLogic(fault.ListOptions{DataBits: 32, BitStep: 8})
+	sites = append(sites, fault.TransitionFaults(fault.ListOptions{DataBits: 32, BitStep: 16})...)
+	fault.SortSites(sites)
+
+	spec := scenarioSpec{active: 3, pos: soc.CodeMid, pad: 8}
+	runBothEngines(t, func(o Options) campaign {
+		return newCampaign(o, 0, baseConfig(3, false),
+			forwardingJobs(0, spec, func(int) core.Strategy { return core.Plain{} }, false))
+	}, sites)
+}
+
+// TestEngineEquivalenceICU compares the engines on the quick ICU universe
+// under the cache-based strategy (Table III's multi-core arm), which
+// additionally exercises cache reset between fault runs and the
+// wedge-heavy ICU fault population.
+func TestEngineEquivalenceICU(t *testing.T) {
+	sites := fault.ICU(fault.ListOptions{BitStep: 1})
+	fault.SortSites(sites)
+	sites = fault.Sample(sites, 2)
+
+	runBothEngines(t, func(o Options) campaign {
+		return newCampaign(o, 0, baseConfig(3, true),
+			moduleJobs(0, 3, icuRoutineFor,
+				func(int) core.Strategy { return core.CacheBased{WriteAllocate: true} }))
+	}, sites)
+}

@@ -19,6 +19,22 @@ import (
 	"repro/internal/soc"
 )
 
+// Engine selects the fault-campaign execution engine.
+type Engine int
+
+const (
+	// EngineArena (the default) gives every worker one long-lived SoC:
+	// the program is assembled and loaded once, each fault run is reset +
+	// plane-swap, and runs terminate early once the divergence watchdogs
+	// prove the full cycle budget cannot change the outcome.
+	EngineArena Engine = iota
+	// EngineLegacy rebuilds the SoC and reassembles the program for every
+	// fault run and always simulates to the full watchdog budget (the
+	// pre-arena behaviour, kept as the reference the equivalence tests
+	// compare against).
+	EngineLegacy
+)
+
 // Options tunes experiment cost.
 type Options struct {
 	// Quick reduces fault universes (bit sampling) and scenario counts so
@@ -26,6 +42,8 @@ type Options struct {
 	Quick bool
 	// Workers bounds fault-simulation parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Engine selects the campaign engine (default EngineArena).
+	Engine Engine
 }
 
 func (o Options) bitStep() int {
@@ -160,6 +178,11 @@ type campaign struct {
 	cfg       soc.Config // configuration for the golden (full) run
 	jobs      [soc.NumCores]*core.CoreJob
 	workers   int
+	engine    Engine
+}
+
+func newCampaign(o Options, underTest int, cfg soc.Config, jobs [soc.NumCores]*core.CoreJob) campaign {
+	return campaign{underTest: underTest, cfg: cfg, jobs: jobs, workers: o.Workers, engine: o.Engine}
 }
 
 func (c campaign) run(sites []fault.Site) (fault.Report, error) {
@@ -178,25 +201,16 @@ func (c campaign) run(sites []fault.Site) (fault.Report, error) {
 	traffic := rec.EventsByMaster()
 	budget := golden.Cycles*8 + 20_000
 
-	// Per-fault configuration: only the core under test simulated, the
-	// other cores' bus pressure replayed.
-	runOne := func(p fault.Plane) (uint32, bool) {
-		cfg := c.cfg
-		cfg.Replay = traffic
-		for id := 0; id < soc.NumCores; id++ {
-			cfg.Cores[id].Active = id == c.underTest
-		}
-		cfg.Cores[c.underTest].Plane = p
-		var jobs [soc.NumCores]*core.CoreJob
-		jobs[c.underTest] = c.jobs[c.underTest]
-		res, _, err := core.RunJobs(cfg, jobs, budget)
-		if err != nil || res[c.underTest] == nil {
-			return 0, false
-		}
-		r := res[c.underTest]
-		return r.Signature, r.OK
+	// Per-fault environment: only the core under test simulated, the other
+	// cores' bus pressure replayed.
+	cfg := c.cfg
+	cfg.Replay = traffic
+
+	rep, err := core.RunCampaign(cfg, c.underTest, c.jobs[c.underTest], sites,
+		budget, c.workers, c.engine == EngineLegacy)
+	if err != nil {
+		return fault.Report{}, err
 	}
-	rep := fault.Simulate(sites, runOne, c.workers)
 	if !rep.GoldenOK {
 		return rep, fmt.Errorf("experiments: replay golden run failed on core %d", c.underTest)
 	}
@@ -272,12 +286,8 @@ func TableII(o Options) ([]TableIIRow, error) {
 			if id >= spec.active {
 				continue // core not active in this scenario
 			}
-			c := campaign{
-				underTest: id,
-				cfg:       baseConfig(spec.active, false),
-				jobs:      forwardingJobs(id, spec, func(int) core.Strategy { return core.Plain{} }, false),
-				workers:   o.Workers,
-			}
+			c := newCampaign(o, id, baseConfig(spec.active, false),
+				forwardingJobs(id, spec, func(int) core.Strategy { return core.Plain{} }, false))
 			rep, err := c.run(sites)
 			if err != nil {
 				return nil, fmt.Errorf("core %s: %w", coreName(id), err)
@@ -289,13 +299,9 @@ func TableII(o Options) ([]TableIIRow, error) {
 		// With the cache-based strategy (still no PCs, matching the
 		// paper's column): one representative multi-core scenario.
 		spec := scenarioSpec{active: 3, pos: soc.CodeLow, pad: 0}
-		c := campaign{
-			underTest: id,
-			cfg:       baseConfig(3, true),
-			jobs: forwardingJobs(id, spec,
-				func(int) core.Strategy { return core.CacheBased{WriteAllocate: true} }, false),
-			workers: o.Workers,
-		}
+		c := newCampaign(o, id, baseConfig(3, true),
+			forwardingJobs(id, spec,
+				func(int) core.Strategy { return core.CacheBased{WriteAllocate: true} }, false))
 		cacheRep, err := c.run(sites)
 		if err != nil {
 			return nil, fmt.Errorf("core %s cached: %w", coreName(id), err)

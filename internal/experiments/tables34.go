@@ -80,25 +80,17 @@ func TableIII(o Options) ([]TableIIIRow, error) {
 			}
 
 			// Single-core, no caches, plain execution.
-			single := campaign{
-				underTest: id,
-				cfg:       singleCoreConfig(id, false),
-				jobs:      moduleJobs(id, 1, m.mk, func(int) core.Strategy { return core.Plain{} }),
-				workers:   o.Workers,
-			}
+			single := newCampaign(o, id, singleCoreConfig(id, false),
+				moduleJobs(id, 1, m.mk, func(int) core.Strategy { return core.Plain{} }))
 			singleRep, err := single.run(sites)
 			if err != nil {
 				return nil, fmt.Errorf("table III %s core %s single: %w", m.name, coreName(id), err)
 			}
 
 			// Multi-core, cache-based.
-			multi := campaign{
-				underTest: id,
-				cfg:       baseConfig(3, true),
-				jobs: moduleJobs(id, 3, m.mk,
-					func(int) core.Strategy { return core.CacheBased{WriteAllocate: true} }),
-				workers: o.Workers,
-			}
+			multi := newCampaign(o, id, baseConfig(3, true),
+				moduleJobs(id, 3, m.mk,
+					func(int) core.Strategy { return core.CacheBased{WriteAllocate: true} }))
 			multiRep, err := multi.run(sites)
 			if err != nil {
 				return nil, fmt.Errorf("table III %s core %s multi: %w", m.name, coreName(id), err)

@@ -189,8 +189,15 @@ func TestSimulateSyntheticCampaign(t *testing.T) {
 		t.Errorf("undetected list %d", got)
 	}
 	by := rep.BySignal()
-	if by[SigMuxSel][0] != 0 {
-		t.Error("select faults cannot be detected by this runner")
+	for i := 1; i < len(by); i++ {
+		if by[i].Signal <= by[i-1].Signal {
+			t.Error("BySignal breakdown not ordered by signal")
+		}
+	}
+	for _, st := range by {
+		if st.Signal == SigMuxSel && st.Detected != 0 {
+			t.Error("select faults cannot be detected by this runner")
+		}
 	}
 }
 

@@ -36,6 +36,39 @@ type Plane interface {
 // None is the fault-free plane.
 var None Plane = noFault{}
 
+// AffectsEvLines reports whether plane p can transform an ICU event line.
+// The ICU polls every event line through the plane each clock cycle, so
+// knowing a plane is transparent there lets it skip the poll when nothing
+// is pending — a sizeable share of the fault-simulation hot path. Unknown
+// plane implementations conservatively report true.
+func AffectsEvLines(p Plane) bool {
+	switch f := p.(type) {
+	case noFault:
+		return false
+	case *Single:
+		return f.S.Unit == UnitICU && f.S.Signal == SigEvLine
+	case *Transition:
+		return false // transition faults live on the forwarding data lines
+	}
+	return true
+}
+
+// AffectsCounterInc reports whether plane p can gate a performance-counter
+// increment. The pipeline bumps several counters every clock cycle; a plane
+// known to be transparent there lets those bumps skip the per-increment
+// plane call. Unknown plane implementations conservatively report true.
+func AffectsCounterInc(p Plane) bool {
+	switch f := p.(type) {
+	case noFault:
+		return false
+	case *Single:
+		return f.S.Unit == UnitPerf && f.S.Signal == SigCntInc
+	case *Transition:
+		return false
+	}
+	return true
+}
+
 type noFault struct{}
 
 func (noFault) MuxData(_, _, _ uint8, v uint64) uint64 { return v }

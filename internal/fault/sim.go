@@ -5,16 +5,22 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // RunFunc executes the self-test procedure in a fixed environment with the
 // given injection plane and reports the final test signature plus whether
 // the run completed cleanly (halted without wedging or timing out).
-// Implementations must be safe for concurrent calls: the campaign fans out
-// over worker goroutines, each building its own SoC instance.
+// Implementations passed to Simulate must be safe for concurrent calls: the
+// campaign fans out over worker goroutines. SimulateWith instead gives each
+// worker its own RunFunc, so a runner may own mutable state (a reusable
+// simulator arena).
 type RunFunc func(p Plane) (sig uint32, ok bool)
 
-// SiteResult records one fault's outcome.
+// SiteResult records one fault's outcome. Crashed runs record signature 0:
+// the residual register value of a wedged or timed-out run is noise that
+// depends on where the watchdog fired, and canonicalising it keeps reports
+// comparable across campaign engines.
 type SiteResult struct {
 	Site      Site
 	Detected  bool
@@ -39,17 +45,31 @@ func (r Report) Coverage() float64 {
 	return 100 * float64(r.Detected) / float64(r.Total)
 }
 
-// BySignal breaks detection down per signal class.
-func (r Report) BySignal() map[Signal][2]int {
-	out := map[Signal][2]int{}
+// SignalStat is one line of the per-signal detection breakdown.
+type SignalStat struct {
+	Signal   Signal
+	Detected int
+	Total    int
+}
+
+// BySignal breaks detection down per signal class, ordered by signal so the
+// breakdown renders deterministically.
+func (r Report) BySignal() []SignalStat {
+	idx := map[Signal]int{}
+	var out []SignalStat
 	for _, res := range r.Results {
-		v := out[res.Site.Signal]
-		v[1]++
-		if res.Detected {
-			v[0]++
+		i, seen := idx[res.Site.Signal]
+		if !seen {
+			i = len(out)
+			idx[res.Site.Signal] = i
+			out = append(out, SignalStat{Signal: res.Site.Signal})
 		}
-		out[res.Site.Signal] = v
+		out[i].Total++
+		if res.Detected {
+			out[i].Detected++
+		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Signal < out[j].Signal })
 	return out
 }
 
@@ -69,34 +89,66 @@ func (r Report) String() string {
 		r.Detected, r.Total, r.Coverage(), r.Golden)
 }
 
+// Workers resolves a worker-count option: n when positive, else GOMAXPROCS,
+// in both cases capped by the number of fault sites.
+func Workers(n, sites int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > sites {
+		n = sites
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // Simulate runs the full campaign: one golden run, then one run per fault
 // site, comparing signatures. A fault is detected when the signature
 // differs from the golden one or the run does not complete (a wedged or
 // deadlocked core fails its test by construction: the watchdog expires).
-// workers <= 0 uses GOMAXPROCS.
+// run must be safe for concurrent calls. workers <= 0 uses GOMAXPROCS.
 func Simulate(sites []Site, run RunFunc, workers int) Report {
-	golden, goldenOK := run(None)
+	runners := make([]RunFunc, Workers(workers, len(sites)))
+	for i := range runners {
+		runners[i] = run
+	}
+	return SimulateWith(sites, runners)
+}
+
+// SimulateWith is Simulate with one runner per worker goroutine: runner w
+// serves every site that worker claims, so a runner may own heavyweight
+// mutable state (one long-lived SoC arena per worker). The golden reference
+// comes from runners[0](None) on the calling goroutine before the workers
+// start. Sites are claimed through a shared atomic cursor — there is no
+// producer goroutine to serialise with — and each worker writes only its
+// claimed slots of Results, with the WaitGroup providing the final
+// happens-before edge to the caller.
+func SimulateWith(sites []Site, runners []RunFunc) Report {
+	golden, goldenOK := runners[0](None)
 	rep := Report{
 		Golden:   golden,
 		GoldenOK: goldenOK,
 		Total:    len(sites),
 		Results:  make([]SiteResult, len(sites)),
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(sites) {
-		workers = len(sites)
-	}
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
+	for _, run := range runners {
 		wg.Add(1)
-		go func() {
+		go func(run RunFunc) {
 			defer wg.Done()
-			for idx := range next {
+			for {
+				idx := int(cursor.Add(1)) - 1
+				if idx >= len(sites) {
+					return
+				}
 				site := sites[idx]
 				sig, ok := run(PlaneFor(site))
+				if !ok {
+					sig = 0 // canonical crash signature
+				}
 				rep.Results[idx] = SiteResult{
 					Site:      site,
 					Signature: sig,
@@ -104,12 +156,8 @@ func Simulate(sites []Site, run RunFunc, workers int) Report {
 					Detected:  !ok || sig != golden,
 				}
 			}
-		}()
+		}(run)
 	}
-	for i := range sites {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	for _, res := range rep.Results {
 		if res.Detected {

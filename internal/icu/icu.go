@@ -34,8 +34,12 @@ type Config struct {
 type ICU struct {
 	cfg   Config
 	plane fault.Plane
+	// evClean caches fault.AffectsEvLines(plane): a transparent plane plus
+	// no pending events lets Tick skip polling the event lines entirely.
+	evClean bool
 
-	pending [fault.NumEvents]bool
+	pending    [fault.NumEvents]bool
+	numPending int
 
 	// Architectural registers (CSR-visible).
 	cause  uint32
@@ -56,12 +60,23 @@ func New(cfg Config, plane fault.Plane) *ICU {
 	if plane == nil {
 		plane = fault.None
 	}
-	return &ICU{cfg: cfg, plane: plane}
+	return &ICU{cfg: cfg, plane: plane, evClean: !fault.AffectsEvLines(plane)}
 }
 
 // Reset restores power-on state (everything clear, interrupts disabled).
 func (u *ICU) Reset() {
-	*u = ICU{cfg: u.cfg, plane: u.plane}
+	*u = ICU{cfg: u.cfg, plane: u.plane, evClean: u.evClean}
+}
+
+// SetPlane swaps the fault-injection plane (nil restores fault-free). Used
+// by reusable fault-simulation arenas, which reset one long-lived ICU
+// between runs instead of rebuilding it.
+func (u *ICU) SetPlane(plane fault.Plane) {
+	if plane == nil {
+		plane = fault.None
+	}
+	u.plane = plane
+	u.evClean = !fault.AffectsEvLines(plane)
 }
 
 // encodeCause maps pending event lines to cause bits.
@@ -84,6 +99,9 @@ func (u *ICU) encodeCause() uint32 {
 // plane can force a line stuck (spurious or missing events).
 func (u *ICU) Raise(line uint8) {
 	if u.plane.EvLine(line, true) {
+		if !u.pending[line] {
+			u.numPending++
+		}
 		u.pending[line] = true
 	}
 	if !u.counting && !u.inHandler {
@@ -96,14 +114,20 @@ func (u *ICU) Raise(line uint8) {
 // Tick advances the recognition pipeline by one clock cycle; retired is the
 // number of instructions that left the pipeline this cycle.
 func (u *ICU) Tick(retired int) {
-	// Stuck-at-1 event lines raise events spontaneously.
-	for line := uint8(0); line < fault.NumEvents; line++ {
-		if !u.pending[line] && u.plane.EvLine(line, false) {
-			u.Raise(line)
-		}
-		// Stuck-at-0 lines drop latched events.
-		if u.pending[line] && !u.plane.EvLine(line, true) {
-			u.pending[line] = false
+	// Polling the event lines through the plane is a no-op when the plane
+	// is transparent there and nothing is pending — the common case on the
+	// fault-simulation hot path.
+	if !u.evClean || u.numPending != 0 {
+		// Stuck-at-1 event lines raise events spontaneously.
+		for line := uint8(0); line < fault.NumEvents; line++ {
+			if !u.pending[line] && u.plane.EvLine(line, false) {
+				u.Raise(line)
+			}
+			// Stuck-at-0 lines drop latched events.
+			if u.pending[line] && !u.plane.EvLine(line, true) {
+				u.pending[line] = false
+				u.numPending--
+			}
 		}
 	}
 	if !u.counting {
@@ -135,6 +159,7 @@ func (u *ICU) TakeInterrupt(resumePC uint32) (vector uint32) {
 	for i := range u.pending {
 		u.pending[i] = false
 	}
+	u.numPending = 0
 	u.counting = false
 	u.inHandler = true
 	return u.vector
@@ -177,11 +202,12 @@ func (u *ICU) SetVector(v uint32) { u.vector = v &^ 3 }
 // cannot make a later event fire instantly with an inflated distance.
 func (u *ICU) ClearPending(mask uint32) {
 	for line := uint8(0); line < fault.NumEvents; line++ {
-		if mask&(1<<line) != 0 {
+		if mask&(1<<line) != 0 && u.pending[line] {
 			u.pending[line] = false
+			u.numPending--
 		}
 	}
-	if u.PendingMask() == 0 {
+	if u.numPending == 0 {
 		u.counting = false
 	}
 }

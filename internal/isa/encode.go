@@ -29,15 +29,27 @@ var opMajor = map[Op]uint32{
 	OpCSRR: 24, OpCSRW: 25, OpCINV: 26,
 }
 
-var majorOp = func() map[uint32]Op {
-	m := make(map[uint32]Op, len(opMajor))
+// majorOp and isIType are array mirrors of opMajor: Decode sits on the
+// per-fetch hot path of the pipeline model, where a map lookup per decoded
+// word is measurable. Entry 0 of majorOp (the R-type major) stays OpInvalid.
+var majorOp = func() (m [64]Op) {
 	for op, mj := range opMajor {
-		if _, dup := m[mj]; dup {
+		if mj >= 64 || mj == majorRType {
+			panic("isa: major opcode out of range")
+		}
+		if m[mj] != OpInvalid {
 			panic("isa: duplicate major opcode")
 		}
 		m[mj] = op
 	}
 	return m
+}()
+
+var isIType = func() (t [opMax]bool) {
+	for op := range opMajor {
+		t[op] = true
+	}
+	return t
 }()
 
 // zeroExtImm reports whether op's 16-bit immediate is zero-extended.
@@ -134,7 +146,7 @@ func Decode(w uint32) (Inst, error) {
 		if !funct.Valid() {
 			return Inst{}, fmt.Errorf("isa: invalid R-type funct %d", uint32(funct))
 		}
-		if _, isI := opMajor[funct]; isI {
+		if isIType[funct] {
 			return Inst{}, fmt.Errorf("isa: funct %v is not an R-type op", funct)
 		}
 		i := Inst{
@@ -149,8 +161,8 @@ func Decode(w uint32) (Inst, error) {
 		}
 		return i, nil
 	}
-	op, ok := majorOp[mj]
-	if !ok {
+	op := majorOp[mj]
+	if op == OpInvalid {
 		return Inst{}, fmt.Errorf("isa: invalid major opcode %d", mj)
 	}
 	if FormatOf(op) == FmtJump {

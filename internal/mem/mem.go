@@ -8,6 +8,7 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 )
 
 // Physical memory map of the SoC. The uncached SRAM alias maps to the same
@@ -44,24 +45,90 @@ type Device interface {
 	AccessCycles(off uint32, n int) int
 }
 
+// dirtyPageBits is the log2 of the dirty-tracking page size: writable
+// memories remember which 4 KiB pages a run has touched, so restoring
+// between fault runs copies only the touched pages instead of the whole
+// device (a run typically dirties a few data pages of the 256 KiB SRAM).
+const dirtyPageBits = 12
+
+// dirtyMap tracks written pages of a byte-addressed device.
+type dirtyMap []uint64
+
+func newDirtyMap(size uint32) dirtyMap {
+	pages := (size + (1 << dirtyPageBits) - 1) >> dirtyPageBits
+	return make(dirtyMap, (pages+63)/64)
+}
+
+func (d dirtyMap) mark(off uint32, n int) {
+	first := off >> dirtyPageBits
+	last := (off + uint32(n) - 1) >> dirtyPageBits
+	for p := first; p <= last; p++ {
+		d[p/64] |= 1 << (p % 64)
+	}
+}
+
+// sweep calls fn for every dirty page's byte range and clears the map.
+func (d dirtyMap) sweep(size uint32, fn func(lo, hi uint32)) {
+	for w := range d {
+		m := d[w]
+		d[w] = 0
+		for m != 0 {
+			p := uint32(w*64 + bits.TrailingZeros64(m))
+			m &= m - 1
+			lo := p << dirtyPageBits
+			hi := lo + 1<<dirtyPageBits
+			if hi > size {
+				hi = size
+			}
+			fn(lo, hi)
+		}
+	}
+}
+
 // RAM is simple SRAM with uniform latency.
 type RAM struct {
 	data    []byte
+	dirty   dirtyMap
 	latency int
 }
 
 // NewRAM returns a RAM of the given size and access latency in cycles.
 func NewRAM(size uint32, latency int) *RAM {
-	return &RAM{data: make([]byte, size), latency: latency}
+	return &RAM{data: make([]byte, size), dirty: newDirtyMap(size), latency: latency}
 }
 
 func (r *RAM) Size() uint32 { return uint32(len(r.data)) }
 
 func (r *RAM) Read(off uint32, dst []byte) { copy(dst, r.data[off:]) }
 
-func (r *RAM) Write(off uint32, src []byte) { copy(r.data[off:], src) }
+func (r *RAM) Write(off uint32, src []byte) {
+	if len(src) != 0 {
+		r.dirty.mark(off, len(src))
+		copy(r.data[off:], src)
+	}
+}
 
 func (r *RAM) AccessCycles(uint32, int) int { return r.latency }
+
+// Snapshot returns a copy of the RAM contents (baseline capture for
+// reusable-simulator resets).
+func (r *RAM) Snapshot() []byte { return append([]byte(nil), r.data...) }
+
+// Restore rewinds the RAM contents to a snapshot taken from a RAM of the
+// same size, copying only the pages written since the previous
+// Restore/Reset (writes before the snapshot was taken are content no-ops).
+func (r *RAM) Restore(img []byte) {
+	if len(img) != len(r.data) {
+		panic(fmt.Sprintf("mem: RAM restore size %d != %d", len(img), len(r.data)))
+	}
+	r.dirty.sweep(r.Size(), func(lo, hi uint32) { copy(r.data[lo:hi], img[lo:hi]) })
+}
+
+// Reset clears the RAM to power-on state (all zeros), sweeping only the
+// pages written since the previous Restore/Reset.
+func (r *RAM) Reset() {
+	r.dirty.sweep(r.Size(), func(lo, hi uint32) { clear(r.data[lo:hi]) })
+}
 
 // Flash models the code flash: writable only through the loader (LoadWords),
 // read-only from the bus, with per-bank wait states. Bank latencies differ
@@ -120,16 +187,40 @@ func (f *Flash) LoadWords(off uint32, words []uint32) error {
 
 // TCM is a single-cycle tightly-coupled memory private to one core.
 type TCM struct {
-	data []byte
+	data  []byte
+	dirty dirtyMap
 }
 
 // NewTCM returns a TCM of the given size.
-func NewTCM(size uint32) *TCM { return &TCM{data: make([]byte, size)} }
+func NewTCM(size uint32) *TCM { return &TCM{data: make([]byte, size), dirty: newDirtyMap(size)} }
 
-func (t *TCM) Size() uint32                 { return uint32(len(t.data)) }
-func (t *TCM) Read(off uint32, dst []byte)  { copy(dst, t.data[off:]) }
-func (t *TCM) Write(off uint32, src []byte) { copy(t.data[off:], src) }
+func (t *TCM) Size() uint32                { return uint32(len(t.data)) }
+func (t *TCM) Read(off uint32, dst []byte) { copy(dst, t.data[off:]) }
+func (t *TCM) Write(off uint32, src []byte) {
+	if len(src) != 0 {
+		t.dirty.mark(off, len(src))
+		copy(t.data[off:], src)
+	}
+}
 func (t *TCM) AccessCycles(uint32, int) int { return 1 }
+
+// Snapshot returns a copy of the TCM contents.
+func (t *TCM) Snapshot() []byte { return append([]byte(nil), t.data...) }
+
+// Restore rewinds the TCM contents to a snapshot of the same size; like
+// RAM.Restore it copies only the pages written since the previous sweep.
+func (t *TCM) Restore(img []byte) {
+	if len(img) != len(t.data) {
+		panic(fmt.Sprintf("mem: TCM restore size %d != %d", len(img), len(t.data)))
+	}
+	t.dirty.sweep(t.Size(), func(lo, hi uint32) { copy(t.data[lo:hi], img[lo:hi]) })
+}
+
+// Reset clears the TCM to power-on state (all zeros), sweeping only the
+// pages written since the previous sweep.
+func (t *TCM) Reset() {
+	t.dirty.sweep(t.Size(), func(lo, hi uint32) { clear(t.data[lo:hi]) })
+}
 
 // Word helpers shared by devices and the CPU.
 

@@ -8,6 +8,7 @@ package soc
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/asm"
 	"repro/internal/bus"
@@ -87,7 +88,14 @@ type SoC struct {
 	Cores [NumCores]*CoreUnit
 
 	replayers []*bus.Replayer
+	running   []*CoreUnit // active started cores, in core-ID order
 	cycle     int64
+
+	// Sealed baseline images restored by Reset (nil until SealBaseline):
+	// SRAM plus each core's TCMs. Flash needs no image — it is read-only
+	// from the bus, so the loaded program survives every run.
+	baseSRAM []byte
+	baseTCM  [NumCores][2][]byte // per core: ITCM, DTCM
 }
 
 // Masters per core: instruction port then data port; replay masters at the
@@ -205,11 +213,77 @@ func (s *SoC) Load(p *asm.Program) error {
 func (s *SoC) Start(id int, entry uint32) {
 	u := s.Cores[id]
 	u.Core.Reset(entry)
+	if !u.started && u.setup.Active {
+		// Keep the stepping list in core-ID order regardless of Start order.
+		s.running = append(s.running, u)
+		sort.Slice(s.running, func(i, j int) bool {
+			return s.running[i].Core.Config().CoreID < s.running[j].Core.Config().CoreID
+		})
+	}
 	u.started = true
 }
 
 // Cycle returns the global cycle count.
 func (s *SoC) Cycle() int64 { return s.cycle }
+
+// SealBaseline captures the current SRAM and TCM contents as the state
+// Reset restores. Call it once after loading programs and pattern tables;
+// every later Reset rewinds the SoC to this point instead of power-on zero.
+func (s *SoC) SealBaseline() {
+	s.baseSRAM = s.SRAM.Snapshot()
+	for id, u := range s.Cores {
+		s.baseTCM[id][0] = u.ITCM.Snapshot()
+		s.baseTCM[id][1] = u.DTCM.Snapshot()
+	}
+}
+
+// Reset rewinds the whole SoC for another run on the same hardware: cycle
+// counters, bus and replayer state, cache contents and statistics, memory
+// clients, RAM/TCM data (restored to the sealed baseline, or zeroed when no
+// baseline was sealed) and per-core architectural state. The flash image,
+// bus topology and wiring survive, so a reset SoC behaves exactly like a
+// freshly built one with the same program loaded — without reallocating
+// anything.
+func (s *SoC) Reset() {
+	s.cycle = 0
+	s.running = s.running[:0]
+	s.Bus.Reset()
+	for _, r := range s.replayers {
+		r.Reset()
+	}
+	if s.baseSRAM != nil {
+		s.SRAM.Restore(s.baseSRAM)
+	} else {
+		s.SRAM.Reset()
+	}
+	for id, u := range s.Cores {
+		if img := s.baseTCM[id]; img[0] != nil {
+			u.ITCM.Restore(img[0])
+			u.DTCM.Restore(img[1])
+		} else {
+			u.ITCM.Reset()
+			u.DTCM.Reset()
+		}
+		if u.ICache != nil {
+			u.ICache.Reset()
+		}
+		if u.DCache != nil {
+			u.DCache.Reset()
+		}
+		// Clients before the core: Core.Reset retracts in-flight fetches
+		// through the (already idle) instruction-side client.
+		u.imem.Reset()
+		u.dmem.Reset()
+		u.Core.Reset(0)
+		u.started = false
+	}
+}
+
+// SetPlane swaps core id's fault-injection plane (nil restores fault-free).
+func (s *SoC) SetPlane(id int, p fault.Plane) { s.Cores[id].Core.SetPlane(p) }
+
+// Done reports whether every active started core has halted and drained.
+func (s *SoC) Done() bool { return s.allDone() }
 
 // Step advances the whole system one clock cycle.
 func (s *SoC) Step() {
@@ -218,11 +292,7 @@ func (s *SoC) Step() {
 	for _, r := range s.replayers {
 		r.Step(s.Bus.Cycle())
 	}
-	for id := 0; id < NumCores; id++ {
-		u := s.Cores[id]
-		if !u.setup.Active || !u.started {
-			continue
-		}
+	for _, u := range s.running {
 		if s.cycle <= int64(u.setup.StartDelay) {
 			continue
 		}
@@ -250,9 +320,8 @@ func (s *SoC) Run(maxCycles int64) Result {
 }
 
 func (s *SoC) allDone() bool {
-	for id := 0; id < NumCores; id++ {
-		u := s.Cores[id]
-		if u.setup.Active && u.started && !u.Core.Done() {
+	for _, u := range s.running {
+		if !u.Core.Done() {
 			return false
 		}
 	}
@@ -344,6 +413,17 @@ func (r *router) TryAbort() bool {
 		return true
 	}
 	return false
+}
+
+// Reset implements cache.Client: resets every routed client and drops the
+// in-flight selection.
+func (r *router) Reset() {
+	for _, c := range []cache.Client{r.tcm, r.tcm2, r.uncached, r.flash, r.def} {
+		if c != nil {
+			c.Reset()
+		}
+	}
+	r.cur = nil
 }
 
 var _ cache.Client = (*router)(nil)
