@@ -1,0 +1,134 @@
+// Command conform runs the conformance suite: seeded random programs
+// cross-checked between the functional ISS, the cycle-accurate pipeline
+// (cached, uncached, bus-contended) and the fault-free arena engine, plus
+// random fault universes pushed through both campaign engines with
+// bit-identical reports required (see internal/conform).
+//
+// Usage:
+//
+//	conform [-scenario all|cached|uncached|contended|arena|campaign]
+//	        [-seed N] [-n N] [-duration D] [-selftest] [-v]
+//
+// On a mismatch the failing input is shrunk (drop-an-instruction for
+// programs, drop-a-site for fault universes) and the tool prints the
+// divergence, a one-line repro command and the minimized disassembly, then
+// exits non-zero.
+//
+// -selftest injects a decoder bug (arithmetic right shifts decode as
+// logical) into the pipeline's program image and verifies the harness
+// catches and minimizes it — the end-to-end check that the fuzzer can
+// actually find bugs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/conform"
+)
+
+func main() {
+	scenarioName := flag.String("scenario", "all", "scenario to run (all, cached, uncached, contended, arena, campaign)")
+	seed := flag.Int64("seed", 1, "first seed")
+	n := flag.Int("n", 200, "programs (or universes) per scenario")
+	duration := flag.Duration("duration", 0, "run each scenario for this long instead of -n iterations")
+	selftest := flag.Bool("selftest", false, "inject a decoder bug and require the harness to catch and minimize it")
+	verbose := flag.Bool("v", false, "print every seed")
+	flag.Parse()
+
+	if *selftest {
+		os.Exit(runSelfTest(*seed, *n, *verbose))
+	}
+
+	var scenarios []*conform.Scenario
+	if *scenarioName == "all" {
+		scenarios = conform.Scenarios()
+	} else {
+		sc, err := conform.Lookup(*scenarioName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "conform:", err)
+			os.Exit(2)
+		}
+		scenarios = []*conform.Scenario{sc}
+	}
+
+	for _, sc := range scenarios {
+		start := time.Now()
+		deadline := time.Time{}
+		if *duration > 0 {
+			deadline = start.Add(*duration)
+		}
+		iters := 0
+		for i := 0; ; i++ {
+			if deadline.IsZero() {
+				if i >= *n {
+					break
+				}
+			} else if time.Now().After(deadline) {
+				break
+			}
+			s := *seed + int64(i)
+			if *verbose {
+				fmt.Printf("scenario %-9s seed %d\n", sc.Name, s)
+			}
+			if m := sc.Run(s); m != nil {
+				report(m)
+				os.Exit(1)
+			}
+			iters++
+		}
+		fmt.Printf("scenario %-9s %4d runs ok  (%.1fs)  %s\n",
+			sc.Name, iters, time.Since(start).Seconds(), sc.Desc)
+	}
+}
+
+// report shrinks and prints a mismatch.
+func report(m *conform.Mismatch) {
+	fmt.Printf("MISMATCH: %s\n", m)
+	fmt.Println("minimizing...")
+	m.Minimize()
+	fmt.Printf("minimized: %s\n", m.Detail)
+	if m.Program != nil {
+		fmt.Printf("minimized program: %d instructions (+HALT)\n", m.Program.NumInsts())
+	} else {
+		fmt.Printf("minimized universe: %d sites\n", len(m.Sites))
+	}
+	fmt.Printf("repro: %s\n", m.Repro())
+	fmt.Println(m.Disassembly())
+}
+
+// runSelfTest injects conform.DecoderBugArithShift into the uncached
+// scenario and requires the harness to catch it within n seeds and shrink
+// the repro to a handful of instructions.
+func runSelfTest(seed int64, n int, verbose bool) int {
+	sc, err := conform.NewMutated("uncached", conform.DecoderBugArithShift)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conform:", err)
+		return 2
+	}
+	for i := 0; i < n; i++ {
+		s := seed + int64(i)
+		if verbose {
+			fmt.Printf("selftest seed %d\n", s)
+		}
+		m := sc.Run(s)
+		if m == nil {
+			continue
+		}
+		fmt.Printf("injected decoder bug caught: %s\n", m)
+		m.Minimize()
+		insts := m.Program.NumInsts()
+		fmt.Printf("minimized to %d instructions (+HALT): %s\n", insts, m.Detail)
+		fmt.Println(m.Disassembly())
+		if insts > 20 {
+			fmt.Fprintf(os.Stderr, "conform: selftest repro too large (%d instructions)\n", insts)
+			return 1
+		}
+		fmt.Println("selftest ok")
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "conform: selftest: injected bug not caught in %d seeds\n", n)
+	return 1
+}

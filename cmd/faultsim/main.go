@@ -45,21 +45,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	dataBase := func(id int) uint32 { return mem.SRAMBase + 0x2000*uint32(id+1) }
 	mkRoutine := func(id int) *sbst.Routine {
-		switch *routineName {
-		case "forwarding":
-			return sbst.NewForwardingTest(sbst.ForwardingOptions{
-				DataBase: dataBase(id), Pairs64: id == 2,
-			})
-		case "hdcu":
-			return sbst.NewHDCUTest(sbst.HDCUOptions{DataBase: dataBase(id)})
-		case "icu":
-			return sbst.NewICUTest(sbst.ICUOptions{DataBase: dataBase(id), TriggerReps: 2})
+		r, err := sbst.NewRoutineByName(*routineName, sbst.RoutineOptions{
+			DataBase:    mem.SRAMBase + 0x2000*uint32(id+1),
+			CoreID:      id,
+			TriggerReps: 2,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultsim:", err)
+			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "faultsim: unknown routine %q\n", *routineName)
-		os.Exit(2)
-		return nil
+		return r
 	}
 	var strat core.Strategy
 	cached := false

@@ -28,27 +28,12 @@ func main() {
 	base := flag.Uint("base", soc.CodeLow, "link address")
 	flag.Parse()
 
-	dataBase := mem.SRAMBase + 0x2000*uint32(*coreID+1)
-	var r *sbst.Routine
-	switch *routineName {
-	case "forwarding":
-		r = sbst.NewForwardingTest(sbst.ForwardingOptions{DataBase: dataBase, Pairs64: *coreID == 2})
-	case "hdcu":
-		r = sbst.NewHDCUTest(sbst.HDCUOptions{DataBase: dataBase})
-	case "icu":
-		r = sbst.NewICUTest(sbst.ICUOptions{DataBase: dataBase})
-	case "alu":
-		r = sbst.NewALUTest(dataBase)
-	case "shift":
-		r = sbst.NewShiftTest(dataBase)
-	case "mul":
-		r = sbst.NewMulTest(dataBase)
-	case "loadstore":
-		r = sbst.NewLoadStoreTest(dataBase)
-	case "branch":
-		r = sbst.NewBranchTest(dataBase)
-	default:
-		fmt.Fprintf(os.Stderr, "stlgen: unknown routine %q\n", *routineName)
+	r, err := sbst.NewRoutineByName(*routineName, sbst.RoutineOptions{
+		DataBase: mem.SRAMBase + 0x2000*uint32(*coreID+1),
+		CoreID:   *coreID,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stlgen:", err)
 		os.Exit(2)
 	}
 

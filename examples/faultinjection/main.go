@@ -23,8 +23,12 @@ func runOnce(plane fault.Plane) (uint32, bool) {
 		cfg.Cores[id].WriteAlloc = true
 	}
 	cfg.Cores[0].Plane = plane
+	routine, err := sbst.NewRoutineByName("forwarding", sbst.RoutineOptions{DataBase: mem.SRAMBase + 0x2000})
+	if err != nil {
+		log.Fatal(err)
+	}
 	res, _, err := core.RunSingle(cfg, 0, &core.CoreJob{
-		Routine:  sbst.NewForwardingTest(sbst.ForwardingOptions{DataBase: mem.SRAMBase + 0x2000}),
+		Routine:  routine,
 		Strategy: core.CacheBased{WriteAllocate: true},
 		CodeBase: soc.CodeLow,
 	}, 3_000_000)

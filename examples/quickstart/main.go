@@ -18,9 +18,14 @@ func main() {
 	// signature folds pipeline stall counters, so it is maximally
 	// sensitive to timing.
 	mkRoutine := func(coreID int) *sbst.Routine {
-		return sbst.NewHDCUTest(sbst.HDCUOptions{
+		r, err := sbst.NewRoutineByName("hdcu", sbst.RoutineOptions{
 			DataBase: mem.SRAMBase + 0x2000*uint32(coreID+1),
+			CoreID:   coreID,
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
 	}
 
 	// Three SoC configurations: different start phases and code positions,

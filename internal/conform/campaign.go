@@ -1,0 +1,241 @@
+package conform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/sbst"
+	"repro/internal/soc"
+)
+
+// Campaign-level conformance: the arena engine (reusable SoCs, early exit
+// on observable divergence) and the legacy engine (rebuild per fault, full
+// watchdog budget) must produce bit-identical fault reports on any
+// universe, in any environment. The fuzz scenario samples both at random;
+// CampaignEnv/CompareEngines are also the building blocks the fixed
+// engine-equivalence tests use.
+
+// maxCampaignCycles bounds the golden full-system run.
+const maxCampaignCycles = 6_000_000
+
+// CampaignEnv is one replayed fault-campaign environment: a multi-core
+// golden configuration and the core under test.
+type CampaignEnv struct {
+	Cfg       soc.Config
+	Jobs      [soc.NumCores]*core.CoreJob
+	UnderTest int
+	Workers   int // campaign parallelism (0 = GOMAXPROCS)
+}
+
+// NewCampaignEnv builds the standard campaign environment: the named
+// library routine (see sbst.NewRoutineByName) on every active core, the
+// core under test placed at pos with pad bytes of alignment padding, the
+// others at the remaining code positions.
+func NewCampaignEnv(module string, underTest, active int, pos, pad uint32, cached bool) (*CampaignEnv, error) {
+	if underTest < 0 || underTest >= active || active > soc.NumCores {
+		return nil, fmt.Errorf("conform: bad env: core %d of %d active", underTest, active)
+	}
+	cfg := soc.DefaultConfig()
+	for id := 0; id < soc.NumCores; id++ {
+		cfg.Cores[id].Active = id < active
+		cfg.Cores[id].CachesOn = cached
+		cfg.Cores[id].WriteAlloc = true
+	}
+	var strat core.Strategy = core.Plain{}
+	if cached {
+		strat = core.CacheBased{WriteAllocate: true}
+	}
+	positions := []uint32{soc.CodeLow, soc.CodeMid, soc.CodeHigh}
+	env := &CampaignEnv{Cfg: cfg, UnderTest: underTest}
+	slot := 0
+	for id := 0; id < active; id++ {
+		r, err := sbst.NewRoutineByName(module, sbst.RoutineOptions{
+			DataBase:    mem.SRAMBase + 0x2000*uint32(id+1),
+			CoreID:      id,
+			TriggerReps: 2, // keep ICU routines short for fault grading
+		})
+		if err != nil {
+			return nil, err
+		}
+		var base, alignPad uint32
+		if id == underTest {
+			base, alignPad = pos, pad
+		} else {
+			if positions[slot] == pos {
+				slot++
+			}
+			base = positions[slot%len(positions)] + 0x10000
+			slot++
+		}
+		env.Jobs[id] = &core.CoreJob{
+			Routine:  r,
+			Strategy: strat,
+			CodeBase: base,
+			AlignPad: alignPad,
+		}
+	}
+	return env, nil
+}
+
+// CompareEngines runs the campaign under both engines and returns a
+// description of any report divergence ("" when bit-identical). The golden
+// full-system run and traffic recording happen once; both engines then
+// fault-simulate against the same replayed environment.
+func (e *CampaignEnv) CompareEngines(sites []fault.Site) (string, error) {
+	replayCfg, budget, err := e.record()
+	if err != nil {
+		return "", err
+	}
+	return e.compareOn(replayCfg, budget, sites)
+}
+
+// record performs the golden run and returns the replay configuration and
+// per-fault cycle budget.
+func (e *CampaignEnv) record() (soc.Config, int64, error) {
+	var rec *bus.Recorder
+	results, _, err := core.RunJobsSetup(e.Cfg, e.Jobs, maxCampaignCycles, nil, func(s *soc.SoC) {
+		rec = s.AttachRecorder(e.UnderTest)
+	})
+	if err != nil {
+		return soc.Config{}, 0, err
+	}
+	golden := results[e.UnderTest]
+	if !golden.OK {
+		return soc.Config{}, 0, fmt.Errorf("conform: golden run failed on core %d", e.UnderTest)
+	}
+	replayCfg := e.Cfg
+	replayCfg.Replay = rec.EventsByMaster()
+	return replayCfg, golden.Cycles*8 + 20_000, nil
+}
+
+// compareOn runs both engines on an already-recorded environment.
+func (e *CampaignEnv) compareOn(replayCfg soc.Config, budget int64, sites []fault.Site) (string, error) {
+	legacy, err := core.RunCampaign(replayCfg, e.UnderTest, e.Jobs[e.UnderTest], sites,
+		budget, e.Workers, true)
+	if err != nil {
+		return "", fmt.Errorf("legacy engine: %w", err)
+	}
+	arena, err := core.RunCampaign(replayCfg, e.UnderTest, e.Jobs[e.UnderTest], sites,
+		budget, e.Workers, false)
+	if err != nil {
+		return "", fmt.Errorf("arena engine: %w", err)
+	}
+	return DiffReports(legacy, arena, sites), nil
+}
+
+// DiffReports compares two campaign reports site by site and summarises
+// any divergence ("" when bit-identical).
+func DiffReports(legacy, arena fault.Report, sites []fault.Site) string {
+	var diffs []string
+	if len(legacy.Results) != len(arena.Results) {
+		diffs = append(diffs, fmt.Sprintf("result count %d (legacy) != %d (arena)",
+			len(legacy.Results), len(arena.Results)))
+	}
+	if legacy.Golden != arena.Golden || legacy.GoldenOK != arena.GoldenOK {
+		diffs = append(diffs, fmt.Sprintf("golden %08x/%v (legacy) != %08x/%v (arena)",
+			legacy.Golden, legacy.GoldenOK, arena.Golden, arena.GoldenOK))
+	}
+	if legacy.Detected != arena.Detected {
+		diffs = append(diffs, fmt.Sprintf("detected %d (legacy) != %d (arena)",
+			legacy.Detected, arena.Detected))
+	}
+	for i := range legacy.Results {
+		if i >= len(arena.Results) {
+			diffs = append(diffs, fmt.Sprintf("arena report short: %d sites, legacy %d",
+				len(arena.Results), len(legacy.Results)))
+			break
+		}
+		if legacy.Results[i] != arena.Results[i] {
+			diffs = append(diffs, fmt.Sprintf("%v: legacy %+v, arena %+v",
+				sites[i], legacy.Results[i], arena.Results[i]))
+		}
+	}
+	return renderDiffs(diffs)
+}
+
+// runCampaignSeed is one iteration of the campaign fuzz scenario: a random
+// fault universe through a random environment, both engines, reports
+// compared bit by bit.
+func runCampaignSeed(seed int64) *Mismatch {
+	rng := rand.New(rand.NewSource(seed))
+
+	active := 2 + rng.Intn(soc.NumCores-1)
+	underTest := rng.Intn(active)
+	positions := []uint32{soc.CodeLow, soc.CodeMid, soc.CodeHigh}
+	pos := positions[rng.Intn(len(positions))]
+	pad := uint32(8 * rng.Intn(3))
+	cached := rng.Intn(2) == 0
+
+	bits := 32
+	if underTest == 2 {
+		bits = 64
+	}
+	var module string
+	var sites []fault.Site
+	switch rng.Intn(4) {
+	case 0:
+		module = "forwarding"
+		sites = fault.ForwardingLogic(fault.ListOptions{DataBits: bits, BitStep: 8})
+	case 1:
+		module = "forwarding"
+		sites = fault.TransitionFaults(fault.ListOptions{DataBits: bits, BitStep: 8})
+	case 2:
+		module = "hdcu"
+		sites = fault.HDCU(fault.ListOptions{DataBits: bits, BitStep: 8})
+	default:
+		module = "icu"
+		sites = fault.ICU(fault.ListOptions{BitStep: 1})
+	}
+	fault.SortSites(sites)
+	sites = sampleSites(rng, sites, 6)
+
+	env, err := NewCampaignEnv(module, underTest, active, pos, pad, cached)
+	if err != nil {
+		return &Mismatch{Scenario: "campaign", Seed: seed, Detail: err.Error()}
+	}
+	replayCfg, budget, err := env.record()
+	if err != nil {
+		return &Mismatch{Scenario: "campaign", Seed: seed, Detail: err.Error()}
+	}
+	recheck := func(sub []fault.Site) string {
+		detail, err := env.compareOn(replayCfg, budget, sub)
+		if err != nil {
+			return err.Error()
+		}
+		return detail
+	}
+	if detail := recheck(sites); detail != "" {
+		return &Mismatch{
+			Scenario:     "campaign",
+			Seed:         seed,
+			Detail:       fmt.Sprintf("%s campaign (%d cores, core %d under test): %s", module, active, underTest, detail),
+			Sites:        sites,
+			recheckSites: recheck,
+		}
+	}
+	return nil
+}
+
+// sampleSites draws up to n sites uniformly without replacement, keeping
+// the deterministic sorted order.
+func sampleSites(rng *rand.Rand, sites []fault.Site, n int) []fault.Site {
+	if len(sites) <= n {
+		return sites
+	}
+	picked := rng.Perm(len(sites))[:n]
+	mask := make(map[int]bool, n)
+	for _, i := range picked {
+		mask[i] = true
+	}
+	out := make([]fault.Site, 0, n)
+	for i, s := range sites {
+		if mask[i] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

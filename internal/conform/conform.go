@@ -1,0 +1,420 @@
+// Package conform is the conformance subsystem guarding the repository's
+// core invariant: timing must never change semantics. It cross-checks the
+// same randomly generated program (internal/progen) on every execution
+// engine the repository has —
+//
+//	(1) the functional interpreter (internal/iss),
+//	(2) the cycle-accurate pipeline, with caches, without caches, and
+//	    without caches while two other cores hammer the shared bus,
+//	(3) fault-free runs of the reusable arena campaign engine, including
+//	    back-to-back reset determinism,
+//
+// and, at the campaign level, fuzzes random fault universes through the
+// arena and legacy campaign engines, requiring bit-identical reports.
+//
+// On a mismatch the harness shrinks the failing input — drop-an-instruction
+// minimization for programs, drop-a-site minimization for fault universes —
+// and renders a one-line repro command plus a disassembly of the minimized
+// program (see cmd/conform).
+package conform
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/isa"
+	"repro/internal/iss"
+	"repro/internal/mem"
+	"repro/internal/progen"
+	"repro/internal/sbst"
+	"repro/internal/soc"
+)
+
+const (
+	codeBase = soc.CodeLow
+
+	// issBudget bounds the interpreter run (instructions); socBudget the
+	// pipeline runs (cycles, generously above any generated program).
+	issBudget = 200_000
+	socBudget = 20_000_000
+
+	// arenaBudget is the per-run cycle budget handed to fault-free arena
+	// checks.
+	arenaBudget = 2_000_000
+)
+
+// Mutation rewrites decoded instructions before they reach the target
+// engine — the harness's model of a decoder bug. The interpreter always
+// runs the clean image, so any semantic effect of the mutation is caught
+// as a differential mismatch. Used by the self-test mode that proves the
+// harness can catch and minimize an injected bug.
+type Mutation func(isa.Inst) isa.Inst
+
+// DecoderBugArithShift is the canonical injected bug: the decoder loses
+// the arithmetic/logical distinction of right shifts (SRA decodes as SRL,
+// SRAV as SRLV) — wrong only when the shifted value is negative.
+func DecoderBugArithShift(i isa.Inst) isa.Inst {
+	switch i.Op {
+	case isa.OpSRA:
+		i.Op = isa.OpSRL
+	case isa.OpSRAV:
+		i.Op = isa.OpSRLV
+	}
+	return i
+}
+
+// mutate returns a copy of prog with the mutation applied to every word
+// that decodes. Generated programs contain no data words, so this is
+// exactly "the target decodes the same image differently".
+func mutate(prog *asm.Program, mut Mutation) *asm.Program {
+	cp := *prog
+	cp.Words = append([]uint32(nil), prog.Words...)
+	for i, w := range cp.Words {
+		inst, err := isa.Decode(w)
+		if err != nil {
+			continue
+		}
+		m := mut(inst)
+		if m == inst {
+			continue
+		}
+		if w2, err := isa.Encode(m); err == nil {
+			cp.Words[i] = w2
+		}
+	}
+	return &cp
+}
+
+// Scenario is one conformance check, identified by name for -scenario
+// flags and repro command lines.
+type Scenario struct {
+	Name string
+	Desc string
+	run  func(seed int64) *Mismatch
+}
+
+// Run executes one iteration. A nil result means the engines agreed.
+func (s *Scenario) Run(seed int64) *Mismatch { return s.run(seed) }
+
+// Scenarios returns the full conformance suite.
+func Scenarios() []*Scenario {
+	out := []*Scenario{}
+	for _, spec := range progSpecs {
+		spec := spec
+		out = append(out, &Scenario{
+			Name: spec.name,
+			Desc: spec.desc,
+			run:  func(seed int64) *Mismatch { return spec.runSeed(seed, nil) },
+		})
+	}
+	out = append(out, &Scenario{
+		Name: "campaign",
+		Desc: "random fault universes: arena vs legacy engine reports must be bit-identical",
+		run:  runCampaignSeed,
+	})
+	return out
+}
+
+// Lookup resolves a scenario by name.
+func Lookup(name string) (*Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	var names []string
+	for _, s := range Scenarios() {
+		names = append(names, s.Name)
+	}
+	return nil, fmt.Errorf("conform: unknown scenario %q (have %s)", name, strings.Join(names, ", "))
+}
+
+// NewMutated returns a copy of a program scenario with a target-side
+// decoder mutation injected — the self-test mode. Campaign scenarios have
+// no decoder in the loop, and the arena scenario hands the program to the
+// engine as a routine rather than an image, so neither can be mutated.
+func NewMutated(name string, mut Mutation) (*Scenario, error) {
+	for _, spec := range progSpecs {
+		if spec.name == name && !spec.arena {
+			spec := spec
+			return &Scenario{
+				Name: spec.name,
+				Desc: spec.desc + " (injected decoder bug)",
+				run:  func(seed int64) *Mismatch { return spec.runSeed(seed, mut) },
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("conform: no mutable program scenario %q", name)
+}
+
+// progSpec is one program-level scenario shape.
+type progSpec struct {
+	name, desc      string
+	cached, contend bool
+	arena           bool
+}
+
+var progSpecs = []progSpec{
+	{name: "cached", desc: "ISS vs pipeline, private caches on, single core",
+		cached: true},
+	{name: "uncached", desc: "ISS vs pipeline, caches off, single core"},
+	{name: "contended", desc: "ISS vs pipeline, caches off, two cores hammering the bus",
+		contend: true},
+	{name: "arena", desc: "ISS vs fault-free arena engine runs, including reset determinism",
+		arena: true},
+}
+
+// genFor derives the generator configuration for a seed: the knobs sweep
+// 64-bit pair ops, ICU event pressure, load/store density and branch
+// density across the seed space.
+func genFor(seed int64) (p *progen.Program, has64 bool, coreID int) {
+	has64 = seed%3 == 0
+	coreID = 0
+	if has64 {
+		coreID = 2 // pair ops only run on core C
+	}
+	cfg := progen.Config{Pairs64: has64}
+	switch seed % 5 {
+	case 1:
+		cfg.TrapFrac = 0.2 // ICU recognition-pipeline pressure
+	case 2:
+		cfg.MemFrac = 0.45 // load/store heavy
+	case 3:
+		cfg.BranchFrac = 0.95 // control-flow heavy
+	case 4:
+		cfg.MemFrac = 0.05 // ALU-heavy straight line
+	}
+	return progen.Generate(seed, cfg), has64, coreID
+}
+
+func (sp progSpec) runSeed(seed int64, mut Mutation) *Mismatch {
+	p, has64, coreID := genFor(seed)
+	detail := sp.check(p, has64, coreID, mut)
+	if detail == "" {
+		return nil
+	}
+	return &Mismatch{
+		Scenario: sp.name,
+		Seed:     seed,
+		Detail:   detail,
+		Program:  p,
+		recheckProg: func(q *progen.Program) string {
+			return sp.check(q, has64, coreID, mut)
+		},
+	}
+}
+
+// check runs program p on the interpreter and on the scenario's target and
+// returns a description of the divergence ("" when the engines agree).
+func (sp progSpec) check(p *progen.Program, has64 bool, coreID int, mut Mutation) string {
+	prog, err := p.Assemble(codeBase)
+	if err != nil {
+		return fmt.Sprintf("assemble: %v", err)
+	}
+	refRegs, refScratch, err := runISS(prog, has64, p.Cfg)
+	if err != nil {
+		return fmt.Sprintf("iss: %v", err)
+	}
+	if sp.arena {
+		// The arena engine assembles its program from the routine itself,
+		// so there is no image to mutate here; NewMutated refuses arena.
+		return checkArena(p, coreID, refRegs, refScratch)
+	}
+	target := prog
+	if mut != nil {
+		target = mutate(prog, mut)
+	}
+	regs, scratch, err := runSoC(target, p.Cfg, coreID, sp.cached, sp.contend)
+	if err != nil {
+		return fmt.Sprintf("soc: %v", err)
+	}
+	var diffs []string
+	diffs = append(diffs, diffRegs(regs, refRegs)...)
+	if !sp.cached {
+		// With caches on, dirty lines may still be cache-resident
+		// (write-back policy), so the SRAM view is only authoritative for
+		// uncached runs; the spilled registers cover memory state there.
+		diffs = append(diffs, diffScratch(scratch, refScratch)...)
+	}
+	return renderDiffs(diffs)
+}
+
+// checkArena compares fault-free arena runs against the interpreter and
+// requires two consecutive runs of the same arena to agree exactly — the
+// reset-determinism invariant every fault campaign rests on.
+func checkArena(p *progen.Program, coreID int, refRegs [32]uint32, refScratch []uint32) string {
+	cfg := socConfig(coreID, false, false)
+	job := &core.CoreJob{
+		Routine:  p.Routine("fuzz"),
+		Strategy: core.Plain{},
+		CodeBase: codeBase,
+	}
+	ar, err := core.NewArena(cfg, coreID, job, arenaBudget, core.ArenaOptions{})
+	if err != nil {
+		return fmt.Sprintf("arena: %v", err)
+	}
+	read := func() ([32]uint32, []uint32) {
+		s := ar.SoC()
+		var regs [32]uint32
+		for r := uint8(0); r < 32; r++ {
+			regs[r] = s.Cores[coreID].Core.Reg(r)
+		}
+		return regs, readScratch(p.Cfg, func(addr uint32) uint32 {
+			return mem.ReadWord(s.SRAM, addr-mem.SRAMBase)
+		})
+	}
+	if _, ok := ar.Run(fault.None); !ok {
+		return "arena: fault-free run did not complete cleanly"
+	}
+	regs1, scratch1 := read()
+	var diffs []string
+	diffs = append(diffs, diffRegs(regs1, refRegs)...)
+	diffs = append(diffs, diffScratch(scratch1, refScratch)...)
+	if d := renderDiffs(diffs); d != "" {
+		return d
+	}
+	if _, ok := ar.Run(fault.None); !ok {
+		return "arena: second fault-free run did not complete cleanly"
+	}
+	regs2, scratch2 := read()
+	diffs = diffs[:0]
+	for r := 1; r <= progen.MaxOperandReg; r++ {
+		if regs2[r] != regs1[r] {
+			diffs = append(diffs, fmt.Sprintf("reset leak: r%d = %08x, first run %08x", r, regs2[r], regs1[r]))
+		}
+	}
+	for i := range scratch1 {
+		if scratch2[i] != scratch1[i] {
+			diffs = append(diffs, fmt.Sprintf("reset leak: scratch[%d] = %08x, first run %08x", i, scratch2[i], scratch1[i]))
+		}
+	}
+	return renderDiffs(diffs)
+}
+
+// runISS executes the program on the interpreter and returns final
+// registers and the scratch+spill window.
+func runISS(prog *asm.Program, has64 bool, cfg progen.Config) ([32]uint32, []uint32, error) {
+	m := iss.NewSparseMem()
+	m.LoadWords(prog.Base, prog.Words)
+	s := iss.New(m, prog.Base, has64)
+	if err := s.Run(issBudget); err != nil {
+		return s.Regs, nil, err
+	}
+	return s.Regs, readScratch(cfg, func(addr uint32) uint32 {
+		return uint32(m.Read(addr, 4))
+	}), nil
+}
+
+func readScratch(cfg progen.Config, read func(addr uint32) uint32) []uint32 {
+	out := make([]uint32, cfg.ScratchWords())
+	for i := range out {
+		out[i] = read(cfg.ScratchBase + uint32(i)*4)
+	}
+	return out
+}
+
+// socConfig returns an SoC configuration with either just the core under
+// test active, or all cores (the contended environment).
+func socConfig(coreID int, cached, contend bool) soc.Config {
+	cfg := soc.DefaultConfig()
+	for id := 0; id < soc.NumCores; id++ {
+		cfg.Cores[id].Active = id == coreID || contend
+		cfg.Cores[id].CachesOn = cached
+		cfg.Cores[id].WriteAlloc = true
+	}
+	return cfg
+}
+
+// runSoC executes the program on core coreID, optionally with the two
+// other cores running the generic STL as bus contention.
+func runSoC(prog *asm.Program, cfg progen.Config, coreID int, cached, contend bool) ([32]uint32, []uint32, error) {
+	var regs [32]uint32
+	s := soc.New(socConfig(coreID, cached, contend))
+	if err := s.Load(prog); err != nil {
+		return regs, nil, err
+	}
+	s.Start(coreID, prog.Base)
+	if contend {
+		for id := 0; id < soc.NumCores; id++ {
+			if id == coreID {
+				continue
+			}
+			if err := startContender(s, id); err != nil {
+				return regs, nil, err
+			}
+		}
+	}
+	res := s.Run(socBudget)
+	u := s.Cores[coreID]
+	if res.TimedOut || u.Core.Wedged() {
+		return regs, nil, fmt.Errorf("run failed: timeout=%v wedged=%v", res.TimedOut, u.Core.Wedged())
+	}
+	for r := uint8(0); r < 32; r++ {
+		regs[r] = u.Core.Reg(r)
+	}
+	scratch := readScratch(cfg, func(addr uint32) uint32 {
+		return mem.ReadWord(s.SRAM, addr-mem.SRAMBase)
+	})
+	return regs, scratch, nil
+}
+
+// startContender loads and starts the generic STL on core id — the bus
+// pressure of the contended scenario.
+func startContender(s *soc.SoC, id int) error {
+	routines := sbst.StandardSTL(mem.SRAMBase + 0x2000*uint32(id+1))
+	b := asm.NewBuilder()
+	for _, r := range routines {
+		r.EmitPlain(b)
+	}
+	b.Halt()
+	p, err := b.Assemble(soc.CodeMid + uint32(id)*0x8000)
+	if err != nil {
+		return err
+	}
+	if err := s.Load(p); err != nil {
+		return err
+	}
+	for _, r := range routines {
+		off := r.DataBase - mem.SRAMBase
+		for i, w := range r.DataWords {
+			mem.WriteWord(s.SRAM, off+uint32(i)*4, w)
+		}
+	}
+	s.Start(id, p.Base)
+	return nil
+}
+
+func diffRegs(got, want [32]uint32) []string {
+	var diffs []string
+	for r := 1; r <= progen.MaxOperandReg; r++ {
+		if got[r] != want[r] {
+			diffs = append(diffs, fmt.Sprintf("r%d = %08x, want %08x", r, got[r], want[r]))
+		}
+	}
+	return diffs
+}
+
+func diffScratch(got, want []uint32) []string {
+	var diffs []string
+	for i := range want {
+		if got[i] != want[i] {
+			diffs = append(diffs, fmt.Sprintf("scratch[%d] = %08x, want %08x", i, got[i], want[i]))
+		}
+	}
+	return diffs
+}
+
+// renderDiffs compresses a diff list into one line (first few entries).
+func renderDiffs(diffs []string) string {
+	if len(diffs) == 0 {
+		return ""
+	}
+	const max = 4
+	if len(diffs) > max {
+		diffs = append(diffs[:max:max], fmt.Sprintf("... %d more", len(diffs)-max))
+	}
+	return strings.Join(diffs, "; ")
+}

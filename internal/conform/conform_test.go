@@ -1,0 +1,140 @@
+package conform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/isa"
+)
+
+// TestScenariosPass: a quick sweep of every scenario — the deep sweeps run
+// in internal/iss (differential) and internal/experiments (engines), and
+// cmd/conform runs the wide ones.
+func TestScenariosPass(t *testing.T) {
+	for _, sc := range Scenarios() {
+		for seed := int64(1); seed <= 4; seed++ {
+			if m := sc.Run(seed); m != nil {
+				t.Errorf("%v", m)
+			}
+		}
+	}
+}
+
+// TestSelfTestCatchesDecoderBug injects the canonical decoder bug and
+// requires the harness to catch it and minimize the repro to at most 20
+// instructions — the acceptance bar for the shrinking machinery.
+func TestSelfTestCatchesDecoderBug(t *testing.T) {
+	// Scenarios that cannot carry the mutation must refuse it rather than
+	// silently run clean code on both sides.
+	if _, err := NewMutated("arena", DecoderBugArithShift); err == nil {
+		t.Error("arena scenario accepted a mutation it cannot apply")
+	}
+	if _, err := NewMutated("campaign", DecoderBugArithShift); err == nil {
+		t.Error("campaign scenario accepted a mutation it cannot apply")
+	}
+
+	sc, err := NewMutated("uncached", DecoderBugArithShift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		m := sc.Run(seed)
+		if m == nil {
+			continue
+		}
+		if m.Program == nil {
+			t.Fatalf("mismatch carries no program: %v", m)
+		}
+		before := m.Program.NumInsts()
+		m.Minimize()
+		after := m.Program.NumInsts()
+		t.Logf("seed %d: minimized %d -> %d instructions: %s", seed, before, after, m.Detail)
+		if after > 20 {
+			t.Errorf("repro too large: %d instructions", after)
+		}
+		if after >= before {
+			t.Errorf("minimization made no progress (%d -> %d)", before, after)
+		}
+		if m.Detail == "" {
+			t.Error("minimized mismatch lost its detail")
+		}
+		if !strings.Contains(m.Repro(), "-scenario uncached") || !strings.Contains(m.Repro(), "-seed") {
+			t.Errorf("repro line malformed: %s", m.Repro())
+		}
+		if !strings.Contains(m.Disassembly(), "halt") {
+			t.Errorf("disassembly missing: %s", m.Disassembly())
+		}
+		// The minimized program must still fail and still contain the
+		// arithmetic shift the bug corrupts.
+		if d := m.recheckProg(m.Program); d == "" {
+			t.Error("minimized program no longer fails")
+		}
+		dis := m.Disassembly()
+		if !strings.Contains(dis, "sra") {
+			t.Errorf("minimized program lost the faulty op:\n%s", dis)
+		}
+		return
+	}
+	t.Fatal("injected decoder bug not caught in 20 seeds")
+}
+
+// TestMutate: the mutation rewrites exactly the targeted ops and leaves
+// every other word bit-identical.
+func TestMutate(t *testing.T) {
+	p, _, _ := genFor(3) // seed 3 is the selftest catch; contains SRA(V)
+	prog, err := p.Assemble(codeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := mutate(prog, DecoderBugArithShift)
+	changed := 0
+	for i := range prog.Words {
+		orig, _ := isa.Decode(prog.Words[i])
+		got, _ := isa.Decode(mut.Words[i])
+		switch orig.Op {
+		case isa.OpSRA:
+			if got.Op != isa.OpSRL {
+				t.Errorf("word %d: SRA mutated to %v", i, got.Op)
+			}
+			changed++
+		case isa.OpSRAV:
+			if got.Op != isa.OpSRLV {
+				t.Errorf("word %d: SRAV mutated to %v", i, got.Op)
+			}
+			changed++
+		default:
+			if mut.Words[i] != prog.Words[i] {
+				t.Errorf("word %d (%v) changed by mutation", i, orig.Op)
+			}
+		}
+	}
+	if changed == 0 {
+		t.Error("mutation touched nothing (seed choice no longer contains arithmetic shifts)")
+	}
+}
+
+// TestMinimizeSites: the greedy site minimizer converges to exactly the
+// sites a synthetic predicate needs.
+func TestMinimizeSites(t *testing.T) {
+	sites := fault.ForwardingLogic(fault.ListOptions{DataBits: 32, BitStep: 4})
+	fault.SortSites(sites)
+	sites = sites[:10]
+	culprit := sites[7]
+	fails := func(sub []fault.Site) string {
+		for _, s := range sub {
+			if s == culprit {
+				return "still failing"
+			}
+		}
+		return ""
+	}
+	var lastDetail string
+	got := minimizeSites(sites, fails, func(d string) { lastDetail = d })
+	if len(got) != 1 || got[0] != culprit {
+		t.Fatalf("minimized to %v, want just %v", got, culprit)
+	}
+	if lastDetail != "still failing" {
+		t.Errorf("detail not updated: %q", lastDetail)
+	}
+}

@@ -1,0 +1,119 @@
+package conform
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/progen"
+)
+
+// Mismatch is one conformance failure: the scenario and seed that produced
+// it, a description of the divergence, and the failing input — a generated
+// program for program scenarios, a fault universe for campaign scenarios.
+// Minimize shrinks the input in place while it keeps failing.
+type Mismatch struct {
+	Scenario string
+	Seed     int64
+	Detail   string
+
+	// Program is the failing generated program (program scenarios).
+	Program *progen.Program
+	// Sites is the failing fault universe (campaign scenarios).
+	Sites []fault.Site
+
+	// recheck functions re-run the failing check on a reduced input and
+	// return the divergence ("" = the reduced input passes, so the
+	// reduction went too far).
+	recheckProg  func(*progen.Program) string
+	recheckSites func([]fault.Site) string
+}
+
+func (m *Mismatch) String() string {
+	return fmt.Sprintf("scenario %s seed %d: %s", m.Scenario, m.Seed, m.Detail)
+}
+
+// Repro returns the one-line command that reproduces the original failure.
+func (m *Mismatch) Repro() string {
+	return fmt.Sprintf("go run ./cmd/conform -scenario %s -seed %d -n 1", m.Scenario, m.Seed)
+}
+
+// Disassembly renders the (minimized) failing program, or the failing site
+// list for campaign mismatches.
+func (m *Mismatch) Disassembly() string {
+	if m.Program != nil {
+		prog, err := m.Program.Assemble(codeBase)
+		if err != nil {
+			return fmt.Sprintf("<assemble failed: %v>", err)
+		}
+		return prog.Listing()
+	}
+	out := ""
+	for _, s := range m.Sites {
+		out += fmt.Sprintf("  %v\n", s)
+	}
+	return out
+}
+
+// maxShrinkRounds bounds the greedy passes; each pass that removes nothing
+// terminates the loop, so this is a safety net, not the usual exit.
+const maxShrinkRounds = 10
+
+// Minimize greedily shrinks the failing input: drop-an-instruction (unit)
+// minimization for programs, drop-a-site minimization for fault universes.
+// Every candidate reduction is re-checked against the scenario; reductions
+// that stop failing are rolled back. Detail is updated to describe the
+// minimized failure.
+func (m *Mismatch) Minimize() {
+	switch {
+	case m.Program != nil && m.recheckProg != nil:
+		m.Program = minimizeProgram(m.Program, m.recheckProg, func(d string) { m.Detail = d })
+	case m.Sites != nil && m.recheckSites != nil:
+		m.Sites = minimizeSites(m.Sites, m.recheckSites, func(d string) { m.Detail = d })
+	}
+}
+
+// minimizeProgram drops units from the end first (the spill stores go
+// before the instructions that feed the divergence), re-checking after
+// each drop. onFail records the detail of the latest still-failing
+// reduction.
+func minimizeProgram(p *progen.Program, fails func(*progen.Program) string, onFail func(string)) *progen.Program {
+	for round := 0; round < maxShrinkRounds; round++ {
+		changed := false
+		for i := len(p.Units) - 1; i >= 0; i-- {
+			if p.Units[i].Pinned {
+				continue
+			}
+			q := p.WithoutUnit(i)
+			if d := fails(q); d != "" {
+				p = q
+				onFail(d)
+				changed = true
+			}
+		}
+		if !changed {
+			return p
+		}
+	}
+	return p
+}
+
+// minimizeSites is the same greedy loop over a fault universe.
+func minimizeSites(sites []fault.Site, fails func([]fault.Site) string, onFail func(string)) []fault.Site {
+	for round := 0; round < maxShrinkRounds; round++ {
+		changed := false
+		for i := len(sites) - 1; i >= 0; i-- {
+			sub := make([]fault.Site, 0, len(sites)-1)
+			sub = append(sub, sites[:i]...)
+			sub = append(sub, sites[i+1:]...)
+			if d := fails(sub); d != "" {
+				sites = sub
+				onFail(d)
+				changed = true
+			}
+		}
+		if !changed {
+			return sites
+		}
+	}
+	return sites
+}

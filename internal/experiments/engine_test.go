@@ -1,43 +1,28 @@
-package experiments
+package experiments_test
 
 import (
-	"reflect"
 	"testing"
 
-	"repro/internal/core"
+	"repro/internal/conform"
 	"repro/internal/fault"
 	"repro/internal/soc"
 )
 
-// runBothEngines executes the same campaign under the legacy
-// (rebuild-per-fault, full-budget) and arena (reusable SoC, early-exit)
-// engines and requires bit-identical reports: same golden, same detected
-// set, same signatures, same crash flags, site by site.
-func runBothEngines(t *testing.T, mk func(o Options) campaign, sites []fault.Site) {
+// The legacy (rebuild-per-fault, full-budget) and arena (reusable SoC,
+// early-exit) campaign engines must produce bit-identical reports: same
+// golden, same detected set, same signatures, same crash flags, site by
+// site. The cross-checking machinery lives in internal/conform (which also
+// fuzzes it over random universes and environments); these tests pin the
+// equivalence on the two fixed universes the paper's tables depend on.
+
+func compareEngines(t *testing.T, env *conform.CampaignEnv, sites []fault.Site) {
 	t.Helper()
-	legacy, err := mk(Options{Engine: EngineLegacy}).run(sites)
+	detail, err := env.CompareEngines(sites)
 	if err != nil {
 		t.Fatal(err)
 	}
-	arena, err := mk(Options{Engine: EngineArena}).run(sites)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if legacy.Golden != arena.Golden || legacy.GoldenOK != arena.GoldenOK {
-		t.Fatalf("golden mismatch: legacy %08x/%v, arena %08x/%v",
-			legacy.Golden, legacy.GoldenOK, arena.Golden, arena.GoldenOK)
-	}
-	if legacy.Detected != arena.Detected {
-		t.Errorf("detected %d (legacy) != %d (arena)", legacy.Detected, arena.Detected)
-	}
-	for i := range legacy.Results {
-		if legacy.Results[i] != arena.Results[i] {
-			t.Errorf("site %v: legacy %+v, arena %+v",
-				sites[i], legacy.Results[i], arena.Results[i])
-		}
-	}
-	if !reflect.DeepEqual(legacy.BySignal(), arena.BySignal()) {
-		t.Error("per-signal breakdown differs between engines")
+	if detail != "" {
+		t.Errorf("engines disagree: %s", detail)
 	}
 }
 
@@ -49,11 +34,11 @@ func TestEngineEquivalenceForwarding(t *testing.T) {
 	sites = append(sites, fault.TransitionFaults(fault.ListOptions{DataBits: 32, BitStep: 16})...)
 	fault.SortSites(sites)
 
-	spec := scenarioSpec{active: 3, pos: soc.CodeMid, pad: 8}
-	runBothEngines(t, func(o Options) campaign {
-		return newCampaign(o, 0, baseConfig(3, false),
-			forwardingJobs(0, spec, func(int) core.Strategy { return core.Plain{} }, false))
-	}, sites)
+	env, err := conform.NewCampaignEnv("forwarding", 0, 3, soc.CodeMid, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareEngines(t, env, sites)
 }
 
 // TestEngineEquivalenceICU compares the engines on the quick ICU universe
@@ -65,9 +50,25 @@ func TestEngineEquivalenceICU(t *testing.T) {
 	fault.SortSites(sites)
 	sites = fault.Sample(sites, 2)
 
-	runBothEngines(t, func(o Options) campaign {
-		return newCampaign(o, 0, baseConfig(3, true),
-			moduleJobs(0, 3, icuRoutineFor,
-				func(int) core.Strategy { return core.CacheBased{WriteAllocate: true} }))
-	}, sites)
+	env, err := conform.NewCampaignEnv("icu", 0, 3, soc.CodeLow, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareEngines(t, env, sites)
+}
+
+// TestEngineEquivalenceFuzz runs a few iterations of the conform campaign
+// fuzz scenario — random universes, random environments — from fixed
+// seeds, so the randomized surface stays exercised in the ordinary test
+// suite too.
+func TestEngineEquivalenceFuzz(t *testing.T) {
+	sc, err := conform.Lookup("campaign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		if m := sc.Run(seed); m != nil {
+			t.Errorf("%v", m)
+		}
+	}
 }

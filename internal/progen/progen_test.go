@@ -1,0 +1,190 @@
+package progen
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/iss"
+)
+
+// run executes a generated program on the interpreter, failing the test on
+// any error (non-termination, undecodable word, unsupported op).
+func run(t *testing.T, p *Program, has64 bool) *iss.ISS {
+	t.Helper()
+	prog, err := p.Assemble(0x1000)
+	if err != nil {
+		t.Fatalf("seed %d: %v", p.Seed, err)
+	}
+	m := iss.NewSparseMem()
+	m.LoadWords(prog.Base, prog.Words)
+	s := iss.New(m, prog.Base, has64)
+	if err := s.Run(500_000); err != nil {
+		t.Fatalf("seed %d: %v", p.Seed, err)
+	}
+	return s
+}
+
+// opsOf decodes the assembled program and returns the op histogram.
+func opsOf(t *testing.T, p *Program) map[isa.Op]int {
+	t.Helper()
+	prog, err := p.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := map[isa.Op]int{}
+	for _, w := range prog.Words {
+		inst, err := isa.Decode(w)
+		if err != nil {
+			t.Fatalf("seed %d: undecodable word %08x: %v", p.Seed, w, err)
+		}
+		ops[inst.Op]++
+	}
+	return ops
+}
+
+func TestDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		cfg := Config{Pairs64: seed%2 == 0, TrapFrac: 0.2}
+		a, err := Generate(seed, cfg).Assemble(0x1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(seed, cfg).Assemble(0x1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Words) != len(b.Words) {
+			t.Fatalf("seed %d: sizes differ: %d vs %d", seed, len(a.Words), len(b.Words))
+		}
+		for i := range a.Words {
+			if a.Words[i] != b.Words[i] {
+				t.Fatalf("seed %d: word %d differs: %08x vs %08x", seed, i, a.Words[i], b.Words[i])
+			}
+		}
+	}
+}
+
+func TestAlwaysTerminates(t *testing.T) {
+	configs := []Config{
+		{},
+		{Pairs64: true},
+		{MemFrac: 0.6},
+		{BranchFrac: 0.95},
+		{TrapFrac: 0.5},
+		{Pairs64: true, MemFrac: 0.5, BranchFrac: 0.9, TrapFrac: 0.3},
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		for _, cfg := range configs {
+			p := Generate(seed, cfg)
+			run(t, p, cfg.Pairs64)
+		}
+	}
+}
+
+func TestKnobsHonoured(t *testing.T) {
+	isPairOrTrap := func(ops map[isa.Op]int, pair, trap *int) {
+		for op, n := range ops {
+			if op.IsPair() {
+				*pair += n
+			}
+			switch op {
+			case isa.OpADDV, isa.OpSUBV, isa.OpMULV, isa.OpDIVV:
+				*trap += n
+			}
+		}
+	}
+	var pair, trap int
+	for seed := int64(1); seed <= 10; seed++ {
+		isPairOrTrap(opsOf(t, Generate(seed, Config{})), &pair, &trap)
+	}
+	if pair != 0 || trap != 0 {
+		t.Errorf("default config emitted %d pair and %d trap ops", pair, trap)
+	}
+	pair, trap = 0, 0
+	for seed := int64(1); seed <= 10; seed++ {
+		isPairOrTrap(opsOf(t, Generate(seed, Config{Pairs64: true, TrapFrac: 0.3})), &pair, &trap)
+	}
+	if pair == 0 {
+		t.Error("Pairs64 config emitted no pair ops across 10 seeds")
+	}
+	if trap == 0 {
+		t.Error("TrapFrac config emitted no trap ops across 10 seeds")
+	}
+}
+
+// TestMemoryStaysInWindow: every memory access of a generated program lands
+// inside the configured scratch window (plus the spill area) — the
+// precondition for differential memory comparison.
+func TestMemoryStaysInWindow(t *testing.T) {
+	cfg := Config{MemFrac: 0.6}
+	for seed := int64(1); seed <= 10; seed++ {
+		p := Generate(seed, cfg)
+		lo := p.Cfg.ScratchBase
+		hi := lo + uint32(p.Cfg.ScratchWords()*4)
+		prog, err := p.Assemble(0x1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range prog.Words {
+			inst, err := isa.Decode(w)
+			if err != nil || !inst.Op.IsMem() {
+				continue
+			}
+			if inst.Rs1 != BaseReg {
+				t.Fatalf("seed %d: memory op %v uses base r%d", seed, inst.Op, inst.Rs1)
+			}
+			if inst.Imm < 0 {
+				t.Fatalf("seed %d: %v has negative offset %d", seed, inst.Op, inst.Imm)
+			}
+			addr := lo + uint32(inst.Imm)
+			if addr+uint32(sizeOf(inst.Op)) > hi {
+				t.Fatalf("seed %d: %v at offset %d overruns window end", seed, inst.Op, inst.Imm)
+			}
+		}
+	}
+}
+
+func sizeOf(op isa.Op) int {
+	switch op {
+	case isa.OpLWP, isa.OpSWP:
+		return 8
+	case isa.OpLB, isa.OpLBU, isa.OpSB:
+		return 1
+	default:
+		return 4
+	}
+}
+
+// TestWithoutUnit: dropping any single non-pinned unit still yields a
+// valid, terminating program — the property minimization depends on.
+func TestWithoutUnit(t *testing.T) {
+	p := Generate(5, Config{Pairs64: true, TrapFrac: 0.2})
+	for i := range p.Units {
+		if p.Units[i].Pinned {
+			continue
+		}
+		run(t, p.WithoutUnit(i), true)
+	}
+	// Dropping everything but the pinned base still terminates.
+	q := p
+	for i := len(q.Units) - 1; i >= 0; i-- {
+		if !q.Units[i].Pinned {
+			q = q.WithoutUnit(i)
+		}
+	}
+	if got := len(q.Units); got != 1 {
+		t.Fatalf("expected only the pinned unit to remain, have %d", got)
+	}
+	run(t, q, true)
+}
+
+func TestUnitInstCounts(t *testing.T) {
+	p := Generate(9, Config{})
+	prog, err := p.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.NumInsts()+1, len(prog.Words); got != want {
+		t.Errorf("NumInsts+HALT = %d, assembled %d words", got, want)
+	}
+}

@@ -1,0 +1,59 @@
+package sbst
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RoutineOptions carries the per-instantiation parameters a registry
+// construction can use. Routines ignore fields that do not apply to them.
+type RoutineOptions struct {
+	// DataBase is the routine's pattern-table/scratch address.
+	DataBase uint32
+	// CoreID selects core-specific variants (the forwarding test emits
+	// 64-bit pair patterns on core C).
+	CoreID int
+	// TriggerReps bounds the ICU routine's trigger loops (0 = routine
+	// default).
+	TriggerReps int
+}
+
+// routineRegistry is the single name → constructor table shared by
+// cmd/stlgen, cmd/faultsim, the conformance harness and the examples.
+var routineRegistry = map[string]func(RoutineOptions) *Routine{
+	"forwarding": func(o RoutineOptions) *Routine {
+		return NewForwardingTest(ForwardingOptions{DataBase: o.DataBase, Pairs64: o.CoreID == 2})
+	},
+	"hdcu": func(o RoutineOptions) *Routine {
+		return NewHDCUTest(HDCUOptions{DataBase: o.DataBase})
+	},
+	"icu": func(o RoutineOptions) *Routine {
+		return NewICUTest(ICUOptions{DataBase: o.DataBase, TriggerReps: o.TriggerReps})
+	},
+	"alu":       func(o RoutineOptions) *Routine { return NewALUTest(o.DataBase) },
+	"shift":     func(o RoutineOptions) *Routine { return NewShiftTest(o.DataBase) },
+	"mul":       func(o RoutineOptions) *Routine { return NewMulTest(o.DataBase) },
+	"loadstore": func(o RoutineOptions) *Routine { return NewLoadStoreTest(o.DataBase) },
+	"branch":    func(o RoutineOptions) *Routine { return NewBranchTest(o.DataBase) },
+}
+
+// RoutineNames lists the registered routine names, sorted.
+func RoutineNames() []string {
+	names := make([]string, 0, len(routineRegistry))
+	for name := range routineRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewRoutineByName constructs a library routine by its registered name.
+func NewRoutineByName(name string, o RoutineOptions) (*Routine, error) {
+	mk, ok := routineRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("sbst: unknown routine %q (have %s)",
+			name, strings.Join(RoutineNames(), ", "))
+	}
+	return mk(o), nil
+}

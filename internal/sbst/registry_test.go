@@ -1,0 +1,36 @@
+package sbst
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRoutineRegistry(t *testing.T) {
+	for _, name := range RoutineNames() {
+		r, err := NewRoutineByName(name, RoutineOptions{DataBase: 0x2000_2000})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.DataBase != 0x2000_2000 {
+			t.Errorf("%s: DataBase not honoured (%#x)", name, r.DataBase)
+		}
+		if _, err := r.SizeBytes(); err != nil {
+			t.Errorf("%s: does not assemble: %v", name, err)
+		}
+	}
+	if _, err := NewRoutineByName("nope", RoutineOptions{}); err == nil {
+		t.Error("unknown routine accepted")
+	} else if !strings.Contains(err.Error(), "forwarding") {
+		t.Errorf("error does not list known names: %v", err)
+	}
+
+	// CoreID selects the 64-bit forwarding variant: core C's routine emits
+	// pair patterns, so it must be larger than core A's.
+	a, _ := NewRoutineByName("forwarding", RoutineOptions{DataBase: 0x2000_2000, CoreID: 0})
+	c, _ := NewRoutineByName("forwarding", RoutineOptions{DataBase: 0x2000_2000, CoreID: 2})
+	sa, _ := a.SizeBytes()
+	sc, _ := c.SizeBytes()
+	if sc <= sa {
+		t.Errorf("core C forwarding routine (%d bytes) not larger than core A's (%d)", sc, sa)
+	}
+}

@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sbst"
+	"repro/internal/soc"
+)
+
+// Partition invariants, checked over random task sets with a fixed seed:
+// every task is assigned to exactly one core, each core receives its tasks
+// in the order the LPT rule considered them (descending cost, stable), and
+// the makespan estimate is sandwiched between the heaviest single task and
+// the serial cost of running everything on one core.
+
+func TestPartitionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		nCores := 1 + rng.Intn(soc.NumCores)
+		nTasks := rng.Intn(14)
+		tasks := make([]Task, nTasks)
+		var serial int64
+		maxCost := int64(0)
+		for i := range tasks {
+			cost := 1 + rng.Int63n(10_000)
+			// Duplicate costs now and then to exercise the stable-order
+			// guarantee.
+			if i > 0 && rng.Intn(4) == 0 {
+				cost = tasks[i-1].EstCycles
+			}
+			// Distinct routine pointers give each task an identity.
+			tasks[i] = Task{Routine: &sbst.Routine{Name: "t"}, EstCycles: cost}
+			serial += cost
+			if cost > maxCost {
+				maxCost = cost
+			}
+		}
+
+		plan, err := Partition(tasks, nCores)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Exactly-once assignment, by routine-pointer identity.
+		seen := make(map[*sbst.Routine]int, nTasks)
+		assigned := 0
+		for c := 0; c < soc.NumCores; c++ {
+			if c >= nCores && len(plan.PerCore[c]) > 0 {
+				t.Fatalf("trial %d: inactive core %d received tasks", trial, c)
+			}
+			for _, task := range plan.PerCore[c] {
+				seen[task.Routine]++
+				assigned++
+			}
+		}
+		if assigned != nTasks {
+			t.Fatalf("trial %d: %d of %d tasks assigned", trial, assigned, nTasks)
+		}
+		for i := range tasks {
+			if seen[tasks[i].Routine] != 1 {
+				t.Fatalf("trial %d: task %d assigned %d times", trial, i, seen[tasks[i].Routine])
+			}
+		}
+
+		// Per-core order preserved: LPT hands out tasks in stable
+		// descending-cost order, so each core's list must be a subsequence
+		// of that order — position indices strictly increasing.
+		order := make(map[*sbst.Routine]int, nTasks)
+		sorted := append([]Task(nil), tasks...)
+		stableSortDescending(sorted)
+		for i, task := range sorted {
+			order[task.Routine] = i
+		}
+		for c := 0; c < nCores; c++ {
+			prev := -1
+			for _, task := range plan.PerCore[c] {
+				pos := order[task.Routine]
+				if pos <= prev {
+					t.Fatalf("trial %d: core %d order violated (pos %d after %d)", trial, c, pos, prev)
+				}
+				prev = pos
+			}
+		}
+
+		// Makespan bounds: no core exceeds the serial cost, the longest
+		// core carries at least the heaviest task (when any exist), and
+		// Makespan agrees with a direct recount.
+		loads := plan.Makespan()
+		var longest, total int64
+		for c := 0; c < soc.NumCores; c++ {
+			var recount int64
+			for _, task := range plan.PerCore[c] {
+				recount += task.EstCycles
+			}
+			if loads[c] != recount {
+				t.Fatalf("trial %d: Makespan()[%d] = %d, recount %d", trial, c, loads[c], recount)
+			}
+			if loads[c] > serial {
+				t.Fatalf("trial %d: core %d load %d exceeds serial cost %d", trial, c, loads[c], serial)
+			}
+			if loads[c] > longest {
+				longest = loads[c]
+			}
+			total += loads[c]
+		}
+		if total != serial {
+			t.Fatalf("trial %d: loads sum to %d, serial cost %d", trial, total, serial)
+		}
+		if nTasks > 0 && longest < maxCost {
+			t.Fatalf("trial %d: makespan %d below heaviest task %d", trial, longest, maxCost)
+		}
+	}
+}
+
+// stableSortDescending mirrors Partition's ordering rule.
+func stableSortDescending(tasks []Task) {
+	for i := 1; i < len(tasks); i++ {
+		for j := i; j > 0 && tasks[j].cost() > tasks[j-1].cost(); j-- {
+			tasks[j], tasks[j-1] = tasks[j-1], tasks[j]
+		}
+	}
+}
+
+func TestPartitionRejectsBadCoreCounts(t *testing.T) {
+	if _, err := Partition(nil, 0); err == nil {
+		t.Error("0 cores accepted")
+	}
+	if _, err := Partition(nil, soc.NumCores+1); err == nil {
+		t.Error("too many cores accepted")
+	}
+}
