@@ -1,0 +1,34 @@
+// Command conform runs the conformance suite: seeded random programs
+// cross-checked between the functional ISS, the cycle-accurate pipeline
+// (cached, uncached, bus-contended) and the fault-free arena engine, plus
+// random fault universes pushed through both campaign engines with
+// bit-identical reports required (see internal/conform).
+//
+// Usage:
+//
+//	conform [-scenario all|cached|uncached|contended|arena|campaign]
+//	        [-seed N] [-n N] [-duration D] [-cover] [-corpus DIR]
+//	        [-recipe FILE] [-selftest] [-v]
+//
+// By default each scenario runs -n fresh seeded programs (or universes).
+// With -cover the program scenarios instead run the coverage-guided corpus
+// loop: the target system is instrumented with internal/coverage counters
+// (issue slots, stalls, forwarding paths, bus contention, cache states),
+// and programs that light new coverage bits are kept and mutated
+// (splice/drop/dup/swap plus knob perturbation) while the rest are
+// discarded. Each scenario then prints a coverage summary by feature
+// group. -corpus DIR persists interesting programs as recipe JSON files
+// and reloads them on the next run (implies -cover).
+//
+// On a mismatch the failing input is shrunk (drop-an-instruction for
+// programs, drop-a-site for fault universes) and the tool prints the
+// divergence, a one-line repro command and the minimized disassembly, then
+// exits non-zero. Guided finds additionally print the failing program's
+// recipe; -recipe FILE replays such a recipe through -scenario directly.
+//
+// -selftest injects a decoder bug (arithmetic right shifts decode as
+// logical) into the pipeline's program image and verifies the harness
+// catches and minimizes it — the end-to-end check that the fuzzer can
+// actually find bugs. Combined with -cover it exercises the guided loop's
+// catch path instead of the seed sweep.
+package main

@@ -1,32 +1,14 @@
-// Command conform runs the conformance suite: seeded random programs
-// cross-checked between the functional ISS, the cycle-accurate pipeline
-// (cached, uncached, bus-contended) and the fault-free arena engine, plus
-// random fault universes pushed through both campaign engines with
-// bit-identical reports required (see internal/conform).
-//
-// Usage:
-//
-//	conform [-scenario all|cached|uncached|contended|arena|campaign]
-//	        [-seed N] [-n N] [-duration D] [-selftest] [-v]
-//
-// On a mismatch the failing input is shrunk (drop-an-instruction for
-// programs, drop-a-site for fault universes) and the tool prints the
-// divergence, a one-line repro command and the minimized disassembly, then
-// exits non-zero.
-//
-// -selftest injects a decoder bug (arithmetic right shifts decode as
-// logical) into the pipeline's program image and verifies the harness
-// catches and minimizes it — the end-to-end check that the fuzzer can
-// actually find bugs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/conform"
+	"repro/internal/progen"
 )
 
 func main() {
@@ -34,12 +16,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "first seed")
 	n := flag.Int("n", 200, "programs (or universes) per scenario")
 	duration := flag.Duration("duration", 0, "run each scenario for this long instead of -n iterations")
+	cover := flag.Bool("cover", false, "coverage-guided fuzzing: keep and mutate programs that reach new microarchitectural coverage, and print a coverage summary")
+	corpus := flag.String("corpus", "", "corpus directory of recipe files to load before fuzzing and extend with new finds (implies -cover)")
+	recipe := flag.String("recipe", "", "replay one recipe JSON file through -scenario and exit (repro mode)")
 	selftest := flag.Bool("selftest", false, "inject a decoder bug and require the harness to catch and minimize it")
 	verbose := flag.Bool("v", false, "print every seed")
 	flag.Parse()
 
+	if *corpus != "" {
+		*cover = true
+	}
+	if *recipe != "" {
+		os.Exit(replayRecipe(*recipe, *scenarioName, *selftest))
+	}
 	if *selftest {
-		os.Exit(runSelfTest(*seed, *n, *verbose))
+		os.Exit(runSelfTest(*seed, *n, *cover, *verbose))
 	}
 
 	var scenarios []*conform.Scenario
@@ -57,13 +48,32 @@ func main() {
 	for _, sc := range scenarios {
 		start := time.Now()
 		deadline := time.Time{}
+		iters := *n
 		if *duration > 0 {
 			deadline = start.Add(*duration)
+			iters = 1 << 30 // the deadline is the bound
 		}
-		iters := 0
+		if *cover && sc.Guidable() {
+			res, err := sc.Fuzz(*seed, iters, deadline, conform.FuzzOptions{CorpusDir: *corpus})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "conform:", err)
+				os.Exit(2)
+			}
+			if res.Mismatch != nil {
+				report(res.Mismatch)
+				reportGuided(sc.Name, *seed, *corpus, res)
+				os.Exit(1)
+			}
+			fmt.Printf("scenario %-9s %s  (%.1fs)\n", sc.Name, res.Summary(), time.Since(start).Seconds())
+			continue
+		}
+		if *cover {
+			fmt.Printf("scenario %-9s runs unguided (no generated program to steer)\n", sc.Name)
+		}
+		count := 0
 		for i := 0; ; i++ {
 			if deadline.IsZero() {
-				if i >= *n {
+				if i >= iters {
 					break
 				}
 			} else if time.Now().After(deadline) {
@@ -77,10 +87,10 @@ func main() {
 				report(m)
 				os.Exit(1)
 			}
-			iters++
+			count++
 		}
 		fmt.Printf("scenario %-9s %4d runs ok  (%.1fs)  %s\n",
-			sc.Name, iters, time.Since(start).Seconds(), sc.Desc)
+			sc.Name, count, time.Since(start).Seconds(), sc.Desc)
 	}
 }
 
@@ -99,36 +109,114 @@ func report(m *conform.Mismatch) {
 	fmt.Println(m.Disassembly())
 }
 
+// reportGuided prints the extra repro handles of a guided find: the
+// minimized program's standalone recipe and, when the run did not depend
+// on an evolving on-disk corpus, the deterministic loop replay line.
+func reportGuided(scenario string, seed int64, corpusDir string, res *conform.FuzzResult) {
+	if corpusDir == "" && res.Iters > 0 {
+		fmt.Printf("guided repro: go run ./cmd/conform -cover -scenario %s -seed %d -n %d\n",
+			scenario, seed, res.Iters)
+	}
+	blob, err := json.Marshal(res.Mismatch.Program.Recipe)
+	if err != nil {
+		return
+	}
+	fmt.Printf("recipe (save to FILE, replay with -recipe FILE -scenario %s):\n%s\n", scenario, blob)
+}
+
+// replayRecipe rebuilds one recipe file and runs it through the scenario
+// once — the direct repro path for corpus entries and guided finds.
+func replayRecipe(path, scenarioName string, selftest bool) int {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conform:", err)
+		return 2
+	}
+	var r progen.Recipe
+	if err := json.Unmarshal(blob, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "conform: %s: %v\n", path, err)
+		return 2
+	}
+	p, err := progen.FromRecipe(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conform:", err)
+		return 2
+	}
+	if scenarioName == "all" {
+		scenarioName = "uncached"
+	}
+	sc, err := scenarioFor(scenarioName, selftest)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conform:", err)
+		return 2
+	}
+	if m := sc.CheckProgram(p, nil); m != nil {
+		report(m)
+		fmt.Printf("replay: go run ./cmd/conform -recipe %s -scenario %s\n", path, scenarioName)
+		return 1
+	}
+	fmt.Printf("recipe %s: %d instructions, scenario %s ok\n", path, p.NumInsts(), scenarioName)
+	return 0
+}
+
+func scenarioFor(name string, selftest bool) (*conform.Scenario, error) {
+	if selftest {
+		return conform.NewMutated(name, conform.DecoderBugArithShift)
+	}
+	sc, err := conform.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if !sc.Guidable() {
+		return nil, fmt.Errorf("scenario %q does not run generated programs", name)
+	}
+	return sc, nil
+}
+
 // runSelfTest injects conform.DecoderBugArithShift into the uncached
-// scenario and requires the harness to catch it within n seeds and shrink
-// the repro to a handful of instructions.
-func runSelfTest(seed int64, n int, verbose bool) int {
+// scenario and requires the harness to catch it within n seeds (or, with
+// -cover, within n guided iterations) and shrink the repro to a handful
+// of instructions.
+func runSelfTest(seed int64, n int, cover, verbose bool) int {
 	sc, err := conform.NewMutated("uncached", conform.DecoderBugArithShift)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "conform:", err)
 		return 2
 	}
-	for i := 0; i < n; i++ {
-		s := seed + int64(i)
-		if verbose {
-			fmt.Printf("selftest seed %d\n", s)
+	var m *conform.Mismatch
+	if cover {
+		res, err := sc.Fuzz(seed, n, time.Time{}, conform.FuzzOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "conform:", err)
+			return 2
 		}
-		m := sc.Run(s)
-		if m == nil {
-			continue
+		m = res.Mismatch
+		if m != nil {
+			fmt.Printf("injected decoder bug caught after %d guided runs: %s\n", res.Iters, m)
 		}
-		fmt.Printf("injected decoder bug caught: %s\n", m)
-		m.Minimize()
-		insts := m.Program.NumInsts()
-		fmt.Printf("minimized to %d instructions (+HALT): %s\n", insts, m.Detail)
-		fmt.Println(m.Disassembly())
-		if insts > 20 {
-			fmt.Fprintf(os.Stderr, "conform: selftest repro too large (%d instructions)\n", insts)
-			return 1
+	} else {
+		for i := 0; i < n && m == nil; i++ {
+			s := seed + int64(i)
+			if verbose {
+				fmt.Printf("selftest seed %d\n", s)
+			}
+			if m = sc.Run(s); m != nil {
+				fmt.Printf("injected decoder bug caught: %s\n", m)
+			}
 		}
-		fmt.Println("selftest ok")
-		return 0
 	}
-	fmt.Fprintf(os.Stderr, "conform: selftest: injected bug not caught in %d seeds\n", n)
-	return 1
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "conform: selftest: injected bug not caught in %d runs\n", n)
+		return 1
+	}
+	m.Minimize()
+	insts := m.Program.NumInsts()
+	fmt.Printf("minimized to %d instructions (+HALT): %s\n", insts, m.Detail)
+	fmt.Println(m.Disassembly())
+	if insts > 20 {
+		fmt.Fprintf(os.Stderr, "conform: selftest repro too large (%d instructions)\n", insts)
+		return 1
+	}
+	fmt.Println("selftest ok")
+	return 0
 }

@@ -1,0 +1,18 @@
+// Command faultsim runs a standalone stuck-at fault campaign: it grades one
+// of the library's self-test routines against its module's fault universe
+// on a chosen core, under a chosen execution strategy and SoC environment,
+// and prints the coverage with a per-signal breakdown and the surviving
+// fault list.
+//
+// Usage:
+//
+//	faultsim [-routine forwarding|hdcu|icu] [-core 0|1|2]
+//	         [-strategy plain|cache|tcm] [-multicore] [-bitstep N]
+//	         [-engine arena|legacy] [-workers N] [-v]
+//
+// The default "arena" engine keeps one long-lived SoC per worker (program
+// loaded once, each fault run is reset + plane-swap) and terminates runs
+// early once they observably diverge from the golden trace and stop making
+// progress; "legacy" rebuilds the SoC per fault and always simulates to the
+// full watchdog budget. Both engines produce identical reports.
+package main

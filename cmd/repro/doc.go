@@ -1,0 +1,7 @@
+// Command repro regenerates the paper's evaluation: every table and figure
+// of Section IV, printed in the paper's layout.
+//
+// Usage:
+//
+//	repro [-quick] [-only t1|t2|t3|t4|fig1|fig2|delay] [-workers N]
+package main

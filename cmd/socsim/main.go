@@ -1,10 +1,3 @@
-// Command socsim assembles a program and runs it on one core of the
-// simulated SoC, printing the architectural outcome: registers of interest,
-// performance counters, cache statistics and bus utilisation.
-//
-// Usage:
-//
-//	socsim [-core 0|1|2] [-cached] [-contend] [-base addr] [-max cycles] prog.s
 package main
 
 import (

@@ -1,12 +1,3 @@
-// Command stlgen generates a self-test routine and prints its assembled
-// listing — the single-core form or any wrapped strategy — together with
-// size and footprint figures. Useful for inspecting exactly what the
-// strategies emit.
-//
-// Usage:
-//
-//	stlgen [-routine forwarding|hdcu|icu|alu|shift|mul|loadstore|branch]
-//	       [-strategy plain|cache|tcm] [-core N] [-base addr]
 package main
 
 import (

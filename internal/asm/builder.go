@@ -1,7 +1,3 @@
-// Package asm provides two ways to produce executable memory images for the
-// simulated SoC: a programmatic Builder, used by the SBST routine generators
-// in internal/sbst and by the wrapping strategies in internal/core, and a
-// two-pass text assembler (see parser.go) for hand-written programs.
 package asm
 
 import (

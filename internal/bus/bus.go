@@ -1,14 +1,10 @@
-// Package bus implements the single shared system bus of the SoC: one
-// transaction in flight at a time, round-robin arbitration among masters,
-// and per-master contention statistics. Bus contention between cores is the
-// root cause of the non-determinism the paper addresses, so the arbiter is
-// deliberately simple and fully deterministic.
 package bus
 
 import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/coverage"
 	"repro/internal/mem"
 )
 
@@ -67,6 +63,9 @@ type Bus struct {
 
 	totalBusy int64
 	recorder  *Recorder
+	// cov collects arbitration/contention coverage when attached; nil (the
+	// default) disables it at the cost of one branch per grant/completion.
+	cov *coverage.Map
 }
 
 // New creates a bus with n master ports and the given address regions.
@@ -104,6 +103,10 @@ func (b *Bus) Reset() {
 
 // Cycle returns the current bus cycle count.
 func (b *Bus) Cycle() int64 { return b.cycle }
+
+// SetCoverage attaches a coverage map (nil detaches). Unlike the recorder,
+// the attachment survives Reset — coverage spans many runs of one bus.
+func (b *Bus) SetCoverage(m *coverage.Map) { b.cov = m }
 
 // StatsFor returns the accumulated statistics of master id.
 func (b *Bus) StatsFor(id int) Stats { return b.stats[id] }
@@ -175,15 +178,53 @@ func (b *Bus) grantNext() {
 	}
 	b.owner = pick
 	r := &b.reqs[pick]
+	if b.cov != nil {
+		b.coverGrant(r)
+	}
 	dev, off, ok := b.resolve(r.addr)
 	if !ok {
 		// Open-bus access: completes in one cycle, reads all-ones.
+		b.cov.Inc(coverage.FeatBusOpenBus)
 		b.remaining = 1
 		return
 	}
 	b.remaining = dev.AccessCycles(off, r.n)
 	if b.remaining < 1 {
 		b.remaining = 1
+	}
+}
+
+// coverGrant records the arbitration and transaction shape of a freshly
+// granted request: how many rivals were queued behind it, its direction,
+// and its burst size class.
+func (b *Bus) coverGrant(r *request) {
+	rivals := bits.OnesCount64(b.pending) - 1
+	switch {
+	case rivals <= 0:
+		b.cov.Inc(coverage.FeatBusGrantAlone)
+	case rivals == 1:
+		b.cov.Inc(coverage.FeatBusGrantContend1)
+	case rivals == 2:
+		b.cov.Inc(coverage.FeatBusGrantContend2)
+	default:
+		b.cov.Inc(coverage.FeatBusGrantContend3)
+	}
+	if r.write {
+		b.cov.Inc(coverage.FeatBusWrite)
+	} else {
+		b.cov.Inc(coverage.FeatBusRead)
+	}
+	switch {
+	case r.n < 4:
+		b.cov.Inc(coverage.FeatBusBurstSub)
+	case r.n == 4:
+		b.cov.Inc(coverage.FeatBusBurstWord)
+	case r.n == 8 && mem.LineBytes != 8:
+		b.cov.Inc(coverage.FeatBusBurstWide)
+	case r.n >= mem.LineBytes:
+		b.cov.Inc(coverage.FeatBusBurstLine)
+	default:
+		b.cov.Inc(coverage.FeatBusBurstWide)
 	}
 }
 
@@ -297,4 +338,5 @@ func (p *Port) Cancel() {
 	}
 	r.active, r.done = false, false
 	p.bus.pending &^= 1 << p.id
+	p.bus.cov.Inc(coverage.FeatBusCancel)
 }

@@ -1,0 +1,6 @@
+// Package bus implements the single shared system bus of the SoC: one
+// transaction in flight at a time, round-robin arbitration among masters,
+// and per-master contention statistics. Bus contention between cores is the
+// root cause of the non-determinism the paper addresses, so the arbiter is
+// deliberately simple and fully deterministic.
+package bus

@@ -1,16 +1,10 @@
-// Package cache implements the private first-level caches of each core:
-// set-associative, LRU replacement, write-back with configurable
-// write-allocate or no-write-allocate policy (the paper's SoC supports
-// both), and whole-cache invalidation as used by the deterministic
-// cache-based test strategy. The package also provides the per-cycle memory
-// clients the CPU pipeline talks to: a cache controller, a cache-bypass
-// client, and a TCM client.
 package cache
 
 import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/coverage"
 	"repro/internal/mem"
 )
 
@@ -79,6 +73,11 @@ type Cache struct {
 
 	setShift uint32
 	setMask  uint32
+
+	// cov/covRole collect hit/miss/evict/writeback coverage when attached;
+	// a nil map (the default) is the zero-cost disabled mode.
+	cov     *coverage.Map
+	covRole int
 }
 
 // New builds an empty cache with the given configuration.
@@ -110,6 +109,21 @@ func (c *Cache) Config() Config { return c.cfg }
 
 // Stats returns the accumulated event counts.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// SetCoverage attaches a coverage map recording this cache's events under
+// the given role (coverage.RoleICache / RoleDCache); nil detaches. The
+// attachment survives Reset.
+func (c *Cache) SetCoverage(m *coverage.Map, role int) {
+	c.cov = m
+	c.covRole = role
+}
+
+// cover records one cache event when a coverage map is attached.
+func (c *Cache) cover(event int) {
+	if c.cov != nil {
+		c.cov.Inc(coverage.CacheFeat(c.covRole, event))
+	}
+}
 
 func (c *Cache) index(addr uint32) (set, tag uint32) {
 	return (addr >> c.setShift) & c.setMask, addr >> c.setShift >> trailingBits(c.setMask)
@@ -147,9 +161,11 @@ func (c *Cache) Read(addr uint32, n int) (v uint64, hit bool) {
 	s, w := c.lookup(addr)
 	if w < 0 {
 		c.stats.Misses++
+		c.cover(coverage.CacheMiss)
 		return 0, false
 	}
 	c.stats.Hits++
+	c.cover(coverage.CacheHit)
 	c.touch(s, w)
 	off := addr & uint32(c.cfg.LineBytes-1)
 	return readLE(c.sets[s][w].data[off:], n), true
@@ -160,9 +176,11 @@ func (c *Cache) Write(addr uint32, v uint64, n int) (hit bool) {
 	s, w := c.lookup(addr)
 	if w < 0 {
 		c.stats.Misses++
+		c.cover(coverage.CacheMiss)
 		return false
 	}
 	c.stats.Hits++
+	c.cover(coverage.CacheHit)
 	c.touch(s, w)
 	ln := &c.sets[s][w]
 	ln.dirty = true
@@ -212,6 +230,9 @@ func (c *Cache) Fill(addr uint32, way int, data []byte) {
 		c.stats.Evictions++
 		if ln.dirty {
 			c.stats.Writebacks++
+			c.cover(coverage.CacheWriteback)
+		} else {
+			c.cover(coverage.CacheEvict)
 		}
 	}
 	ln.valid = true
@@ -231,6 +252,7 @@ func (c *Cache) InvalidateAll() {
 		}
 	}
 	c.stats.Invalidates++
+	c.cover(coverage.CacheInvalidate)
 }
 
 // Reset restores power-on state: every line invalid and clean, statistics

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"repro/internal/bus"
+	"repro/internal/coverage"
 	"repro/internal/mem"
 )
 
@@ -79,6 +80,7 @@ func (c *Ctrl) Start(addr uint32, write bool, wdata uint64, size int) {
 		}
 		if !c.cache.Config().WriteAlloc {
 			// Write around: send the store to memory, do not allocate.
+			c.cache.cover(coverage.CacheWriteAround)
 			var buf [8]byte
 			writeLE(buf[:], wdata, size)
 			c.port.StartWrite(addr, buf[:size])

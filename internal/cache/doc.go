@@ -1,0 +1,8 @@
+// Package cache implements the private first-level caches of each core:
+// set-associative, LRU replacement, write-back with configurable
+// write-allocate or no-write-allocate policy (the paper's SoC supports
+// both), and whole-cache invalidation as used by the deterministic
+// cache-based test strategy. The package also provides the per-cycle memory
+// clients the CPU pipeline talks to: a cache controller, a cache-bypass
+// client, and a TCM client.
+package cache

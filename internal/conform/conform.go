@@ -1,21 +1,3 @@
-// Package conform is the conformance subsystem guarding the repository's
-// core invariant: timing must never change semantics. It cross-checks the
-// same randomly generated program (internal/progen) on every execution
-// engine the repository has —
-//
-//	(1) the functional interpreter (internal/iss),
-//	(2) the cycle-accurate pipeline, with caches, without caches, and
-//	    without caches while two other cores hammer the shared bus,
-//	(3) fault-free runs of the reusable arena campaign engine, including
-//	    back-to-back reset determinism,
-//
-// and, at the campaign level, fuzzes random fault universes through the
-// arena and legacy campaign engines, requiring bit-identical reports.
-//
-// On a mismatch the harness shrinks the failing input — drop-an-instruction
-// minimization for programs, drop-a-site minimization for fault universes —
-// and renders a one-line repro command plus a disassembly of the minimized
-// program (see cmd/conform).
 package conform
 
 import (
@@ -24,6 +6,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/core"
+	"repro/internal/coverage"
 	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/iss"
@@ -89,15 +72,42 @@ func mutate(prog *asm.Program, mut Mutation) *asm.Program {
 }
 
 // Scenario is one conformance check, identified by name for -scenario
-// flags and repro command lines.
+// flags and repro command lines. Program scenarios additionally expose
+// program-level checking (CheckProgram) and the coverage-guided corpus
+// loop (Fuzz); the campaign scenario has neither.
 type Scenario struct {
 	Name string
 	Desc string
 	run  func(seed int64) *Mismatch
+	spec *progSpec // program-level access; nil for the campaign scenario
+	mut  Mutation  // injected target-side decoder bug (self-test); nil normally
 }
 
 // Run executes one iteration. A nil result means the engines agreed.
 func (s *Scenario) Run(seed int64) *Mismatch { return s.run(seed) }
+
+// Guidable reports whether the scenario runs generated programs and so
+// supports coverage collection and guided fuzzing.
+func (s *Scenario) Guidable() bool { return s.spec != nil }
+
+// CheckProgram runs one specific program through the scenario's engines,
+// collecting coverage into cov when non-nil. A nil result means the
+// engines agreed. Only valid on Guidable scenarios.
+func (s *Scenario) CheckProgram(p *progen.Program, cov *coverage.Map) *Mismatch {
+	detail := s.spec.check(p, s.mut, cov)
+	if detail == "" {
+		return nil
+	}
+	return &Mismatch{
+		Scenario: s.Name,
+		Seed:     p.Seed,
+		Detail:   detail,
+		Program:  p,
+		recheckProg: func(q *progen.Program) string {
+			return s.spec.check(q, s.mut, nil)
+		},
+	}
+}
 
 // Scenarios returns the full conformance suite.
 func Scenarios() []*Scenario {
@@ -108,6 +118,7 @@ func Scenarios() []*Scenario {
 			Name: spec.name,
 			Desc: spec.desc,
 			run:  func(seed int64) *Mismatch { return spec.runSeed(seed, nil) },
+			spec: &spec,
 		})
 	}
 	out = append(out, &Scenario{
@@ -144,6 +155,8 @@ func NewMutated(name string, mut Mutation) (*Scenario, error) {
 				Name: spec.name,
 				Desc: spec.desc + " (injected decoder bug)",
 				run:  func(seed int64) *Mismatch { return spec.runSeed(seed, mut) },
+				spec: &spec,
+				mut:  mut,
 			}, nil
 		}
 	}
@@ -167,16 +180,11 @@ var progSpecs = []progSpec{
 		arena: true},
 }
 
-// genFor derives the generator configuration for a seed: the knobs sweep
+// cfgFor derives the generator configuration for a seed: the knobs sweep
 // 64-bit pair ops, ICU event pressure, load/store density and branch
 // density across the seed space.
-func genFor(seed int64) (p *progen.Program, has64 bool, coreID int) {
-	has64 = seed%3 == 0
-	coreID = 0
-	if has64 {
-		coreID = 2 // pair ops only run on core C
-	}
-	cfg := progen.Config{Pairs64: has64}
+func cfgFor(seed int64) progen.Config {
+	cfg := progen.Config{Pairs64: seed%3 == 0}
 	switch seed % 5 {
 	case 1:
 		cfg.TrapFrac = 0.2 // ICU recognition-pipeline pressure
@@ -187,12 +195,24 @@ func genFor(seed int64) (p *progen.Program, has64 bool, coreID int) {
 	case 4:
 		cfg.MemFrac = 0.05 // ALU-heavy straight line
 	}
-	return progen.Generate(seed, cfg), has64, coreID
+	return cfg
 }
 
+// progTarget derives the execution target from a program's configuration:
+// 64-bit pair programs must run on core C, everything else on core A.
+func progTarget(p *progen.Program) (has64 bool, coreID int) {
+	has64 = p.Cfg.Pairs64
+	if has64 {
+		coreID = 2
+	}
+	return has64, coreID
+}
+
+func genFor(seed int64) *progen.Program { return progen.Generate(seed, cfgFor(seed)) }
+
 func (sp progSpec) runSeed(seed int64, mut Mutation) *Mismatch {
-	p, has64, coreID := genFor(seed)
-	detail := sp.check(p, has64, coreID, mut)
+	p := genFor(seed)
+	detail := sp.check(p, mut, nil)
 	if detail == "" {
 		return nil
 	}
@@ -202,14 +222,18 @@ func (sp progSpec) runSeed(seed int64, mut Mutation) *Mismatch {
 		Detail:   detail,
 		Program:  p,
 		recheckProg: func(q *progen.Program) string {
-			return sp.check(q, has64, coreID, mut)
+			return sp.check(q, mut, nil)
 		},
+		fromSweep: true,
 	}
 }
 
 // check runs program p on the interpreter and on the scenario's target and
 // returns a description of the divergence ("" when the engines agree).
-func (sp progSpec) check(p *progen.Program, has64 bool, coreID int, mut Mutation) string {
+// When cov is non-nil the target system's microarchitectural coverage is
+// collected into it.
+func (sp progSpec) check(p *progen.Program, mut Mutation, cov *coverage.Map) string {
+	has64, coreID := progTarget(p)
 	prog, err := p.Assemble(codeBase)
 	if err != nil {
 		return fmt.Sprintf("assemble: %v", err)
@@ -221,13 +245,13 @@ func (sp progSpec) check(p *progen.Program, has64 bool, coreID int, mut Mutation
 	if sp.arena {
 		// The arena engine assembles its program from the routine itself,
 		// so there is no image to mutate here; NewMutated refuses arena.
-		return checkArena(p, coreID, refRegs, refScratch)
+		return checkArena(p, coreID, refRegs, refScratch, cov)
 	}
 	target := prog
 	if mut != nil {
 		target = mutate(prog, mut)
 	}
-	regs, scratch, err := runSoC(target, p.Cfg, coreID, sp.cached, sp.contend)
+	regs, scratch, err := runSoC(target, p.Cfg, coreID, sp.cached, sp.contend, cov)
 	if err != nil {
 		return fmt.Sprintf("soc: %v", err)
 	}
@@ -245,7 +269,7 @@ func (sp progSpec) check(p *progen.Program, has64 bool, coreID int, mut Mutation
 // checkArena compares fault-free arena runs against the interpreter and
 // requires two consecutive runs of the same arena to agree exactly — the
 // reset-determinism invariant every fault campaign rests on.
-func checkArena(p *progen.Program, coreID int, refRegs [32]uint32, refScratch []uint32) string {
+func checkArena(p *progen.Program, coreID int, refRegs [32]uint32, refScratch []uint32, cov *coverage.Map) string {
 	cfg := socConfig(coreID, false, false)
 	job := &core.CoreJob{
 		Routine:  p.Routine("fuzz"),
@@ -255,6 +279,12 @@ func checkArena(p *progen.Program, coreID int, refRegs [32]uint32, refScratch []
 	ar, err := core.NewArena(cfg, coreID, job, arenaBudget, core.ArenaOptions{})
 	if err != nil {
 		return fmt.Sprintf("arena: %v", err)
+	}
+	if cov != nil {
+		// Attached after construction: the golden capture run inside
+		// NewArena stays uninstrumented, the checked fault-free runs below
+		// collect.
+		ar.SoC().SetCoverage(cov)
 	}
 	read := func() ([32]uint32, []uint32) {
 		s := ar.SoC()
@@ -329,10 +359,24 @@ func socConfig(coreID int, cached, contend bool) soc.Config {
 }
 
 // runSoC executes the program on core coreID, optionally with the two
-// other cores running the generic STL as bus contention.
-func runSoC(prog *asm.Program, cfg progen.Config, coreID int, cached, contend bool) ([32]uint32, []uint32, error) {
+// other cores running the generic STL as bus contention, collecting
+// coverage into cov when non-nil.
+func runSoC(prog *asm.Program, cfg progen.Config, coreID int, cached, contend bool, cov *coverage.Map) ([32]uint32, []uint32, error) {
 	var regs [32]uint32
 	s := soc.New(socConfig(coreID, cached, contend))
+	if cov != nil {
+		s.SetCoverage(cov)
+		// Scope pipeline coverage to the core under test: the contenders
+		// run the same STL every iteration, and their constant activity
+		// would drown the generated program's signal. The shared bus stays
+		// attached — its contention states are exactly what the contended
+		// scenario exists to exercise.
+		for id := 0; id < soc.NumCores; id++ {
+			if id != coreID {
+				s.Cores[id].Core.SetCoverage(nil)
+			}
+		}
+	}
 	if err := s.Load(prog); err != nil {
 		return regs, nil, err
 	}

@@ -82,7 +82,7 @@ func TestSelfTestCatchesDecoderBug(t *testing.T) {
 // TestMutate: the mutation rewrites exactly the targeted ops and leaves
 // every other word bit-identical.
 func TestMutate(t *testing.T) {
-	p, _, _ := genFor(3) // seed 3 is the selftest catch; contains SRA(V)
+	p := genFor(3) // seed 3 is the selftest catch; contains SRA(V)
 	prog, err := p.Assemble(codeBase)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,59 @@
+package conform
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSeedCorpusReplays is the regression gate over testdata/corpus: every
+// checked-in recipe must rebuild and replay cleanly through the program
+// scenarios, and the minimized decoder-bug repros must keep catching the
+// injected bug they were shrunk against. New minimized repros land here as
+// new files; the table is the directory.
+func TestSeedCorpusReplays(t *testing.T) {
+	dir := filepath.Join("testdata", "corpus")
+	progs, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) == 0 {
+		t.Fatal("seed corpus is empty")
+	}
+
+	clean, err := Lookup("uncached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buggy, err := NewMutated("uncached", DecoderBugArithShift)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, p := range progs {
+		p := p
+		name := filepath.Base(names[i])
+		t.Run(name, func(t *testing.T) {
+			// On the clean tree every entry must pass: these are regression
+			// seeds, so any mismatch here is a real engine divergence.
+			if m := clean.CheckProgram(p, nil); m != nil {
+				t.Fatalf("clean replay diverged: %v", m)
+			}
+			if !strings.HasPrefix(name, "decoder-bug-") {
+				return
+			}
+			// A minimized repro must stay a repro: small, and still able to
+			// expose the bug it was shrunk against.
+			if n := p.NumInsts(); n > 20 {
+				t.Errorf("minimized repro grew to %d instructions", n)
+			}
+			if m := buggy.CheckProgram(p, nil); m == nil {
+				t.Error("minimized repro no longer catches the injected decoder bug")
+			}
+		})
+	}
+}

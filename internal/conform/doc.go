@@ -1,0 +1,19 @@
+// Package conform is the conformance subsystem guarding the repository's
+// core invariant: timing must never change semantics. It cross-checks the
+// same randomly generated program (internal/progen) on every execution
+// engine the repository has —
+//
+//	(1) the functional interpreter (internal/iss),
+//	(2) the cycle-accurate pipeline, with caches, without caches, and
+//	    without caches while two other cores hammer the shared bus,
+//	(3) fault-free runs of the reusable arena campaign engine, including
+//	    back-to-back reset determinism,
+//
+// and, at the campaign level, fuzzes random fault universes through the
+// arena and legacy campaign engines, requiring bit-identical reports.
+//
+// On a mismatch the harness shrinks the failing input — drop-an-instruction
+// minimization for programs, drop-a-site minimization for fault universes —
+// and renders a one-line repro command plus a disassembly of the minimized
+// program (see cmd/conform).
+package conform

@@ -1,0 +1,230 @@
+package conform
+
+// Coverage-guided fuzzing: the corpus loop that turns conform from a
+// random sampler into a feedback fuzzer. Each iteration runs one program
+// — freshly generated or mutated from a corpus parent — through the
+// scenario's differential check while collecting microarchitectural
+// coverage (internal/coverage) from the target system. Programs that
+// light coverage bits the corpus has not lit before are kept and mutated
+// further; the rest are discarded. The whole loop is deterministic in its
+// base seed, so `conform -cover -scenario X -seed N -n M` is a complete
+// repro line for anything the loop finds.
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/coverage"
+	"repro/internal/progen"
+)
+
+// FuzzOptions tunes a fuzzing loop (guided or random).
+type FuzzOptions struct {
+	// CorpusDir, when set, is loaded before the loop (every *.json recipe
+	// becomes an initial corpus entry) and receives every new interesting
+	// program found while fuzzing.
+	CorpusDir string
+
+	// FreshFrac floors the adaptive fresh fraction: guided runs start fully
+	// fresh (pure exploration) and decay towards this floor as fresh
+	// programs stop producing new coverage, shifting the budget to
+	// mutation; 0 means the default 0.35.
+	FreshFrac float64
+
+	// PerturbFrac is the fraction of fresh programs generated with
+	// rng-perturbed distribution knobs instead of the deterministic
+	// seed-sweep config; 0 means the default 0.5.
+	PerturbFrac float64
+
+	// Random disables guidance: every iteration generates a fresh seed-swept
+	// program and nothing is kept or mutated. Coverage is still collected,
+	// which makes Random the baseline the guided mode is measured against.
+	Random bool
+}
+
+func (o FuzzOptions) withDefaults() FuzzOptions {
+	if o.FreshFrac <= 0 {
+		o.FreshFrac = 0.35
+	}
+	if o.PerturbFrac <= 0 {
+		o.PerturbFrac = 0.5
+	}
+	return o
+}
+
+// frontierWindow is how many of the newest corpus entries the biased
+// parent pick draws from: fresh discoveries get mutated while they are
+// still the coverage frontier.
+const frontierWindow = 8
+
+// pickParent selects a corpus entry to mutate, biased towards the newest
+// entries (the frontier) but keeping the whole corpus reachable.
+func pickParent(rng *rand.Rand, corpus []*progen.Program) *progen.Program {
+	if n := len(corpus); n > frontierWindow && rng.Float64() < 0.5 {
+		return corpus[n-frontierWindow+rng.Intn(frontierWindow)]
+	}
+	return corpus[rng.Intn(len(corpus))]
+}
+
+// FuzzResult summarises one fuzzing loop.
+type FuzzResult struct {
+	Iters    int // programs run
+	Corpus   int // corpus entries at exit (0 in random mode)
+	NewInDir int // entries newly saved to CorpusDir
+	Bits     coverage.Bits
+	Mismatch *Mismatch // non-nil when the loop stopped on a divergence
+}
+
+// Summary renders the coverage reached, total and by feature group.
+func (r *FuzzResult) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d runs, corpus %d, coverage %d bits (", r.Iters, r.Corpus, r.Bits.Count())
+	for i, g := range r.Bits.ByGroup() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %d/%d", g.Name, g.Set, g.Total)
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Fuzz runs the corpus loop on a program scenario for up to iters
+// iterations (and, when deadline is non-zero, no longer than the
+// deadline), starting the fresh-program seed sweep at seed. It stops early
+// on the first mismatch, which carries the failing (possibly mutated)
+// program and minimizes like any other. Panics on a non-Guidable scenario.
+func (s *Scenario) Fuzz(seed int64, iters int, deadline time.Time, opts FuzzOptions) (*FuzzResult, error) {
+	if !s.Guidable() {
+		panic("conform: Fuzz on a non-program scenario")
+	}
+	opts = opts.withDefaults()
+	// The mutation stream is seeded from the base seed, so a guided run is
+	// fully reproducible from its command line.
+	rng := rand.New(rand.NewSource(seed ^ 0x636f7665726167)) // "coverag"
+	res := &FuzzResult{}
+	var corpus []*progen.Program
+
+	if opts.CorpusDir != "" {
+		loaded, err := LoadCorpus(opts.CorpusDir)
+		if err != nil {
+			return nil, err
+		}
+		cov := new(coverage.Map)
+		for _, p := range loaded {
+			cov.Reset()
+			if m := s.CheckProgram(p, cov); m != nil {
+				res.Mismatch = m
+				return res, nil
+			}
+			bits := cov.Bits()
+			if res.Bits.Or(&bits) && !opts.Random {
+				corpus = append(corpus, p)
+			}
+		}
+	}
+
+	cov := new(coverage.Map)
+	nextSeed := seed
+	// freshP is the adaptive exploration rate: start fully fresh so guided
+	// mode never trails the random sweep's early diversity, decay towards
+	// the floor as fresh seeds stop lighting new bits, and recover when
+	// they pay again.
+	freshP := 1.0
+	for i := 0; i < iters; i++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		var p *progen.Program
+		fresh := opts.Random || len(corpus) == 0 || rng.Float64() < freshP
+		if fresh {
+			sd := nextSeed
+			nextSeed++
+			cfg := cfgFor(sd)
+			if !opts.Random && rng.Float64() < opts.PerturbFrac {
+				cfg = progen.PerturbKnobs(rng, cfg)
+			}
+			p = progen.Generate(sd, cfg)
+		} else {
+			p = progen.Mutate(rng, pickParent(rng, corpus))
+		}
+		cov.Reset()
+		res.Iters++
+		if m := s.CheckProgram(p, cov); m != nil {
+			res.Mismatch = m
+			return res, nil
+		}
+		bits := cov.Bits()
+		gained := res.Bits.Or(&bits)
+		if fresh && !opts.Random {
+			if gained {
+				freshP = 1.0
+			} else if freshP *= 0.85; freshP < opts.FreshFrac {
+				freshP = opts.FreshFrac
+			}
+		}
+		if gained && !opts.Random {
+			corpus = append(corpus, p)
+			if opts.CorpusDir != "" {
+				if err := SaveRecipe(opts.CorpusDir, p.Recipe); err != nil {
+					return nil, err
+				}
+				res.NewInDir++
+			}
+		}
+	}
+	res.Corpus = len(corpus)
+	return res, nil
+}
+
+// LoadCorpus reads every *.json recipe under dir (sorted by name, so runs
+// are deterministic) and rebuilds the programs. A missing directory is an
+// empty corpus; a file that fails to parse or rebuild is an error — a
+// corrupt corpus should fail loudly, not silently shrink.
+func LoadCorpus(dir string) ([]*progen.Program, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	out := make([]*progen.Program, 0, len(names))
+	for _, name := range names {
+		blob, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("conform: corpus %s: %w", name, err)
+		}
+		var r progen.Recipe
+		if err := json.Unmarshal(blob, &r); err != nil {
+			return nil, fmt.Errorf("conform: corpus %s: %w", name, err)
+		}
+		p, err := progen.FromRecipe(r)
+		if err != nil {
+			return nil, fmt.Errorf("conform: corpus %s: %w", name, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SaveRecipe writes one recipe into dir under a content-derived name
+// (creating dir if needed), so re-finding the same program is idempotent.
+func SaveRecipe(dir string, r progen.Recipe) error {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	h := fnv.New64a()
+	h.Write(blob)
+	name := filepath.Join(dir, fmt.Sprintf("%016x.json", h.Sum64()))
+	return os.WriteFile(name, append(blob, '\n'), 0o644)
+}

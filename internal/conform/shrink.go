@@ -26,14 +26,25 @@ type Mismatch struct {
 	// reduction went too far).
 	recheckProg  func(*progen.Program) string
 	recheckSites func([]fault.Site) string
+
+	// fromSweep marks mismatches whose program is exactly the seed sweep's
+	// Generate(seed, cfgFor(seed)) — the only case a "-seed N -n 1" command
+	// line reproduces. Guided/mutated/replayed programs need their recipe.
+	fromSweep bool
 }
 
 func (m *Mismatch) String() string {
 	return fmt.Sprintf("scenario %s seed %d: %s", m.Scenario, m.Seed, m.Detail)
 }
 
-// Repro returns the one-line command that reproduces the original failure.
+// Repro returns the one-line command that reproduces the original
+// failure. A seed-sweep mismatch replays from its seed alone; a program
+// that carries mutations or a perturbed config does not — only its
+// recipe rebuilds it, so the repro points at -recipe replay.
 func (m *Mismatch) Repro() string {
+	if m.Program != nil && !m.fromSweep {
+		return fmt.Sprintf("save the printed recipe and run: go run ./cmd/conform -recipe FILE -scenario %s", m.Scenario)
+	}
 	return fmt.Sprintf("go run ./cmd/conform -scenario %s -seed %d -n 1", m.Scenario, m.Seed)
 }
 

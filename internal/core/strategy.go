@@ -1,28 +1,3 @@
-// Package core implements the paper's primary contribution: the
-// deterministic cache-based execution strategy for boot-time self-test
-// routines in a multi-core SoC (Section III), together with the two
-// comparison strategies of the evaluation — plain in-place execution and
-// the TCM-based approach of Table IV.
-//
-// The cache-based transformation takes an unmodified single-core routine
-// and wraps it as:
-//
-//	cinv  both            ; invalidate private I/D caches      (Fig 2b, block b)
-//	li    r30, 2
-//	loop: sig-reset; data-base; BODY                           (blocks c,d)
-//	      addi r30, r30, -1
-//	      bne  r30, r0, loop
-//
-// The first iteration (the loading loop) drags every instruction and every
-// referenced data line into the private caches; its signature work is
-// discarded. The second iteration (the execution loop) runs entirely
-// cache-resident, decoupled from bus contention, and produces the
-// signature that is actually checked. When the doubled routine does not
-// fit the instruction cache it is split into chunks at block boundaries,
-// each with its own invalidate+loop, chaining the signature through an
-// uncached mailbox (rule 2.2 of the paper). With a no-write-allocate data
-// cache the routine must have been generated with dummy loads after each
-// store (rule 1); Wrap validates that.
 package core
 
 import (

@@ -1,0 +1,235 @@
+package coverage
+
+import "math/bits"
+
+// Feature indexes one microarchitectural event counter in a Map. The
+// feature space is partitioned into groups (issue, forwarding, branches,
+// memory, traps, bus, caches); Groups describes the partition for summary
+// output.
+type Feature uint16
+
+// Pipeline issue and stall features (internal/cpu).
+const (
+	FeatIssue1    Feature = iota // packet issued (lane 0 occupied)
+	FeatIssue2                   // second instruction joined the packet (dual issue)
+	FeatStallIF                  // issue wanted, fetch could not supply
+	FeatStallMem                 // pipeline held by an in-flight data access
+	FeatStallHaz                 // load-use or width hazard stall
+	FeatCascadeA                 // intra-packet cascade path, operand A
+	FeatCascadeB                 // intra-packet cascade path, operand B
+	FeatSplitWAW                 // dual issue refused: intra-packet WAW split
+	FeatInterrupt                // ICU interrupt taken at issue
+	FeatWedge                    // core wedged on an undecodable instruction
+
+	featFwdBase // forwarding-path block, indexed by FwdFeat
+)
+
+// Forwarding-path geometry: 2 lanes x 2 operands x NumPaths selections.
+const (
+	NumFwdLanes    = 2
+	NumFwdOperands = 2
+	NumFwdPaths    = 6 // RF, EX/MEM lane0, EX/MEM lane1, MEM/WB lane0, MEM/WB lane1, cascade
+)
+
+// FwdFeat returns the feature for one forwarding-mux selection.
+func FwdFeat(lane, operand, path uint8) Feature {
+	return featFwdBase + Feature(int(lane)*NumFwdOperands*NumFwdPaths+int(operand)*NumFwdPaths+int(path))
+}
+
+// Control-flow, data-memory and trap features (internal/cpu).
+const (
+	FeatBranchTaken Feature = featFwdBase + NumFwdLanes*NumFwdOperands*NumFwdPaths + iota
+	FeatBranchNotTaken
+	FeatJump // unconditional J/JAL/JR/JALR/RFE redirect
+
+	FeatLoadByte
+	FeatLoadWord
+	FeatLoadPair
+	FeatStoreByte
+	FeatStoreWord
+	FeatStorePair
+
+	FeatTrapOverflowAdd
+	FeatTrapOverflowSub
+	FeatTrapOverflowMul
+	FeatTrapDivZero
+
+	// Bus arbitration and contention features (internal/bus).
+	FeatBusGrantAlone // granted with no other master queued
+	FeatBusGrantContend1
+	FeatBusGrantContend2
+	FeatBusGrantContend3 // three or more rivals queued behind the grant
+	FeatBusRead
+	FeatBusWrite
+	FeatBusOpenBus   // access resolved to no mapped device
+	FeatBusBurstSub  // burst shorter than a word
+	FeatBusBurstWord // 4-byte burst
+	FeatBusBurstWide // 8-byte burst
+	FeatBusBurstLine // full line burst (cache refill / write-back)
+	FeatBusCancel    // queued request retracted (fetch redirect)
+
+	featCacheBase // per-role cache block, indexed by CacheFeat
+)
+
+// Cache roles distinguish the instruction- and data-side private caches.
+const (
+	RoleICache = 0
+	RoleDCache = 1
+	NumRoles   = 2
+)
+
+// Cache events, per role (internal/cache).
+const (
+	CacheHit = iota
+	CacheMiss
+	CacheEvict       // clean line replaced
+	CacheWriteback   // dirty line replaced
+	CacheInvalidate  // whole-cache CINV
+	CacheWriteAround // no-write-allocate write-through
+	NumCacheEvents
+)
+
+// CacheFeat returns the feature for one cache event on one role.
+func CacheFeat(role, event int) Feature {
+	return featCacheBase + Feature(role*NumCacheEvents+event)
+}
+
+// NumFeatures is the size of the feature space.
+const NumFeatures = int(featCacheBase) + NumRoles*NumCacheEvents
+
+// Map accumulates per-feature event counts for one run. A nil *Map is the
+// disabled mode: Inc on nil is a no-op, so instrumented components carry a
+// nil map by default and pay only the nil check.
+type Map struct {
+	counts [NumFeatures]uint32
+}
+
+// Inc bumps feature f by one. Safe (and free) on a nil receiver.
+func (m *Map) Inc(f Feature) {
+	if m == nil {
+		return
+	}
+	m.counts[f]++
+}
+
+// Count returns the raw count of feature f.
+func (m *Map) Count(f Feature) uint32 { return m.counts[f] }
+
+// Reset clears every counter so the map can collect the next run.
+func (m *Map) Reset() { m.counts = [NumFeatures]uint32{} }
+
+// NumBuckets is the number of hit-count buckets each feature expands into
+// when a Map is folded to Bits.
+const NumBuckets = 8
+
+// bucket maps a non-zero count onto its bucket index (AFL-style: exact
+// small counts, then coarsening powers of two).
+func bucket(c uint32) int {
+	switch {
+	case c == 1:
+		return 0
+	case c == 2:
+		return 1
+	case c == 3:
+		return 2
+	case c < 8:
+		return 3
+	case c < 16:
+		return 4
+	case c < 32:
+		return 5
+	case c < 128:
+		return 6
+	}
+	return 7
+}
+
+// bitsWords is the size of the Bits backing array.
+const bitsWords = (NumFeatures*NumBuckets + 63) / 64
+
+// Bits is a run's coverage folded to a fixed bitset: each feature
+// contributes one bit per occupied hit-count bucket, so "new coverage"
+// means either a never-seen event or a never-seen order of magnitude of a
+// known event. Bits values union cheaply, which is what the corpus loop
+// needs.
+type Bits struct {
+	w [bitsWords]uint64
+}
+
+// Bits folds the map's counters into bucketed coverage bits.
+func (m *Map) Bits() Bits {
+	var b Bits
+	for f, c := range m.counts {
+		if c == 0 {
+			continue
+		}
+		bit := f*NumBuckets + bucket(c)
+		b.w[bit>>6] |= 1 << (bit & 63)
+	}
+	return b
+}
+
+// Or unions o into b and reports whether b gained any bit.
+func (b *Bits) Or(o *Bits) (changed bool) {
+	for i, w := range o.w {
+		if w&^b.w[i] != 0 {
+			changed = true
+		}
+		b.w[i] |= w
+	}
+	return changed
+}
+
+// Count returns the number of set bits.
+func (b *Bits) Count() int {
+	n := 0
+	for _, w := range b.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Group is one named slice of the feature space, for summary output.
+type Group struct {
+	Name string
+	Lo   Feature // first feature in the group
+	Hi   Feature // one past the last feature
+}
+
+// Groups returns the feature-space partition in index order.
+func Groups() []Group {
+	return []Group{
+		{Name: "issue", Lo: FeatIssue1, Hi: featFwdBase},
+		{Name: "forward", Lo: featFwdBase, Hi: FeatBranchTaken},
+		{Name: "control", Lo: FeatBranchTaken, Hi: FeatLoadByte},
+		{Name: "dmem", Lo: FeatLoadByte, Hi: FeatTrapOverflowAdd},
+		{Name: "trap", Lo: FeatTrapOverflowAdd, Hi: FeatBusGrantAlone},
+		{Name: "bus", Lo: FeatBusGrantAlone, Hi: featCacheBase},
+		{Name: "cache", Lo: featCacheBase, Hi: Feature(NumFeatures)},
+	}
+}
+
+// GroupCount is one group's coverage: Set of Total possible bits.
+type GroupCount struct {
+	Name  string
+	Set   int
+	Total int
+}
+
+// ByGroup breaks a bitset down by feature group.
+func (b *Bits) ByGroup() []GroupCount {
+	groups := Groups()
+	out := make([]GroupCount, len(groups))
+	for gi, g := range groups {
+		out[gi] = GroupCount{Name: g.Name, Total: int(g.Hi-g.Lo) * NumBuckets}
+		for f := g.Lo; f < g.Hi; f++ {
+			for k := 0; k < NumBuckets; k++ {
+				bit := int(f)*NumBuckets + k
+				if b.w[bit>>6]&(1<<(bit&63)) != 0 {
+					out[gi].Set++
+				}
+			}
+		}
+	}
+	return out
+}

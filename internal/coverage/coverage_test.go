@@ -1,0 +1,85 @@
+package coverage
+
+import "testing"
+
+// TestNilMapIsNoOp pins the zero-cost disabled mode: Inc on a nil map
+// must be safe.
+func TestNilMapIsNoOp(t *testing.T) {
+	var m *Map
+	m.Inc(FeatIssue1) // must not panic
+}
+
+// TestBucketedBits pins the fold: one feature occupies exactly one bucket
+// bit per run, and different orders of magnitude land on different bits.
+func TestBucketedBits(t *testing.T) {
+	m := new(Map)
+	m.Inc(FeatIssue2)
+	one := m.Bits()
+	if got := one.Count(); got != 1 {
+		t.Fatalf("one event set %d bits, want 1", got)
+	}
+	for i := 0; i < 200; i++ {
+		m.Inc(FeatIssue2)
+	}
+	many := m.Bits()
+	if got := many.Count(); got != 1 {
+		t.Fatalf("bucketed fold set %d bits, want 1", got)
+	}
+	var union Bits
+	if !union.Or(&one) || !union.Or(&many) {
+		t.Fatal("count-1 and count-201 runs should occupy different buckets")
+	}
+	if union.Count() != 2 {
+		t.Fatalf("union has %d bits, want 2", union.Count())
+	}
+	if union.Or(&one) {
+		t.Fatal("re-union reported new bits")
+	}
+}
+
+// TestFeatureSpaceDisjoint pins that the derived feature indexers stay
+// inside the map and never collide across groups.
+func TestFeatureSpaceDisjoint(t *testing.T) {
+	seen := map[Feature]bool{}
+	mark := func(f Feature) {
+		if int(f) >= NumFeatures {
+			t.Fatalf("feature %d out of range %d", f, NumFeatures)
+		}
+		if seen[f] {
+			t.Fatalf("feature %d assigned twice", f)
+		}
+		seen[f] = true
+	}
+	for lane := uint8(0); lane < NumFwdLanes; lane++ {
+		for op := uint8(0); op < NumFwdOperands; op++ {
+			for path := uint8(0); path < NumFwdPaths; path++ {
+				mark(FwdFeat(lane, op, path))
+			}
+		}
+	}
+	for role := 0; role < NumRoles; role++ {
+		for ev := 0; ev < NumCacheEvents; ev++ {
+			mark(CacheFeat(role, ev))
+		}
+	}
+	for _, f := range []Feature{
+		FeatIssue1, FeatWedge, FeatBranchTaken, FeatStorePair,
+		FeatTrapDivZero, FeatBusGrantAlone, FeatBusCancel,
+	} {
+		mark(f)
+	}
+	// Groups must tile the feature space exactly.
+	next := Feature(0)
+	for _, g := range Groups() {
+		if g.Lo != next {
+			t.Fatalf("group %s starts at %d, want %d", g.Name, g.Lo, next)
+		}
+		if g.Hi <= g.Lo {
+			t.Fatalf("group %s is empty", g.Name)
+		}
+		next = g.Hi
+	}
+	if int(next) != NumFeatures {
+		t.Fatalf("groups end at %d, want %d", next, NumFeatures)
+	}
+}

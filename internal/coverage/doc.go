@@ -1,0 +1,22 @@
+// Package coverage provides the cheap, allocation-free microarchitectural
+// coverage counters that turn the conformance harness from a random
+// sampler into a feedback fuzzer.
+//
+// A Map is a fixed array of event counters indexed by Feature: pipeline
+// issue-slot occupancy and stall causes, forwarding/bypass-path
+// selections, branch outcomes, data-memory access shapes, trap raises
+// (internal/cpu), bus arbitration and contention states (internal/bus),
+// and cache hit/miss/evict/writeback states (internal/cache). Instrumented
+// components hold a *Map that is nil by default — Inc on a nil map is a
+// no-op, so the disabled mode costs one predictable branch per event and
+// nothing else. soc.SoC.SetCoverage attaches one map to every component of
+// a system.
+//
+// After a run, Map.Bits folds the counters into a fixed bitset with
+// AFL-style hit-count bucketing: each feature contributes one bit per
+// occupied order-of-magnitude bucket, so a program that executes a known
+// event a very different number of times still counts as new coverage.
+// Bits values union cheaply (Or), which is exactly what the corpus loop in
+// internal/conform needs: keep a program iff it lights a bit the corpus
+// has not lit before.
+package coverage

@@ -1,19 +1,10 @@
-// Package cpu implements the dual-issue in-order 5-stage pipeline of the
-// simulated automotive cores (two 32-bit cores A/B and one 64-bit-capable
-// core C). The model is cycle-accurate at the architectural-signal level:
-// instruction fetch through a pluggable memory client (flash line buffer,
-// I-cache or ITCM), dual-issue packet formation with a hazard detection
-// control unit, a full forwarding network with inter-packet and
-// intra-packet (cascade) paths, performance counters, and synchronous
-// imprecise interrupts via the ICU. Every signal the paper's self-test
-// routines target is routed through a fault.Plane so stuck-at faults can be
-// injected.
 package cpu
 
 import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/coverage"
 	"repro/internal/fault"
 	"repro/internal/icu"
 	"repro/internal/isa"
@@ -157,6 +148,10 @@ type Core struct {
 
 	trace    TraceFn
 	storeObs StoreFn
+	// cov collects microarchitectural coverage when attached; nil (the
+	// default) is the zero-cost disabled mode — coverage.Map methods are
+	// nil-safe, so call sites pay one predictable branch.
+	cov *coverage.Map
 }
 
 // StoreFn observes completed data-side stores (address, value, size in
@@ -226,6 +221,10 @@ func (c *Core) SetTracer(fn TraceFn) { c.trace = fn }
 // SetStoreObserver attaches fn to the MEM stage's store completion (nil
 // detaches).
 func (c *Core) SetStoreObserver(fn StoreFn) { c.storeObs = fn }
+
+// SetCoverage attaches a coverage map (nil detaches). Like tracers and
+// store observers, the attachment survives Reset.
+func (c *Core) SetCoverage(m *coverage.Map) { c.cov = m }
 
 // Config returns the core's configuration.
 func (c *Core) Config() Config { return c.cfg }
@@ -347,6 +346,7 @@ func (c *Core) Step() {
 		*c.wbPkt = packet{}
 		if c.exPkt.any() || c.memPkt.any() {
 			c.bump(fault.CntMemStall, 1)
+			c.cov.Inc(coverage.FeatStallMem)
 			c.emit(TraceEvent{Kind: "stall", Why: "mem"})
 		}
 	}
@@ -407,11 +407,31 @@ func (c *Core) stepMEM() bool {
 		if u.isStore && c.storeObs != nil {
 			c.storeObs(u.memAddr, u.storeVal, u.memSize)
 		}
+		if c.cov != nil {
+			c.cov.Inc(memCovFeat(u.isStore, u.memSize))
+		}
 		u.memSize = 0 // mark this lane's access complete
 		c.memLane = -1
 		c.memStarted = false
 		c.emit(TraceEvent{Kind: "mem", Lane: 0, PC: u.pc, Inst: u.inst})
 	}
+}
+
+// memCovFeat maps a completed data-side access onto its coverage feature.
+func memCovFeat(store bool, size int) coverage.Feature {
+	switch {
+	case store && size == 1:
+		return coverage.FeatStoreByte
+	case store && size == 8:
+		return coverage.FeatStorePair
+	case store:
+		return coverage.FeatStoreWord
+	case size == 1:
+		return coverage.FeatLoadByte
+	case size == 8:
+		return coverage.FeatLoadPair
+	}
+	return coverage.FeatLoadWord
 }
 
 func (c *Core) loadExtend(op isa.Op, data uint64) uint64 {

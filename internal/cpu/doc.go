@@ -1,0 +1,11 @@
+// Package cpu implements the dual-issue in-order 5-stage pipeline of the
+// simulated automotive cores (two 32-bit cores A/B and one 64-bit-capable
+// core C). The model is cycle-accurate at the architectural-signal level:
+// instruction fetch through a pluggable memory client (flash line buffer,
+// I-cache or ITCM), dual-issue packet formation with a hazard detection
+// control unit, a full forwarding network with inter-packet and
+// intra-packet (cascade) paths, performance counters, and synchronous
+// imprecise interrupts via the ICU. Every signal the paper's self-test
+// routines target is routed through a fault.Plane so stuck-at faults can be
+// injected.
+package cpu

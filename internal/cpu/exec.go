@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"repro/internal/coverage"
 	"repro/internal/fault"
 	"repro/internal/isa"
 )
@@ -90,6 +91,7 @@ func (c *Core) forward(lane, operand, src uint8, pairOp bool, u *uop, memOld *pa
 	v = c.plane.MuxData(lane, operand, sel, v)
 	if sel < fault.NumPaths {
 		c.PathUse[lane][operand][sel]++
+		c.cov.Inc(coverage.FwdFeat(lane, operand, sel))
 	}
 	if sel != fault.PathRF {
 		c.emit(TraceEvent{
@@ -140,6 +142,7 @@ func (c *Core) execute(u *uop, a, b uint64) {
 		c.wedged = true
 		c.wedgePC = u.pc
 		c.halted = true
+		c.cov.Inc(coverage.FeatWedge)
 		return
 	}
 
@@ -180,23 +183,27 @@ func (c *Core) execute(u *uop, a, b uint64) {
 		u.result = uint64(sum)
 		if (a32^sum)&(b32^sum)&0x8000_0000 != 0 {
 			c.ICU.Raise(fault.EvOverflowAdd)
+			c.cov.Inc(coverage.FeatTrapOverflowAdd)
 		}
 	case isa.OpSUBV:
 		diff := a32 - b32
 		u.result = uint64(diff)
 		if (a32^b32)&(a32^diff)&0x8000_0000 != 0 {
 			c.ICU.Raise(fault.EvOverflowSub)
+			c.cov.Inc(coverage.FeatTrapOverflowSub)
 		}
 	case isa.OpMULV:
 		prod := int64(int32(a32)) * int64(int32(b32))
 		u.result = uint64(uint32(prod))
 		if prod != int64(int32(prod)) {
 			c.ICU.Raise(fault.EvOverflowMul)
+			c.cov.Inc(coverage.FeatTrapOverflowMul)
 		}
 	case isa.OpDIVV:
 		if b32 == 0 {
 			u.result = 0
 			c.ICU.Raise(fault.EvDivZero)
+			c.cov.Inc(coverage.FeatTrapDivZero)
 		} else if a32 == 0x8000_0000 && b32 == 0xFFFF_FFFF {
 			u.result = uint64(a32) // overflow case: saturate like the HW
 		} else {
@@ -243,16 +250,21 @@ func (c *Core) execute(u *uop, a, b uint64) {
 		c.branch(u, int32(a32) >= int32(b32))
 
 	case isa.OpJ:
+		c.cov.Inc(coverage.FeatJump)
 		c.redirect(u.pc + 4 + uint32(imm))
 	case isa.OpJAL:
 		u.result = uint64(u.pc + 4)
+		c.cov.Inc(coverage.FeatJump)
 		c.redirect(u.pc + 4 + uint32(imm))
 	case isa.OpJR:
+		c.cov.Inc(coverage.FeatJump)
 		c.redirect(a32)
 	case isa.OpJALR:
 		u.result = uint64(u.pc + 4)
+		c.cov.Inc(coverage.FeatJump)
 		c.redirect(a32)
 	case isa.OpRFE:
+		c.cov.Inc(coverage.FeatJump)
 		c.redirect(c.ICU.ReturnFromException())
 
 	case isa.OpCSRR:
@@ -270,12 +282,16 @@ func (c *Core) execute(u *uop, a, b uint64) {
 		c.wedged = true
 		c.wedgePC = u.pc
 		c.halted = true
+		c.cov.Inc(coverage.FeatWedge)
 	}
 }
 
 func (c *Core) branch(u *uop, taken bool) {
 	if taken {
+		c.cov.Inc(coverage.FeatBranchTaken)
 		c.redirect(u.pc + 4 + uint32(u.inst.Imm))
+	} else {
+		c.cov.Inc(coverage.FeatBranchNotTaken)
 	}
 }
 

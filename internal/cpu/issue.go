@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"repro/internal/coverage"
 	"repro/internal/fault"
 	"repro/internal/isa"
 )
@@ -64,6 +65,7 @@ func (c *Core) stepIssue(exOld *packet) {
 	}
 	if c.ICU.WantInterrupt() {
 		vec := c.ICU.TakeInterrupt(c.nextIssuePC)
+		c.cov.Inc(coverage.FeatInterrupt)
 		c.redirect(vec)
 		return
 	}
@@ -71,6 +73,7 @@ func (c *Core) stepIssue(exOld *packet) {
 		// The pipeline wanted to issue but fetch could not supply: this is
 		// the instruction-side stall the paper's Table I counts.
 		c.bump(fault.CntIFStall, 1)
+		c.cov.Inc(coverage.FeatStallIF)
 		c.emit(TraceEvent{Kind: "stall", Why: "if"})
 		return
 	}
@@ -79,6 +82,7 @@ func (c *Core) stepIssue(exOld *packet) {
 		c.wedged = true
 		c.wedgePC = i0.pc
 		c.halted = true
+		c.cov.Inc(coverage.FeatWedge)
 		return
 	}
 	// Load-use: a source of the candidate matches a load destination in
@@ -87,6 +91,7 @@ func (c *Core) stepIssue(exOld *packet) {
 	// way.
 	if c.loadUseHazard(exOld, 0, i0.inst) || c.widthHazard(exOld, i0.inst) {
 		c.bump(fault.CntHazStall, 1)
+		c.cov.Inc(coverage.FeatStallHaz)
 		c.emit(TraceEvent{Kind: "stall", Why: "haz"})
 		return
 	}
@@ -94,6 +99,7 @@ func (c *Core) stepIssue(exOld *packet) {
 	c.mkUop(&c.exPkt[0], i0)
 	c.popFetch(1)
 	c.nextIssuePC = i0.pc + 4
+	c.cov.Inc(coverage.FeatIssue1)
 	c.emit(TraceEvent{Kind: "issue", Lane: 0, PC: i0.pc, Inst: i0.inst})
 
 	if i0.inst.Op.IsControl() || i0.inst.Op.IsSystem() || i0.inst.Op.IsPair() {
@@ -113,6 +119,15 @@ func (c *Core) stepIssue(exOld *packet) {
 	c.popFetch(1)
 	c.nextIssuePC = i1.pc + 4
 	c.bump(fault.CntIssued2, 1)
+	if c.cov != nil {
+		c.cov.Inc(coverage.FeatIssue2)
+		if casA {
+			c.cov.Inc(coverage.FeatCascadeA)
+		}
+		if casB {
+			c.cov.Inc(coverage.FeatCascadeB)
+		}
+	}
 	c.emit(TraceEvent{Kind: "issue", Lane: 1, PC: i1.pc, Inst: i1.inst})
 }
 
@@ -163,6 +178,7 @@ func (c *Core) canDualIssue(exOld *packet, first isa.Inst, i1 fetched) (ok, casA
 	}
 
 	if c.plane.Ctl(fault.CtlSplit, splitWanted) {
+		c.cov.Inc(coverage.FeatSplitWAW)
 		return false, false, false
 	}
 	return true, casA, casB

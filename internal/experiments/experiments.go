@@ -1,10 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (Section IV). Each experiment returns structured rows plus a
-// renderer; cmd/repro prints them and the repository-root benchmarks time
-// them. Absolute numbers reflect this repository's architectural simulator
-// and fault universe, not the paper's proprietary netlist; the shapes —
-// who wins, by what factor, where behaviour flips — are the reproduction
-// target (see EXPERIMENTS.md).
 package experiments
 
 import (

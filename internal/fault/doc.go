@@ -1,0 +1,16 @@
+// Package fault provides the structural stuck-at fault model for the
+// modules the paper's self-test routines target: the forwarding multiplexer
+// network and hazard detection control unit (HDCU), the interrupt control
+// unit (ICU), and the performance counters. It defines the fault-site
+// universe, the injection plane the CPU consults on every relevant signal,
+// and (in sim.go) the fault-simulation campaign driver.
+//
+// The paper fault-grades a post-layout gate-level netlist with a commercial
+// fault simulator; the absolute fault counts there (tens of thousands per
+// module) come from the physical implementation. Here the universe is
+// enumerated over the architectural signals of the same modules — data and
+// select lines of every forwarding path, hazard comparators and control
+// lines, ICU pending/cause/distance/enable bits, counter bits — which
+// preserves the property the experiments measure: a fault is detectable
+// only in runs whose instruction stream exercises its signal.
+package fault

@@ -1,18 +1,3 @@
-// Package icu models the Interrupt Control Unit of the simulated cores,
-// specifically the class of interrupts the paper's third experiment
-// targets: synchronous imprecise interrupts. They are raised by a specific
-// instruction (synchronous) but recognised only after a variable number of
-// younger instructions have retired (imprecise) — the recognition logic
-// takes a fixed number of clock cycles, so how many instructions slip past
-// depends on pipeline stalls, which in a multi-core SoC depend on bus
-// contention. The test routine folds the cause and the imprecision
-// distance into its signature, which is why its signature is only stable
-// when the routine executes deterministically.
-//
-// Cores A and B implement a cost-reduced cause encoder that maps pairs of
-// event lines onto shared cause bits; core C gives every event its own bit.
-// The paper attributes core C's ~10% higher ICU coverage to exactly this
-// difference (shared bits mask some fault effects).
 package icu
 
 import "repro/internal/fault"

@@ -1,0 +1,8 @@
+// Package isa defines the instruction set architecture of the simulated
+// automotive cores: a 32-bit RISC ISA (DLX-flavoured) with a paired-register
+// 64-bit extension implemented only by core C, a small CSR space exposing
+// performance counters and the interrupt control unit, and cache-control
+// instructions. Instructions are encoded in fixed 32-bit words so that
+// programs can live in simulated memory, be copied by load/store loops
+// (TCM-based strategy) and be fetched through caches.
+package isa

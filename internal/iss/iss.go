@@ -1,10 +1,3 @@
-// Package iss is a functional instruction-set simulator: it executes the
-// ISA one instruction at a time with no pipeline, no caches and no timing.
-// Its only purpose is differential testing — the architectural results of
-// the cycle-accurate dual-issue pipeline (in any SoC configuration, under
-// any bus contention) must match this interpreter exactly, because timing
-// must never change semantics. The two implementations share nothing
-// beyond the instruction decoder.
 package iss
 
 import (

@@ -1,0 +1,6 @@
+// Package mem provides the memory devices of the simulated SoC: shared
+// flash (code storage with multi-cycle, per-bank access latency), shared
+// SRAM, and per-core tightly-coupled memories (TCMs). Devices expose plain
+// byte-addressed storage plus an access-latency model; all multi-byte values
+// are little-endian.
+package mem

@@ -1,0 +1,24 @@
+// Package progen generates random, always-terminating test programs for
+// differential testing of the ISA implementations: the functional
+// interpreter (internal/iss), the cycle-accurate pipeline in any SoC
+// configuration, and the reusable fault-simulation arenas. It is the
+// difftest generator promoted to a first-class, reusable subsystem.
+//
+// Programs are built from a fixed seed, so every consumer — tests, the
+// conform harness, a failure repro command line — regenerates the exact
+// same instruction stream from (seed, Config). Termination is guaranteed
+// by construction: the only backward branches are counted loops with a
+// dedicated counter register, and calls always return.
+//
+// A generated Program is a list of Units, each a self-contained fragment
+// (one straight-line instruction, or one atomic control-flow block).
+// Dropping any subset of non-pinned units yields another valid,
+// terminating program, which is what makes drop-an-instruction failure
+// minimization possible (see internal/conform).
+//
+// Register conventions: r1..r15 are operand registers seeded with random
+// constants, r16 (BaseReg) holds the scratch base address, r17 (LoopReg)
+// is the loop counter. r28..r31 are left to the sbst/core wrappers, so a
+// Program can also run wrapped as an sbst.Routine under any execution
+// strategy.
+package progen

@@ -1,0 +1,210 @@
+package progen
+
+// Mutation mode: a generated program's droppable units are also
+// spliceable, duplicable and reorderable, which is what the
+// coverage-guided corpus loop in internal/conform mutates. Every mutation
+// is recorded as an Edit in the program's Recipe, so a mutated program is
+// exactly reproducible from (base seed, config, edit list) — the form the
+// on-disk corpus stores.
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Edit operation names, as serialized in corpus files.
+const (
+	EditDrop   = "drop"   // remove unit I
+	EditDup    = "dup"    // duplicate unit I, inserting the copy at J
+	EditSwap   = "swap"   // exchange units I and J
+	EditSplice = "splice" // insert N units of donor Generate(Seed, base Cfg), starting at donor unit J, at position I
+)
+
+// Edit is one recorded mutation step. Field meaning depends on Op (see the
+// Edit* constants); unused fields stay zero and are omitted from JSON.
+type Edit struct {
+	Op   string `json:"op"`
+	I    int    `json:"i"`
+	J    int    `json:"j,omitempty"`
+	N    int    `json:"n,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+}
+
+// Recipe is a program's full derivation: the base generation parameters
+// plus the ordered edits applied to it. It is the serializable identity of
+// a Program — FromRecipe rebuilds the exact same instruction stream —
+// which is what makes an on-disk corpus and shrunk-repro regression seeds
+// possible.
+type Recipe struct {
+	Seed  int64  `json:"seed"`
+	Cfg   Config `json:"cfg"`
+	Edits []Edit `json:"edits,omitempty"`
+}
+
+// FromRecipe rebuilds the program a recipe describes: Generate(Seed, Cfg),
+// then each edit in order. It fails on an edit that is out of bounds or
+// would drop a pinned unit — a corrupt or hand-mangled corpus entry, not a
+// legitimate derivation.
+func FromRecipe(r Recipe) (*Program, error) {
+	p := Generate(r.Seed, r.Cfg)
+	for k, e := range r.Edits {
+		q, err := p.applyEdit(e)
+		if err != nil {
+			return nil, fmt.Errorf("progen: recipe edit %d (%s): %w", k, e.Op, err)
+		}
+		p = q
+	}
+	return p, nil
+}
+
+// minInsert returns the first legal insertion index: inserted units must
+// land after the leading pinned prelude (the scratch-base pointer every
+// memory-accessing unit depends on). Inserting earlier would run memory
+// ops against an uninitialised base register — a valid-looking program
+// whose accesses fall outside the checked scratch window, i.e. a
+// generator-validity hole, not a real engine divergence.
+func (p *Program) minInsert() int {
+	i := 0
+	for i < len(p.Units) && p.Units[i].Pinned {
+		i++
+	}
+	return i
+}
+
+// applyEdit returns a copy of p with e applied and recorded.
+func (p *Program) applyEdit(e Edit) (*Program, error) {
+	n := len(p.Units)
+	switch e.Op {
+	case EditDrop:
+		if e.I < 0 || e.I >= n {
+			return nil, fmt.Errorf("drop %d of %d units", e.I, n)
+		}
+		if p.Units[e.I].Pinned {
+			return nil, fmt.Errorf("drop of pinned unit %d", e.I)
+		}
+		return p.WithoutUnit(e.I), nil
+	case EditDup:
+		if e.I < 0 || e.I >= n || e.J < p.minInsert() || e.J > n {
+			return nil, fmt.Errorf("dup %d at %d of %d units", e.I, e.J, n)
+		}
+		cp := p.clone()
+		u := cp.Units[e.I]
+		u.Pinned = false // the copy is always droppable
+		cp.Units = append(cp.Units[:e.J:e.J], append([]Unit{u}, cp.Units[e.J:]...)...)
+		cp.Recipe.Edits = append(cp.Recipe.Edits, e)
+		return cp, nil
+	case EditSwap:
+		if e.I < 0 || e.I >= n || e.J < 0 || e.J >= n {
+			return nil, fmt.Errorf("swap %d,%d of %d units", e.I, e.J, n)
+		}
+		if p.Units[e.I].Pinned || p.Units[e.J].Pinned {
+			return nil, fmt.Errorf("swap involving pinned unit")
+		}
+		cp := p.clone()
+		cp.Units[e.I], cp.Units[e.J] = cp.Units[e.J], cp.Units[e.I]
+		cp.Recipe.Edits = append(cp.Recipe.Edits, e)
+		return cp, nil
+	case EditSplice:
+		// The donor is always a base generation with the recipient's own
+		// config, so register conventions, the scratch window and the
+		// 64-bit extension requirement line up by construction.
+		return p.spliceFrom(e, Generate(e.Seed, p.Cfg))
+	}
+	return nil, fmt.Errorf("unknown op %q", e.Op)
+}
+
+// spliceFrom applies a splice edit using an already-built donor (which
+// must be Generate(e.Seed, p.Cfg) — Mutate passes the donor it sized the
+// edit against, applyEdit regenerates it from the recorded seed).
+func (p *Program) spliceFrom(e Edit, donor *Program) (*Program, error) {
+	if e.J < 0 || e.N <= 0 || e.J+e.N > len(donor.Units) {
+		return nil, fmt.Errorf("splice donor units [%d:%d) of %d", e.J, e.J+e.N, len(donor.Units))
+	}
+	if e.I < p.minInsert() || e.I > len(p.Units) {
+		return nil, fmt.Errorf("splice at %d of %d units", e.I, len(p.Units))
+	}
+	cp := p.clone()
+	graft := make([]Unit, e.N)
+	copy(graft, donor.Units[e.J:e.J+e.N])
+	for i := range graft {
+		graft[i].Pinned = false
+	}
+	cp.Units = append(cp.Units[:e.I:e.I], append(graft, cp.Units[e.I:]...)...)
+	cp.Recipe.Edits = append(cp.Recipe.Edits, e)
+	return cp, nil
+}
+
+// maxSpliceUnits bounds one splice so mutated programs grow gradually.
+const maxSpliceUnits = 8
+
+// Mutate returns a copy of p with 1-3 random edits applied: drop, dup or
+// swap of droppable units, or a splice of units from a fresh donor program
+// (seeded from rng, generated with p's config). Mutations that happen to
+// be invalid for the current shape (e.g. a drop landing on a pinned unit)
+// are skipped, so the result may occasionally equal p; it is always a
+// valid, terminating program, and its Recipe records the applied edits.
+func Mutate(rng *rand.Rand, p *Program) *Program {
+	edits := 1 + rng.Intn(3)
+	for k := 0; k < edits; k++ {
+		n := len(p.Units)
+		if n == 0 {
+			break
+		}
+		var q *Program
+		var err error
+		lo := p.minInsert() // insertions stay after the pinned prelude
+		// Splice and dup are weighted up: they grow and recombine programs,
+		// which is what pushes event counts into new coverage buckets; drop
+		// and swap mostly reshuffle what a parent already covers.
+		switch rng.Intn(8) {
+		case 0:
+			q, err = p.applyEdit(Edit{Op: EditDrop, I: rng.Intn(n)})
+		case 1, 2:
+			q, err = p.applyEdit(Edit{Op: EditDup, I: rng.Intn(n), J: lo + rng.Intn(n-lo+1)})
+		case 3:
+			q, err = p.applyEdit(Edit{Op: EditSwap, I: rng.Intn(n), J: rng.Intn(n)})
+		default:
+			donorSeed := int64(rng.Uint64() >> 1)
+			donor := Generate(donorSeed, p.Cfg)
+			cnt := 1 + rng.Intn(maxSpliceUnits)
+			if cnt > len(donor.Units) {
+				cnt = len(donor.Units)
+			}
+			e := Edit{Op: EditSplice, Seed: donorSeed,
+				I: lo + rng.Intn(n-lo+1), J: rng.Intn(len(donor.Units) - cnt + 1), N: cnt}
+			q, err = p.spliceFrom(e, donor)
+		}
+		if err == nil {
+			p = q
+		}
+	}
+	return p
+}
+
+// PerturbKnobs jitters the generator's distribution knobs around cfg: the
+// fuzzer's third mutation axis besides seed sweep and unit edits. The
+// result keeps cfg's structural parameters (Pairs64, scratch window) so
+// perturbed programs stay comparable and spliceable.
+func PerturbKnobs(rng *rand.Rand, cfg Config) Config {
+	cfg = cfg.withDefaults()
+	jitter := func(v, lo, hi float64) float64 {
+		v *= 0.5 + rng.Float64() // x0.5 .. x1.5
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		return v
+	}
+	cfg.MemFrac = jitter(cfg.MemFrac, 0.02, 0.9)
+	cfg.BranchFrac = jitter(cfg.BranchFrac, 0.05, 0.98)
+	switch rng.Intn(3) {
+	case 0:
+		cfg.TrapFrac = 0
+	case 1:
+		cfg.TrapFrac = 0.05 + 0.3*rng.Float64()
+	}
+	cfg.Blocks = 4 + rng.Intn(12)
+	return cfg
+}

@@ -1,0 +1,124 @@
+package progen
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// words assembles p and returns the image words.
+func words(t *testing.T, p *Program) []uint32 {
+	t.Helper()
+	prog, err := p.Assemble(0x1000)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return prog.Words
+}
+
+// TestRecipeRoundtrip pins the corpus contract: a mutated program's Recipe,
+// serialized to JSON and rebuilt with FromRecipe, reproduces the exact
+// instruction stream.
+func TestRecipeRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for seed := int64(1); seed <= 20; seed++ {
+		cfg := Config{}
+		if seed%3 == 0 {
+			cfg.Pairs64 = true
+		}
+		p := Generate(seed, cfg)
+		for m := 0; m < 4; m++ {
+			p = Mutate(rng, p)
+		}
+		// Mix in a minimization-style drop, which also records an edit.
+		for i := len(p.Units) - 1; i >= 0; i-- {
+			if !p.Units[i].Pinned {
+				p = p.WithoutUnit(i)
+				break
+			}
+		}
+		blob, err := json.Marshal(p.Recipe)
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		var r Recipe
+		if err := json.Unmarshal(blob, &r); err != nil {
+			t.Fatalf("seed %d: unmarshal: %v", seed, err)
+		}
+		q, err := FromRecipe(r)
+		if err != nil {
+			t.Fatalf("seed %d: FromRecipe: %v", seed, err)
+		}
+		got, want := words(t, q), words(t, p)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: rebuilt %d words, want %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: word %d = %08x, want %08x", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMutatedProgramsTerminate pins the mutation invariant: any chain of
+// mutations still yields a valid program that terminates on the
+// interpreter within the budget.
+func TestMutatedProgramsTerminate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for seed := int64(1); seed <= 15; seed++ {
+		has64 := seed%3 == 0
+		p := Generate(seed, Config{Pairs64: has64})
+		for m := 0; m < 8; m++ {
+			p = Mutate(rng, p)
+			run(t, p, has64)
+		}
+	}
+}
+
+// TestFromRecipeRejectsCorrupt pins that mangled corpus entries fail
+// loudly instead of rebuilding a different program.
+func TestFromRecipeRejectsCorrupt(t *testing.T) {
+	base := Recipe{Seed: 3, Cfg: Config{}}
+	for _, bad := range []Edit{
+		{Op: "drop", I: 9999},
+		{Op: "drop", I: 0}, // unit 0 is the pinned scratch-base pointer
+		{Op: "swap", I: 0, J: 1},
+		{Op: "splice", Seed: 5, I: -1, J: 0, N: 1},
+		{Op: "splice", Seed: 5, I: 0, J: 0, N: 9999},
+		{Op: "frobnicate", I: 1},
+	} {
+		r := base
+		r.Edits = []Edit{bad}
+		if _, err := FromRecipe(r); err == nil {
+			t.Errorf("edit %+v: expected error", bad)
+		}
+	}
+}
+
+// TestPerturbKnobsStaysValid pins that perturbed configs stay inside the
+// generator's supported ranges and preserve structural parameters.
+func TestPerturbKnobsStaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base := Config{Pairs64: true}
+	for i := 0; i < 200; i++ {
+		cfg := PerturbKnobs(rng, base)
+		if !cfg.Pairs64 {
+			t.Fatal("Pairs64 not preserved")
+		}
+		if cfg.MemFrac <= 0 || cfg.MemFrac > 0.9 {
+			t.Fatalf("MemFrac %v out of range", cfg.MemFrac)
+		}
+		if cfg.BranchFrac <= 0 || cfg.BranchFrac > 0.98 {
+			t.Fatalf("BranchFrac %v out of range", cfg.BranchFrac)
+		}
+		if cfg.TrapFrac < 0 || cfg.TrapFrac > 0.35 {
+			t.Fatalf("TrapFrac %v out of range", cfg.TrapFrac)
+		}
+		if cfg.Blocks < 4 || cfg.Blocks > 15 {
+			t.Fatalf("Blocks %v out of range", cfg.Blocks)
+		}
+		p := Generate(int64(i), cfg)
+		run(t, p, cfg.Pairs64)
+	}
+}

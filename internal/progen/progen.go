@@ -1,26 +1,3 @@
-// Package progen generates random, always-terminating test programs for
-// differential testing of the ISA implementations: the functional
-// interpreter (internal/iss), the cycle-accurate pipeline in any SoC
-// configuration, and the reusable fault-simulation arenas. It is the
-// difftest generator promoted to a first-class, reusable subsystem.
-//
-// Programs are built from a fixed seed, so every consumer — tests, the
-// conform harness, a failure repro command line — regenerates the exact
-// same instruction stream from (seed, Config). Termination is guaranteed
-// by construction: the only backward branches are counted loops with a
-// dedicated counter register, and calls always return.
-//
-// A generated Program is a list of Units, each a self-contained fragment
-// (one straight-line instruction, or one atomic control-flow block).
-// Dropping any subset of non-pinned units yields another valid,
-// terminating program, which is what makes drop-an-instruction failure
-// minimization possible (see internal/conform).
-//
-// Register conventions: r1..r15 are operand registers seeded with random
-// constants, r16 (BaseReg) holds the scratch base address, r17 (LoopReg)
-// is the loop counter. r28..r31 are left to the sbst/core wrappers, so a
-// Program can also run wrapped as an sbst.Routine under any execution
-// strategy.
 package progen
 
 import (
@@ -116,11 +93,15 @@ type Unit struct {
 }
 
 // Program is a generated program: the ordered unit list plus the
-// generation parameters needed to rebuild or describe it.
+// generation parameters needed to rebuild or describe it. Recipe records
+// the full derivation (base seed, config, mutation edits), so any program
+// — including one shaped by minimization or the fuzzer's mutators — can be
+// serialized and rebuilt bit-identically (see FromRecipe).
 type Program struct {
-	Seed  int64
-	Cfg   Config // normalised (defaults filled in)
-	Units []Unit
+	Seed   int64
+	Cfg    Config // normalised (defaults filled in)
+	Units  []Unit
+	Recipe Recipe
 }
 
 // Generate builds the program for (seed, cfg). The same pair always yields
@@ -130,7 +111,7 @@ func Generate(seed int64, cfg Config) *Program {
 	rng := rand.New(rand.NewSource(seed))
 	g := &generator{rng: rng, cfg: cfg}
 
-	p := &Program{Seed: seed, Cfg: cfg}
+	p := &Program{Seed: seed, Cfg: cfg, Recipe: Recipe{Seed: seed, Cfg: cfg}}
 	addUnit := func(name string, pinned bool, emit func(b *asm.Builder)) {
 		n := asm.NewBuilder()
 		emit(n)
@@ -350,11 +331,19 @@ func (p *Program) NumInsts() int {
 
 // WithoutUnit returns a copy of p with unit i removed. It is the
 // minimization step: any non-pinned unit can be dropped and the result is
-// still a valid, terminating program.
+// still a valid, terminating program. The drop is recorded in the copy's
+// Recipe.
 func (p *Program) WithoutUnit(i int) *Program {
+	cp := p.clone()
+	cp.Units = append(cp.Units[:i:i], cp.Units[i+1:]...)
+	cp.Recipe.Edits = append(cp.Recipe.Edits, Edit{Op: EditDrop, I: i})
+	return cp
+}
+
+// clone returns a copy of p with its own unit and edit slices.
+func (p *Program) clone() *Program {
 	cp := *p
-	cp.Units = make([]Unit, 0, len(p.Units)-1)
-	cp.Units = append(cp.Units, p.Units[:i]...)
-	cp.Units = append(cp.Units, p.Units[i+1:]...)
+	cp.Units = append([]Unit(nil), p.Units...)
+	cp.Recipe.Edits = append([]Edit(nil), p.Recipe.Edits...)
 	return &cp
 }

@@ -1,21 +1,3 @@
-// Package sbst contains the Software-Based Self-Test library: generators
-// that produce the self-test routines the paper's experiments run — the
-// exhaustive dual-issue forwarding-logic test (after Bernardi et al., "SBST
-// techniques for dual-issue embedded processors" [19]), the hazard
-// detection control unit test with performance counters, the synchronous
-// imprecise-interrupt ICU test (after Singh et al. [21]) — plus the generic
-// boot-time STL routines used as the parallel workload of Table I.
-//
-// Register conventions (shared with the wrapping strategies in
-// internal/core):
-//
-//	r28        software MISR signature accumulator
-//	r26, r27   MISR scratch
-//	r29        routine data base pointer
-//	r30        wrapper loop counter (routines must not touch)
-//	r31        link register
-//	r23..r25   interrupt handler scratch
-//	r1..r22    routine operands
 package sbst
 
 import (

@@ -1,0 +1,9 @@
+// Package sched implements a parallel boot-time STL scheduler in the
+// spirit of Floridia et al., "A decentralized scheduler for on-line
+// self-test routines in multi-core automotive system-on-chips" (ITC 2019,
+// the paper's reference [13]): the library's routines are partitioned
+// across the cores to minimise the boot-test makespan, each core runs its
+// share back to back, and the cores synchronise at the end through
+// per-core completion flags in uncached SRAM (no cross-core cache
+// coherence is needed or assumed).
+package sched

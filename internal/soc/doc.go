@@ -1,0 +1,7 @@
+// Package soc assembles the simulated triple-core System-on-Chip: three
+// dual-issue cores (A, B 32-bit; C with the 64-bit extension), each with
+// private I/D caches (8 kB / 4 kB) and instruction/data TCMs, sharing one
+// bus to the code flash and system SRAM. The SoC is stepped cycle by cycle
+// from a single goroutine and is fully deterministic: two runs with the
+// same configuration produce identical cycle-by-cycle behaviour.
+package soc

@@ -1,9 +1,3 @@
-// Package soc assembles the simulated triple-core System-on-Chip: three
-// dual-issue cores (A, B 32-bit; C with the 64-bit extension), each with
-// private I/D caches (8 kB / 4 kB) and instruction/data TCMs, sharing one
-// bus to the code flash and system SRAM. The SoC is stepped cycle by cycle
-// from a single goroutine and is fully deterministic: two runs with the
-// same configuration produce identical cycle-by-cycle behaviour.
 package soc
 
 import (
@@ -13,6 +7,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/bus"
 	"repro/internal/cache"
+	"repro/internal/coverage"
 	"repro/internal/cpu"
 	"repro/internal/fault"
 	"repro/internal/mem"
@@ -281,6 +276,24 @@ func (s *SoC) Reset() {
 
 // SetPlane swaps core id's fault-injection plane (nil restores fault-free).
 func (s *SoC) SetPlane(id int, p fault.Plane) { s.Cores[id].Core.SetPlane(p) }
+
+// SetCoverage attaches one coverage map to every instrumented component of
+// the system — all cores, their private caches, and the shared bus — so a
+// run's microarchitectural coverage lands in a single map (nil detaches).
+// The attachment survives Reset; the SoC must be stepped from a single
+// goroutine for the shared map to be safe, which Step already requires.
+func (s *SoC) SetCoverage(m *coverage.Map) {
+	s.Bus.SetCoverage(m)
+	for _, u := range s.Cores {
+		u.Core.SetCoverage(m)
+		if u.ICache != nil {
+			u.ICache.SetCoverage(m, coverage.RoleICache)
+		}
+		if u.DCache != nil {
+			u.DCache.SetCoverage(m, coverage.RoleDCache)
+		}
+	}
+}
 
 // Done reports whether every active started core has halted and drained.
 func (s *SoC) Done() bool { return s.allDone() }

@@ -1,0 +1,6 @@
+// Package trace reconstructs pipeline diagrams from the CPU's trace-event
+// stream, reproducing the paper's Figure 1: the same dependent instruction
+// pair shown once with the forwarding path exercised (producer and consumer
+// in back-to-back issue packets) and once broken apart by multi-core fetch
+// stalls, with the consumer reading the register file instead.
+package trace
