@@ -1,14 +1,14 @@
 // Command conform runs the conformance suite: seeded random programs
 // cross-checked between the functional ISS, the cycle-accurate pipeline
-// (cached, uncached, bus-contended) and the fault-free arena engine, plus
-// random fault universes pushed through both campaign engines with
-// bit-identical reports required (see internal/conform).
+// (cached, uncached, bus-contended, interrupt-enabled) and the fault-free
+// arena engine, plus random fault universes pushed through both campaign
+// engines with bit-identical reports required (see internal/conform).
 //
 // Usage:
 //
-//	conform [-scenario all|cached|uncached|contended|arena|campaign]
+//	conform [-scenario all|cached|uncached|contended|arena|interrupts|campaign]
 //	        [-seed N] [-n N] [-duration D] [-cover] [-corpus DIR]
-//	        [-recipe FILE] [-selftest] [-v]
+//	        [-minimize] [-recipe FILE] [-selftest] [-v]
 //
 // By default each scenario runs -n fresh seeded programs (or universes).
 // With -cover the program scenarios instead run the coverage-guided corpus
@@ -18,7 +18,16 @@
 // (splice/drop/dup/swap plus knob perturbation) while the rest are
 // discarded. Each scenario then prints a coverage summary by feature
 // group. -corpus DIR persists interesting programs as recipe JSON files
-// and reloads them on the next run (implies -cover).
+// and reloads them on the next run (implies -cover); -minimize instead
+// runs the corpus lifecycle pass over -corpus through -scenario, deleting
+// entries whose coverage bits the rest of the corpus subsumes.
+//
+// The interrupts scenario generates handler-carrying programs under a
+// deterministic retire-indexed interrupt plan (internal/archint): the ISS
+// recognises the plan precisely, the pipeline receives the same plan
+// through its ICU, and the architectural results must still agree.
+// Failing interrupt programs minimize along both axes — program units and
+// plan events.
 //
 // On a mismatch the failing input is shrunk (drop-an-instruction for
 // programs, drop-a-site for fault universes) and the tool prints the

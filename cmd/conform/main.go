@@ -12,12 +12,13 @@ import (
 )
 
 func main() {
-	scenarioName := flag.String("scenario", "all", "scenario to run (all, cached, uncached, contended, arena, campaign)")
+	scenarioName := flag.String("scenario", "all", "scenario to run (all, cached, uncached, contended, arena, interrupts, campaign)")
 	seed := flag.Int64("seed", 1, "first seed")
 	n := flag.Int("n", 200, "programs (or universes) per scenario")
 	duration := flag.Duration("duration", 0, "run each scenario for this long instead of -n iterations")
 	cover := flag.Bool("cover", false, "coverage-guided fuzzing: keep and mutate programs that reach new microarchitectural coverage, and print a coverage summary")
 	corpus := flag.String("corpus", "", "corpus directory of recipe files to load before fuzzing and extend with new finds (implies -cover)")
+	minimize := flag.Bool("minimize", false, "minimize the -corpus directory through -scenario (drop entries whose coverage other entries subsume) and exit")
 	recipe := flag.String("recipe", "", "replay one recipe JSON file through -scenario and exit (repro mode)")
 	selftest := flag.Bool("selftest", false, "inject a decoder bug and require the harness to catch and minimize it")
 	verbose := flag.Bool("v", false, "print every seed")
@@ -25,6 +26,9 @@ func main() {
 
 	if *corpus != "" {
 		*cover = true
+	}
+	if *minimize {
+		os.Exit(runMinimize(*scenarioName, *corpus))
 	}
 	if *recipe != "" {
 		os.Exit(replayRecipe(*recipe, *scenarioName, *selftest))
@@ -122,6 +126,40 @@ func reportGuided(scenario string, seed int64, corpusDir string, res *conform.Fu
 		return
 	}
 	fmt.Printf("recipe (save to FILE, replay with -recipe FILE -scenario %s):\n%s\n", scenario, blob)
+}
+
+// runMinimize runs the corpus lifecycle pass: every recipe in the corpus
+// directory replays through the scenario, and entries whose coverage bits
+// are subsumed by the rest are deleted. A divergence during replay aborts
+// the pass — that entry is a repro, not redundancy.
+func runMinimize(scenarioName, corpusDir string) int {
+	if corpusDir == "" {
+		fmt.Fprintln(os.Stderr, "conform: -minimize requires -corpus DIR")
+		return 2
+	}
+	if scenarioName == "all" {
+		fmt.Fprintln(os.Stderr, "conform: -minimize needs one program scenario "+
+			"(-scenario cached|uncached|contended|arena|interrupts): coverage is "+
+			"scenario-relative, so each corpus minimizes against the scenario it serves")
+		return 2
+	}
+	sc, err := scenarioFor(scenarioName, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conform:", err)
+		return 2
+	}
+	res, err := sc.MinimizeCorpus(corpusDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conform:", err)
+		return 2
+	}
+	if res.Mismatch != nil {
+		report(res.Mismatch)
+		return 1
+	}
+	fmt.Printf("corpus %s: kept %d, dropped %d, union %d bits\n",
+		corpusDir, res.Kept, res.Dropped, res.Bits.Count())
+	return 0
 }
 
 // replayRecipe rebuilds one recipe file and runs it through the scenario

@@ -1,0 +1,297 @@
+package archint
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/fault"
+)
+
+// Event is one planned external interrupt: Line becomes pending once the
+// executing model has retired Retire instructions. Retire indexing is what
+// makes a plan deterministic across execution models — both the
+// interpreter and the pipeline count retired instructions, while cycle
+// counts exist only on the pipeline side.
+type Event struct {
+	Retire int64 `json:"retire"`
+	Line   uint8 `json:"line"`
+}
+
+// Plan is a deterministic interrupt-event plan: the pending-line schedule
+// plus the enable mask the generated program installs before the first
+// event can be recognised. Plans are JSON-serializable like progen
+// recipes, so a failing interrupt program's full derivation — program
+// recipe and plan — travels in one corpus entry.
+type Plan struct {
+	// Enable is the ienable mask the program writes during its prelude; a
+	// plan may deliberately include events whose cause bits are masked
+	// (they stay pending until swept by an enabled take).
+	Enable uint32 `json:"enable,omitempty"`
+
+	Events []Event `json:"events,omitempty"`
+}
+
+// Enabled reports whether the plan schedules any events — the switch that
+// turns progen's handler-emitting mode on.
+func (p Plan) Enabled() bool { return len(p.Events) > 0 }
+
+// WithoutEvent returns a copy of p with event i removed — the plan-side
+// minimization step (internal/conform shrinks failing interrupt programs
+// along both the unit axis and the plan axis).
+func (p Plan) WithoutEvent(i int) Plan {
+	cp := p
+	cp.Events = append(append([]Event(nil), p.Events[:i]...), p.Events[i+1:]...)
+	return cp
+}
+
+// CauseBit returns the cause bit a pending line encodes to: cores A and B
+// share cause bits between pairs of lines (cost-reduced encoder), core C
+// decodes every line to its own bit. Mirrors icu.ICU's encoder.
+func CauseBit(line uint8, shared bool) uint32 {
+	if shared {
+		return 1 << (line / 2)
+	}
+	return 1 << line
+}
+
+// ExpectedCause returns the OR of the cause bits of the plan's enabled
+// events under the given encoder — the set of bits a handler accumulating
+// icause is guaranteed to eventually observe in either execution model.
+// Masked events contribute nothing: their delivery is not architecturally
+// guaranteed (they surface only if swept by an enabled take). Events on
+// nonexistent lines and enable bits beyond the hardware mask contribute
+// nothing either — both shims skip them, so a mangled plan must degrade
+// to a weaker drain target, never to a drain that waits forever.
+func (p Plan) ExpectedCause(shared bool) uint32 {
+	enable := p.Enable & (1<<fault.NumEvents - 1)
+	var m uint32
+	for _, e := range p.Events {
+		if !e.deliverable() {
+			continue
+		}
+		if b := CauseBit(e.Line, shared); b&enable != 0 {
+			m |= b
+		}
+	}
+	return m
+}
+
+// deliverable reports whether an event is within the contract both shims
+// honour: an existing line, matured within the deliverable retire bound.
+func (e Event) deliverable() bool {
+	return e.Line < fault.NumEvents && e.Retire <= MaxDeliverableRetire
+}
+
+// maxPlanRetire bounds generated retire indices so a draining program
+// delivers every event well inside the differential harness's instruction
+// and cycle budgets.
+const maxPlanRetire = 600
+
+// MaxDeliverableRetire is the retire index beyond which a plan event no
+// longer counts as deliverable: a drain loop would have to retire this
+// many instructions to mature it, which must stay comfortably inside the
+// differential harness's instruction budget. Events beyond it (a mangled
+// recipe — generation stays far below) are skipped by both shims and
+// excluded from ExpectedCause, the budget-safety twin of the line-range
+// filtering: a mangled plan degrades to a weaker drain target, never to a
+// drain that spins its budget out.
+const MaxDeliverableRetire = 100_000
+
+// RandomPlan draws a small plan from rng: 1..4 events on random lines with
+// retire indices spread over the early program, and an enable mask that is
+// guaranteed to enable the first event under either cause encoding — so
+// every plan yields at least one architecturally recognised interrupt.
+func RandomPlan(rng *rand.Rand) Plan {
+	n := 1 + rng.Intn(4)
+	p := Plan{Events: make([]Event, 0, n)}
+	for i := 0; i < n; i++ {
+		p.Events = append(p.Events, Event{
+			Retire: 1 + rng.Int63n(maxPlanRetire),
+			Line:   uint8(rng.Intn(fault.NumEvents)),
+		})
+	}
+	l0 := p.Events[0].Line
+	p.Enable = (rng.Uint32() & (1<<fault.NumEvents - 1)) |
+		CauseBit(l0, true) | CauseBit(l0, false)
+	return p
+}
+
+// sortedEvents returns the plan's deliverable events ordered by retire
+// index (stable, so same-index events keep their plan order).
+// Undeliverable events — nonexistent lines, retire indices beyond the
+// budget-safe bound — are dropped here, once, so the Model and the
+// Injector skip exactly the same set and ExpectedCause never waits on a
+// bit neither shim will raise.
+func sortedEvents(p Plan) []Event {
+	ev := make([]Event, 0, len(p.Events))
+	for _, e := range p.Events {
+		if e.deliverable() {
+			ev = append(ev, e)
+		}
+	}
+	sort.SliceStable(ev, func(i, j int) bool { return ev[i].Retire < ev[j].Retire })
+	return ev
+}
+
+// Model is the interpreter-side architectural recognition model: the
+// precise counterpart of the pipeline's icu.ICU. It latches pending lines
+// (from the plan and from the interpreter's trap-raising ops), resolves
+// mask and cause encoding identically to the ICU, and recognises an
+// enabled pending event at the very next instruction boundary — zero
+// imprecision distance, which is the architectural ideal the pipeline's
+// delayed recognition converges to.
+type Model struct {
+	shared bool
+	events []Event
+	next   int
+
+	pending [fault.NumEvents]bool
+
+	// Architectural registers, mirroring the ICU's CSR block.
+	cause     uint32
+	epc       uint32
+	enable    uint32
+	vector    uint32
+	inHandler bool
+}
+
+// NewModel builds a recognition model for the given cause encoding
+// (shared: cores A/B; distinct: core C) driven by plan.
+func NewModel(shared bool, plan Plan) *Model {
+	return &Model{shared: shared, events: sortedEvents(plan)}
+}
+
+// Advance raises every plan event whose retire index has been reached.
+// Call it at each instruction boundary with the retired-instruction count.
+func (m *Model) Advance(instret int64) {
+	for m.next < len(m.events) && m.events[m.next].Retire <= instret {
+		m.Raise(m.events[m.next].Line)
+		m.next++
+	}
+}
+
+// Raise latches event line — the entry point for both plan delivery and
+// the interpreter's synchronous trap-raising operations.
+func (m *Model) Raise(line uint8) {
+	if line < fault.NumEvents {
+		m.pending[line] = true
+	}
+}
+
+func (m *Model) encodeCause() uint32 {
+	var c uint32
+	for line := uint8(0); line < fault.NumEvents; line++ {
+		if m.pending[line] {
+			c |= CauseBit(line, m.shared)
+		}
+	}
+	return c
+}
+
+// ShouldTake reports whether an interrupt must be taken before the next
+// instruction executes: an enabled pending cause outside a handler.
+func (m *Model) ShouldTake() bool {
+	return !m.inHandler && m.encodeCause()&m.enable != 0
+}
+
+// Take commits the interrupt exactly like icu.ICU.TakeInterrupt: the cause
+// encoding of all pending lines is latched (merged recognition), pending
+// state clears, handler mode begins, and the handler vector is returned.
+// resumePC is the PC of the next unexecuted instruction.
+func (m *Model) Take(resumePC uint32) (vector uint32) {
+	m.cause = m.encodeCause()
+	m.epc = resumePC
+	for i := range m.pending {
+		m.pending[i] = false
+	}
+	m.inHandler = true
+	return m.vector
+}
+
+// RFE ends handler mode and returns the resume PC. Like the ICU, calling
+// it outside a handler is legal and simply returns the stale EPC.
+func (m *Model) RFE() uint32 {
+	m.inHandler = false
+	return m.epc
+}
+
+// InHandler reports whether the model is executing a handler.
+func (m *Model) InHandler() bool { return m.inHandler }
+
+// CSR accessors, mirroring icu.ICU's CSR block. Dist is always zero: the
+// reference recognises precisely, and idist is explicitly outside the
+// comparable architectural state (see the package comment).
+
+// Cause returns the cause bits latched by the last take.
+func (m *Model) Cause() uint32 { return m.cause }
+
+// Dist returns the imprecision distance of the last take — always zero.
+func (m *Model) Dist() uint32 { return 0 }
+
+// EPC returns the resume PC saved by the last take.
+func (m *Model) EPC() uint32 { return m.epc }
+
+// Enable returns the interrupt enable mask.
+func (m *Model) Enable() uint32 { return m.enable }
+
+// Vector returns the handler vector address.
+func (m *Model) Vector() uint32 { return m.vector }
+
+// SetEnable writes the enable mask (ienable CSR semantics).
+func (m *Model) SetEnable(v uint32) { m.enable = v & (1<<fault.NumEvents - 1) }
+
+// SetVector writes the handler vector (ivec CSR semantics).
+func (m *Model) SetVector(v uint32) { m.vector = v &^ 3 }
+
+// PendingMask returns the raw pending lines (ipend CSR read).
+func (m *Model) PendingMask() uint32 {
+	var v uint32
+	for line := uint8(0); line < fault.NumEvents; line++ {
+		if m.pending[line] {
+			v |= 1 << line
+		}
+	}
+	return v
+}
+
+// ClearPending drops the pending lines set in mask (write-one-to-clear,
+// the ipend CSR write semantics).
+func (m *Model) ClearPending(mask uint32) {
+	for line := uint8(0); line < fault.NumEvents; line++ {
+		if mask&(1<<line) != 0 {
+			m.pending[line] = false
+		}
+	}
+}
+
+// Injector drives a Plan into the pipeline: it accumulates the core's
+// per-cycle retirements and raises each event's line into the ICU when its
+// retire index is crossed — the pipeline-side twin of Model.Advance.
+type Injector struct {
+	events  []Event
+	next    int
+	retired int64
+}
+
+// NewInjector builds the pipeline-side shim for plan.
+func NewInjector(plan Plan) *Injector {
+	return &Injector{events: sortedEvents(plan)}
+}
+
+// Tick advances the injector by one clock cycle: retired is the number of
+// instructions the core retired this cycle, raise latches one event line
+// into the ICU (typically icu.ICU.Raise). Undeliverable events of a
+// hand-mangled plan never reach here — sortedEvents filters them for the
+// Model and the Injector alike, so both execution models agree on what a
+// malformed plan does (nothing) instead of the pipeline crashing or
+// spinning on it.
+func (in *Injector) Tick(retired int, raise func(line uint8)) {
+	in.retired += int64(retired)
+	for in.next < len(in.events) && in.events[in.next].Retire <= in.retired {
+		raise(in.events[in.next].Line)
+		in.next++
+	}
+}
+
+// Reset rewinds the injector for another run of the same plan.
+func (in *Injector) Reset() { in.next, in.retired = 0, 0 }

@@ -1,0 +1,238 @@
+package archint
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/icu"
+)
+
+func TestPlanJSONRoundtrip(t *testing.T) {
+	p := Plan{Enable: 0xB, Events: []Event{{Retire: 40, Line: 2}, {Retire: 7, Line: 0}}}
+	blob, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Plan
+	if err := json.Unmarshal(blob, &q); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("roundtrip %+v -> %+v", p, q)
+	}
+	// The empty plan serializes to nothing and stays disabled — recipes
+	// without interrupts must not grow a field.
+	blob, err = json.Marshal(Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != "{}" {
+		t.Errorf("empty plan serialized as %s", blob)
+	}
+	if (Plan{}).Enabled() {
+		t.Error("empty plan reports enabled")
+	}
+}
+
+func TestWithoutEvent(t *testing.T) {
+	p := Plan{Events: []Event{{Retire: 1, Line: 0}, {Retire: 2, Line: 1}, {Retire: 3, Line: 2}}}
+	q := p.WithoutEvent(1)
+	if len(q.Events) != 2 || q.Events[0].Line != 0 || q.Events[1].Line != 2 {
+		t.Fatalf("drop produced %+v", q.Events)
+	}
+	if len(p.Events) != 3 {
+		t.Fatal("drop mutated the original plan")
+	}
+}
+
+func TestExpectedCauseHonoursMaskAndEncoding(t *testing.T) {
+	p := Plan{
+		Enable: 0b0001, // only cause bit 0 enabled
+		Events: []Event{{Retire: 1, Line: 1}, {Retire: 2, Line: 3}},
+	}
+	// Shared encoding: line 1 -> bit 0 (enabled), line 3 -> bit 1 (masked).
+	if got := p.ExpectedCause(true); got != 0b0001 {
+		t.Errorf("shared expected cause %#b", got)
+	}
+	// Distinct encoding: line 1 -> bit 1, line 3 -> bit 3, both masked.
+	if got := p.ExpectedCause(false); got != 0 {
+		t.Errorf("distinct expected cause %#b", got)
+	}
+}
+
+// TestRandomPlanAlwaysRecognisable: every drawn plan must schedule at
+// least one event whose cause bit is enabled under either encoder, so the
+// generated program's drain loop always has a delivery to wait for.
+func TestRandomPlanAlwaysRecognisable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := RandomPlan(rng)
+		if len(p.Events) == 0 {
+			t.Fatal("empty plan")
+		}
+		if p.ExpectedCause(true) == 0 || p.ExpectedCause(false) == 0 {
+			t.Fatalf("plan %+v has no recognisable event", p)
+		}
+		for _, e := range p.Events {
+			if e.Retire <= 0 || e.Line >= fault.NumEvents {
+				t.Fatalf("out-of-range event %+v", e)
+			}
+		}
+	}
+}
+
+// TestMangledPlanDegradesSafely: a hand-mangled recipe can carry events
+// on lines the hardware does not have and enable bits beyond the mask.
+// Both shims must skip such events identically — the pipeline must not
+// crash where the reference silently ignores — and the drain target must
+// shrink rather than wait on unachievable bits.
+func TestMangledPlanDegradesSafely(t *testing.T) {
+	p := Plan{
+		Enable: 0xFFFF_FFFF,
+		Events: []Event{
+			{Retire: 1, Line: 9},                        // nonexistent line
+			{Retire: MaxDeliverableRetire + 1, Line: 1}, // beyond the budget-safe bound
+			{Retire: 2, Line: 0},
+		},
+	}
+	// The injector drives a real ICU: line 9 must not reach (and panic) it.
+	u := icu.New(icu.Config{}, nil)
+	in := NewInjector(p)
+	in.Tick(10, u.Raise)
+	if u.PendingMask() != 1<<0 {
+		t.Errorf("pipeline pending %#x, want only line 0", u.PendingMask())
+	}
+	m := NewModel(false, p)
+	m.Advance(10)
+	if m.PendingMask() != 1<<0 {
+		t.Errorf("model pending %#x, want only line 0", m.PendingMask())
+	}
+	// The drain target contains only achievable bits: neither the
+	// nonexistent line nor the never-matured event may be waited on.
+	if got := p.ExpectedCause(false); got != 1<<0 {
+		t.Errorf("expected cause %#x, want %#x", got, 1<<0)
+	}
+	// The undeliverable event also never fires late.
+	in.Reset()
+	raised := 0
+	in.Tick(int(MaxDeliverableRetire)*2, func(uint8) { raised++ })
+	if raised != 1 {
+		t.Errorf("%d raises, want 1 (only the valid event)", raised)
+	}
+}
+
+// TestModelMirrorsICUMergedTake pins the model's take semantics to the
+// pipeline ICU's: the cause encoding of ALL pending lines is latched —
+// masked lines included — and every pending line clears.
+func TestModelMirrorsICUMergedTake(t *testing.T) {
+	for _, shared := range []bool{true, false} {
+		m := NewModel(shared, Plan{})
+		u := icu.New(icu.Config{SharedCauseBits: shared}, nil)
+		m.SetEnable(0b0001)
+		u.SetEnable(0b0001)
+		m.SetVector(0x404)
+		u.SetVector(0x404)
+		for _, line := range []uint8{0, 3} { // line 0 enabled, line 3 masked
+			m.Raise(line)
+			u.Raise(line)
+		}
+		if !m.ShouldTake() {
+			t.Fatalf("shared=%v: model does not take", shared)
+		}
+		for i := 0; i < icu.RecognitionDelay; i++ {
+			u.Tick(1)
+		}
+		if !u.WantInterrupt() {
+			t.Fatalf("shared=%v: ICU does not take", shared)
+		}
+		if got, want := m.Take(0x1000), u.TakeInterrupt(0x2000); got != 0x404 || want != 0x404 {
+			t.Fatalf("shared=%v: vectors %#x / %#x", shared, got, want)
+		}
+		if m.Cause() != u.Cause() {
+			t.Errorf("shared=%v: cause %#x, ICU %#x", shared, m.Cause(), u.Cause())
+		}
+		if m.PendingMask() != 0 || u.PendingMask() != 0 {
+			t.Errorf("shared=%v: pending not cleared (%#x / %#x)",
+				shared, m.PendingMask(), u.PendingMask())
+		}
+		if m.ShouldTake() {
+			t.Errorf("shared=%v: re-entrant take", shared)
+		}
+		if pc := m.RFE(); pc != 0x1000 {
+			t.Errorf("shared=%v: rfe pc %#x", shared, pc)
+		}
+		if m.InHandler() {
+			t.Errorf("shared=%v: still in handler", shared)
+		}
+	}
+}
+
+func TestModelCSRBlock(t *testing.T) {
+	m := NewModel(false, Plan{})
+	m.SetEnable(0xFFFF)
+	if m.Enable() != 0xF {
+		t.Errorf("enable mask not truncated: %#x", m.Enable())
+	}
+	m.SetVector(0x1237)
+	if m.Vector() != 0x1234 {
+		t.Errorf("vector not aligned: %#x", m.Vector())
+	}
+	m.Raise(1)
+	m.Raise(2)
+	if m.PendingMask() != 0b0110 {
+		t.Errorf("pending %#b", m.PendingMask())
+	}
+	m.ClearPending(0b0010)
+	if m.PendingMask() != 0b0100 {
+		t.Errorf("w1c left pending %#b", m.PendingMask())
+	}
+	if m.Dist() != 0 {
+		t.Error("reference dist must be zero")
+	}
+	// RFE outside a handler returns the stale EPC, like the ICU.
+	if m.RFE() != 0 || m.InHandler() {
+		t.Error("bare RFE misbehaved")
+	}
+}
+
+// TestModelAndInjectorDeliverSamePlan: the two shims must raise the same
+// lines in the same retire order from one plan, whatever order the plan
+// lists its events in.
+func TestModelAndInjectorDeliverSamePlan(t *testing.T) {
+	plan := Plan{Events: []Event{
+		{Retire: 30, Line: 2}, {Retire: 5, Line: 0}, {Retire: 5, Line: 3}, {Retire: 90, Line: 1},
+	}}
+	m := NewModel(false, plan)
+	m.SetEnable(0) // keep everything pending so raises are observable
+	var issOrder []uint8
+	for ret := int64(0); ret <= 100; ret++ {
+		before := m.PendingMask()
+		m.Advance(ret)
+		after := m.PendingMask()
+		for line := uint8(0); line < fault.NumEvents; line++ {
+			if after&^before&(1<<line) != 0 {
+				issOrder = append(issOrder, line)
+			}
+		}
+	}
+	in := NewInjector(plan)
+	var pipeOrder []uint8
+	// Uneven per-cycle retirement, like a real pipeline.
+	for cycle := 0; in.retired <= 100; cycle++ {
+		in.Tick(cycle%3, func(line uint8) { pipeOrder = append(pipeOrder, line) })
+	}
+	want := []uint8{0, 3, 2, 1}
+	if !reflect.DeepEqual(issOrder, want) || !reflect.DeepEqual(pipeOrder, want) {
+		t.Fatalf("delivery orders: iss %v, pipeline %v, want %v", issOrder, pipeOrder, want)
+	}
+	// Reset rewinds delivery.
+	in.Reset()
+	n := 0
+	in.Tick(100, func(uint8) { n++ })
+	if n != len(plan.Events) {
+		t.Errorf("after reset, %d raises", n)
+	}
+}

@@ -1,0 +1,38 @@
+// Package archint is the architectural interrupt subsystem shared by both
+// execution models: a deterministic, serializable interrupt-event plan, an
+// architectural recognition model for the functional interpreter, and an
+// injection shim that drives the same plan into the cycle-accurate
+// pipeline's ICU.
+//
+// The pipeline recognises interrupts imprecisely: an event matures through
+// a fixed-length recognition pipeline (icu.RecognitionDelay cycles), so
+// the exact instruction boundary where the handler runs — and with it the
+// icause/idist/iepc CSR values — depends on microarchitectural timing the
+// interpreter deliberately does not model. Differential comparison is
+// still possible because delivery, not placement, is architectural. The
+// contract the two models share:
+//
+//   - A Plan's events are indexed by the retired-instruction count, the
+//     one clock both models agree on. The interpreter raises an event the
+//     moment its retire index is reached (Model.Advance); the pipeline shim
+//     raises the same line into the ICU when the core's cumulative retire
+//     count crosses it (Injector.Tick).
+//   - Recognition semantics mirror icu.ICU exactly: pending lines are
+//     level-latched, a take latches the cause encoding of *all* pending
+//     lines (merged recognition), clears them, and blocks further takes
+//     until RFE; events that pend during a handler are recognised after
+//     RFE (the ICU re-arms its recognition pipeline on handler return).
+//   - Every enabled pending event is eventually recognised, provided the
+//     program keeps retiring instructions. Programs that must observe all
+//     planned deliveries therefore end with a drain loop (see
+//     internal/progen's handler mode) — the interpreter falls straight
+//     through it, the pipeline spins until recognition catches up.
+//
+// What is NOT comparable across models, by design: the per-take icause
+// value (the pipeline may merge several events into one take that the
+// interpreter delivers separately), idist (always 0 in the precise
+// reference), and iepc (timing-dependent). Generated handlers therefore
+// confine these to dedicated registers outside the compared architectural
+// state, and only monotonic accumulations of them (the OR of observed
+// causes) may feed back into control flow.
+package archint

@@ -2,8 +2,10 @@ package conform
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
+	"repro/internal/archint"
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/coverage"
@@ -168,6 +170,11 @@ type progSpec struct {
 	name, desc      string
 	cached, contend bool
 	arena           bool
+	// intr makes the seed sweep generate handler-carrying programs with a
+	// deterministic interrupt-event plan: the ISS runs the archint
+	// recognition model, the pipeline gets the same plan through the ICU
+	// injection shim.
+	intr bool
 }
 
 var progSpecs = []progSpec{
@@ -178,12 +185,16 @@ var progSpecs = []progSpec{
 		contend: true},
 	{name: "arena", desc: "ISS vs fault-free arena engine runs, including reset determinism",
 		arena: true},
+	{name: "interrupts", desc: "ISS+archint model vs pipeline ICU, handler-carrying programs under a shared interrupt plan",
+		intr: true},
 }
 
-// cfgFor derives the generator configuration for a seed: the knobs sweep
-// 64-bit pair ops, ICU event pressure, load/store density and branch
-// density across the seed space.
-func cfgFor(seed int64) progen.Config {
+// baseCfgFor derives the scenario-independent generator configuration for
+// a seed: the knobs sweep 64-bit pair ops, ICU event pressure, load/store
+// density and branch density across the seed space. Scenario code must go
+// through progSpec.cfgFor, which layers the scenario's own shape (the
+// interrupt plan) on top.
+func baseCfgFor(seed int64) progen.Config {
 	cfg := progen.Config{Pairs64: seed%3 == 0}
 	switch seed % 5 {
 	case 1:
@@ -208,10 +219,26 @@ func progTarget(p *progen.Program) (has64 bool, coreID int) {
 	return has64, coreID
 }
 
-func genFor(seed int64) *progen.Program { return progen.Generate(seed, cfgFor(seed)) }
+func genFor(seed int64) *progen.Program { return progen.Generate(seed, baseCfgFor(seed)) }
+
+// cfgFor derives the generator configuration the scenario's seed sweep
+// uses: the shared knob sweep, plus — for the interrupts scenario — a
+// seed-derived interrupt plan and occasional synchronous trap pressure so
+// planned and instruction-raised events interleave.
+func (sp progSpec) cfgFor(seed int64) progen.Config {
+	cfg := baseCfgFor(seed)
+	if sp.intr {
+		rng := rand.New(rand.NewSource(seed ^ 0x61726368696e74)) // "archint"
+		cfg.Interrupts = archint.RandomPlan(rng)
+		if cfg.TrapFrac == 0 && seed%2 == 0 {
+			cfg.TrapFrac = 0.1
+		}
+	}
+	return cfg
+}
 
 func (sp progSpec) runSeed(seed int64, mut Mutation) *Mismatch {
-	p := genFor(seed)
+	p := progen.Generate(seed, sp.cfgFor(seed))
 	detail := sp.check(p, mut, nil)
 	if detail == "" {
 		return nil
@@ -233,6 +260,15 @@ func (sp progSpec) runSeed(seed int64, mut Mutation) *Mismatch {
 // When cov is non-nil the target system's microarchitectural coverage is
 // collected into it.
 func (sp progSpec) check(p *progen.Program, mut Mutation, cov *coverage.Map) string {
+	if sp.arena && p.Cfg.Interrupts.Enabled() {
+		// The arena's golden-capture run happens inside core.NewArena,
+		// before any plan shim could attach; a handler program's drain
+		// loop would spin its budget out waiting for events that are never
+		// injected. Handler programs are out of this scenario's scope (a
+		// cross-scenario corpus may legitimately hand one over): report
+		// agreement rather than a phantom divergence.
+		return ""
+	}
 	has64, coreID := progTarget(p)
 	prog, err := p.Assemble(codeBase)
 	if err != nil {
@@ -325,11 +361,17 @@ func checkArena(p *progen.Program, coreID int, refRegs [32]uint32, refScratch []
 }
 
 // runISS executes the program on the interpreter and returns final
-// registers and the scratch+spill window.
+// registers and the scratch+spill window. Handler programs get the
+// architectural recognition model, driven by the same plan the pipeline
+// side injects (shared cause encoding on cores A/B, distinct on core C —
+// the same has64 derivation progTarget uses).
 func runISS(prog *asm.Program, has64 bool, cfg progen.Config) ([32]uint32, []uint32, error) {
 	m := iss.NewSparseMem()
 	m.LoadWords(prog.Base, prog.Words)
 	s := iss.New(m, prog.Base, has64)
+	if cfg.Interrupts.Enabled() {
+		s.Int = archint.NewModel(!has64, cfg.Interrupts)
+	}
 	if err := s.Run(issBudget); err != nil {
 		return s.Regs, nil, err
 	}
@@ -381,6 +423,9 @@ func runSoC(prog *asm.Program, cfg progen.Config, coreID int, cached, contend bo
 		return regs, nil, err
 	}
 	s.Start(coreID, prog.Base)
+	if cfg.Interrupts.Enabled() {
+		s.SetInjector(coreID, archint.NewInjector(cfg.Interrupts))
+	}
 	if contend {
 		for id := 0; id < soc.NumCores; id++ {
 			if id == coreID {

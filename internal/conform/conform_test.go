@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/isa"
+	"repro/internal/progen"
 )
 
 // TestScenariosPass: a quick sweep of every scenario — the deep sweeps run
@@ -77,6 +78,89 @@ func TestSelfTestCatchesDecoderBug(t *testing.T) {
 		return
 	}
 	t.Fatal("injected decoder bug not caught in 20 seeds")
+}
+
+// TestInterruptScenarioSweep: a deeper fixed-seed sweep of the interrupts
+// scenario than TestScenariosPass gives every scenario — handler-carrying
+// programs are where the two models' recognition points genuinely differ,
+// so this is the differential surface most worth pinning.
+func TestInterruptScenarioSweep(t *testing.T) {
+	sc, err := Lookup("interrupts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 40; seed++ {
+		if m := sc.Run(seed); m != nil {
+			t.Fatalf("%v", m)
+		}
+	}
+}
+
+// TestDuplicatedPreludeSurvivesInterrupts pins the class of the first
+// real bug the interrupt fuzzer caught: mutation can duplicate the
+// handler prelude into interrupt-enabled code, so a take can land
+// mid-prelude (e.g. between `ori r22,...` and `csrw ivec, r22`). The
+// handler must not clobber any register such code keeps live — with the
+// original handler using the prelude's own scratch register, the resumed
+// csrw installed a garbage vector and the models diverged. Here every
+// seed's prelude is re-duplicated right before the drain, where
+// interrupts are live.
+func TestDuplicatedPreludeSurvivesInterrupts(t *testing.T) {
+	sc, err := Lookup("interrupts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 25; seed++ {
+		cfg := sc.spec.cfgFor(seed)
+		n := len(progen.Generate(seed, cfg).Units)
+		// Duplicate the prelude (unit 1, after the pinned base) to the
+		// position just before the drain+spill tail.
+		q, err := progen.FromRecipe(progen.Recipe{Seed: seed, Cfg: cfg,
+			Edits: []progen.Edit{{Op: progen.EditDup, I: 1, J: n - 17}}})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m := sc.CheckProgram(q, nil); m != nil {
+			t.Fatalf("seed %d: duplicated prelude diverged: %v", seed, m)
+		}
+	}
+}
+
+// TestInterruptSelfTestShrinksBothAxes: the injected decoder bug must be
+// caught on handler-carrying programs too, and minimization must shrink
+// along the plan axis as well as the unit axis — the repro keeps its
+// handler machinery (plans cannot dissolve) but drops needless events.
+func TestInterruptSelfTestShrinksBothAxes(t *testing.T) {
+	sc, err := NewMutated("interrupts", DecoderBugArithShift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 40; seed++ {
+		m := sc.Run(seed)
+		if m == nil {
+			continue
+		}
+		planBefore := len(m.Program.Cfg.Interrupts.Events)
+		unitsBefore := len(m.Program.Units)
+		m.Minimize()
+		if n := m.Program.NumInsts(); n > 40 {
+			t.Errorf("minimized interrupt repro too large: %d instructions", n)
+		}
+		if len(m.Program.Units) >= unitsBefore && len(m.Program.Cfg.Interrupts.Events) >= planBefore {
+			t.Error("minimization shrank neither units nor plan")
+		}
+		if !m.Program.Cfg.Interrupts.Enabled() {
+			t.Error("minimization dissolved the interrupt plan")
+		}
+		if d := m.recheckProg(m.Program); d == "" {
+			t.Error("minimized program no longer fails")
+		}
+		t.Logf("seed %d: units %d->%d, plan events %d->%d: %s", seed,
+			unitsBefore, len(m.Program.Units),
+			planBefore, len(m.Program.Cfg.Interrupts.Events), m.Detail)
+		return
+	}
+	t.Fatal("injected decoder bug not caught on the interrupts scenario in 40 seeds")
 }
 
 // TestMutate: the mutation rewrites exactly the targeted ops and leaves

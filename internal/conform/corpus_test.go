@@ -4,6 +4,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/coverage"
 )
 
 // TestSeedCorpusReplays is the regression gate over testdata/corpus: every
@@ -40,8 +42,21 @@ func TestSeedCorpusReplays(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			// On the clean tree every entry must pass: these are regression
 			// seeds, so any mismatch here is a real engine divergence.
-			if m := clean.CheckProgram(p, nil); m != nil {
+			cov := new(coverage.Map)
+			if m := clean.CheckProgram(p, cov); m != nil {
 				t.Fatalf("clean replay diverged: %v", m)
+			}
+			if strings.HasPrefix(name, "interrupt-") {
+				// Interrupt frontier seeds must stay what they were kept
+				// for: handler-carrying programs whose plan actually takes
+				// interrupts on the pipeline.
+				if !p.Cfg.Interrupts.Enabled() {
+					t.Fatal("interrupt seed lost its plan")
+				}
+				bits := cov.Bits()
+				if !bits.Has(coverage.FeatInterrupt) || !bits.Has(coverage.FeatIntReti) {
+					t.Error("interrupt seed no longer takes interrupts on replay")
+				}
 			}
 			if !strings.HasPrefix(name, "decoder-bug-") {
 				return

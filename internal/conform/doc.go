@@ -8,12 +8,18 @@
 //	    without caches while two other cores hammer the shared bus,
 //	(3) fault-free runs of the reusable arena campaign engine, including
 //	    back-to-back reset determinism,
+//	(4) interrupt-enabled runs: handler-carrying programs under a shared
+//	    archint interrupt plan, the ISS recognising precisely, the
+//	    pipeline through its imprecise ICU,
 //
 // and, at the campaign level, fuzzes random fault universes through the
 // arena and legacy campaign engines, requiring bit-identical reports.
 //
-// On a mismatch the harness shrinks the failing input — drop-an-instruction
-// minimization for programs, drop-a-site minimization for fault universes —
-// and renders a one-line repro command plus a disassembly of the minimized
-// program (see cmd/conform).
+// On a mismatch the harness shrinks the failing input —
+// drop-an-instruction minimization for programs (plus drop-a-plan-event
+// for interrupt programs), drop-a-site minimization for fault universes —
+// and renders a one-line repro command plus a disassembly of the
+// minimized program (see cmd/conform). MinimizeCorpus is the corpus
+// lifecycle pass: entries whose coverage bits other entries subsume are
+// deleted without losing the corpus's coverage union.
 package conform

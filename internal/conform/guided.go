@@ -147,7 +147,7 @@ func (s *Scenario) Fuzz(seed int64, iters int, deadline time.Time, opts FuzzOpti
 		if fresh {
 			sd := nextSeed
 			nextSeed++
-			cfg := cfgFor(sd)
+			cfg := s.spec.cfgFor(sd)
 			if !opts.Random && rng.Float64() < opts.PerturbFrac {
 				cfg = progen.PerturbKnobs(rng, cfg)
 			}
@@ -189,28 +189,119 @@ func (s *Scenario) Fuzz(seed int64, iters int, deadline time.Time, opts FuzzOpti
 // empty corpus; a file that fails to parse or rebuild is an error — a
 // corrupt corpus should fail loudly, not silently shrink.
 func LoadCorpus(dir string) ([]*progen.Program, error) {
+	names, err := corpusNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*progen.Program, 0, len(names))
+	for _, name := range names {
+		p, err := loadRecipeFile(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// corpusNames lists a corpus directory's recipe files in deterministic
+// order.
+func corpusNames(dir string) ([]string, error) {
 	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
 		return nil, err
 	}
 	sort.Strings(names)
-	out := make([]*progen.Program, 0, len(names))
-	for _, name := range names {
-		blob, err := os.ReadFile(name)
-		if err != nil {
-			return nil, fmt.Errorf("conform: corpus %s: %w", name, err)
-		}
-		var r progen.Recipe
-		if err := json.Unmarshal(blob, &r); err != nil {
-			return nil, fmt.Errorf("conform: corpus %s: %w", name, err)
-		}
-		p, err := progen.FromRecipe(r)
-		if err != nil {
-			return nil, fmt.Errorf("conform: corpus %s: %w", name, err)
-		}
-		out = append(out, p)
+	return names, nil
+}
+
+// loadRecipeFile rebuilds the program one recipe file describes.
+func loadRecipeFile(name string) (*progen.Program, error) {
+	blob, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("conform: corpus %s: %w", name, err)
 	}
-	return out, nil
+	var r progen.Recipe
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("conform: corpus %s: %w", name, err)
+	}
+	p, err := progen.FromRecipe(r)
+	if err != nil {
+		return nil, fmt.Errorf("conform: corpus %s: %w", name, err)
+	}
+	return p, nil
+}
+
+// MinimizeResult summarises a corpus minimization pass.
+type MinimizeResult struct {
+	Kept    int
+	Dropped int
+	// Bits is the corpus's coverage union — identical before and after the
+	// pass, by construction.
+	Bits coverage.Bits
+	// Mismatch is non-nil when a corpus entry diverged during evaluation;
+	// nothing is removed in that case (a failing entry is a repro, not
+	// redundancy).
+	Mismatch *Mismatch
+}
+
+// MinimizeCorpus is the corpus lifecycle pass: it replays every recipe
+// under dir through the scenario, collects each entry's coverage bits,
+// and deletes the files whose bits are fully subsumed by the union of the
+// entries kept before them (greedy, richest-entry-first — the classic
+// corpus-distillation order). The surviving set reaches exactly the same
+// coverage union as the full directory. Panics on a non-Guidable
+// scenario.
+func (s *Scenario) MinimizeCorpus(dir string) (*MinimizeResult, error) {
+	if !s.Guidable() {
+		panic("conform: MinimizeCorpus on a non-program scenario")
+	}
+	names, err := corpusNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	type entry struct {
+		name  string
+		bits  coverage.Bits
+		count int
+	}
+	entries := make([]entry, 0, len(names))
+	cov := new(coverage.Map)
+	res := &MinimizeResult{}
+	for _, name := range names {
+		p, err := loadRecipeFile(name)
+		if err != nil {
+			return nil, err
+		}
+		cov.Reset()
+		if m := s.CheckProgram(p, cov); m != nil {
+			res.Mismatch = m
+			return res, nil
+		}
+		bits := cov.Bits()
+		entries = append(entries, entry{name: name, bits: bits, count: bits.Count()})
+	}
+	// Richest first; ties keep name order so the pass is deterministic.
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].count > entries[j].count })
+	for _, e := range entries {
+		if e.count == 0 {
+			// Zero coverage means the scenario did not actually exercise
+			// the entry (e.g. the arena scenario skips handler-carrying
+			// programs a cross-scenario corpus handed it). Out of scope is
+			// not redundant: keep the file for the scenario that owns it.
+			res.Kept++
+			continue
+		}
+		if res.Bits.Or(&e.bits) {
+			res.Kept++
+			continue
+		}
+		if err := os.Remove(e.name); err != nil {
+			return nil, err
+		}
+		res.Dropped++
+	}
+	return res, nil
 }
 
 // SaveRecipe writes one recipe into dir under a content-derived name

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/coverage"
 )
 
 // TestGuidedBeatsRandomCoverage is the acceptance bar of the
@@ -66,6 +68,157 @@ func TestGuidedFindsInjectedBug(t *testing.T) {
 	// fails — the property that makes saved repro corpus entries trustworthy.
 	if d := m.recheckProg(m.Program); d == "" {
 		t.Error("minimized program no longer fails")
+	}
+}
+
+// TestGuidedReachesInterruptCoverage is the acceptance bar of the
+// interrupt tentpole: at a fixed seed and budget, the guided loop on the
+// interrupts scenario must actually take interrupts on the pipeline —
+// FeatInterrupt, wired since the coverage subsystem landed but
+// unreachable while the ISS had no interrupt model — and light the new
+// recognition features alongside it. Deterministic, so a pin.
+func TestGuidedReachesInterruptCoverage(t *testing.T) {
+	sc, err := Lookup("interrupts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Fuzz(1, 40, time.Time{}, FuzzOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatch != nil {
+		t.Fatalf("unexpected mismatch: %v", res.Mismatch)
+	}
+	if !res.Bits.Has(coverage.FeatInterrupt) {
+		t.Error("guided loop never took an interrupt (FeatInterrupt unreached)")
+	}
+	newFeats := map[string]coverage.Feature{
+		"reti":            coverage.FeatIntReti,
+		"masked-pend":     coverage.FeatIntMaskedPend,
+		"cause-multi":     coverage.FeatIntCauseMulti,
+		"pend-in-handler": coverage.FeatIntPendInHandler,
+		"tail-chain":      coverage.FeatIntTailChain,
+	}
+	reached := 0
+	for name, f := range newFeats {
+		if res.Bits.Has(f) {
+			reached++
+		} else {
+			t.Logf("interrupt feature %s unreached in this budget", name)
+		}
+	}
+	if reached == 0 {
+		t.Error("no new interrupt recognition feature reached by the guided loop")
+	}
+	// RFE delivery is structural to every handler program: pin it.
+	if !res.Bits.Has(coverage.FeatIntReti) {
+		t.Error("FeatIntReti unreached — handlers never returned?")
+	}
+}
+
+// TestMinimizeCorpusPreservesCoverage: the corpus lifecycle pass must
+// delete only redundant entries — the survivors' coverage union equals
+// the full directory's — and must actually shrink a corpus padded with
+// subsumed duplicates.
+func TestMinimizeCorpusPreservesCoverage(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	sc, err := Lookup("uncached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sc.Fuzz(1, 40, time.Time{}, FuzzOptions{CorpusDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Mismatch != nil || first.NewInDir < 3 {
+		t.Fatalf("seed corpus too small: %d entries (mismatch %v)", first.NewInDir, first.Mismatch)
+	}
+	// Union of the directory before minimization.
+	union := func() coverage.Bits {
+		progs, err := LoadCorpus(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var u coverage.Bits
+		cov := new(coverage.Map)
+		for _, p := range progs {
+			cov.Reset()
+			if m := sc.CheckProgram(p, cov); m != nil {
+				t.Fatal(m)
+			}
+			bits := cov.Bits()
+			u.Or(&bits)
+		}
+		return u
+	}
+	before := union()
+	res, err := sc.MinimizeCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatch != nil {
+		t.Fatal(res.Mismatch)
+	}
+	if res.Dropped == 0 {
+		t.Error("minimization dropped nothing from a corpus grown with early redundant finds")
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != res.Kept {
+		t.Fatalf("dir has %d files, pass reported %d kept", len(files), res.Kept)
+	}
+	after := union()
+	if after != before {
+		t.Error("minimization lost coverage")
+	}
+	if res.Bits != before {
+		t.Error("reported union differs from the directory's")
+	}
+	// A second pass is a fixed point.
+	res2, err := sc.MinimizeCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Dropped != 0 || res2.Kept != res.Kept {
+		t.Errorf("second pass not a fixed point: kept %d dropped %d", res2.Kept, res2.Dropped)
+	}
+}
+
+// TestMinimizeCorpusKeepsOutOfScopeEntries: running the lifecycle pass
+// through a scenario that cannot exercise an entry (the arena scenario
+// skips handler-carrying programs) must keep the entry on disk — out of
+// scope is not redundant, and minimization must never destroy another
+// scenario's seeds.
+func TestMinimizeCorpusKeepsOutOfScopeEntries(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	intr, err := Lookup("interrupts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := intr.Fuzz(1, 25, time.Time{}, FuzzOptions{CorpusDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatch != nil || res.NewInDir == 0 {
+		t.Fatalf("interrupt corpus not grown: %d entries (mismatch %v)", res.NewInDir, res.Mismatch)
+	}
+	before, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	arena, err := Lookup("arena")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := arena.MinimizeCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Mismatch != nil {
+		t.Fatal(mr.Mismatch)
+	}
+	after, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(after) != len(before) {
+		t.Fatalf("arena minimization destroyed interrupt entries: %d -> %d files", len(before), len(after))
+	}
+	if mr.Dropped != 0 {
+		t.Errorf("arena pass reported %d drops over out-of-scope entries", mr.Dropped)
 	}
 }
 

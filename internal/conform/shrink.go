@@ -85,8 +85,9 @@ func (m *Mismatch) Minimize() {
 
 // minimizeProgram drops units from the end first (the spill stores go
 // before the instructions that feed the divergence), re-checking after
-// each drop. onFail records the detail of the latest still-failing
-// reduction.
+// each drop, then shrinks the interrupt plan the same way — handler
+// programs minimize along both axes until neither a unit nor a plan event
+// can go. onFail records the detail of the latest still-failing reduction.
 func minimizeProgram(p *progen.Program, fails func(*progen.Program) string, onFail func(string)) *progen.Program {
 	for round := 0; round < maxShrinkRounds; round++ {
 		changed := false
@@ -95,6 +96,20 @@ func minimizeProgram(p *progen.Program, fails func(*progen.Program) string, onFa
 				continue
 			}
 			q := p.WithoutUnit(i)
+			if d := fails(q); d != "" {
+				p = q
+				onFail(d)
+				changed = true
+			}
+		}
+		for i := len(p.Cfg.Interrupts.Events) - 1; i >= 0; i-- {
+			// Rebuilds from the edited recipe; the last event refuses to
+			// drop (that would dissolve handler mode under the recorded
+			// edit list), which WithoutPlanEvent reports as an error.
+			q, err := p.WithoutPlanEvent(i)
+			if err != nil {
+				continue
+			}
 			if d := fails(q); d != "" {
 				p = q
 				onFail(d)

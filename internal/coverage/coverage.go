@@ -54,6 +54,15 @@ const (
 	FeatTrapOverflowMul
 	FeatTrapDivZero
 
+	// Architectural interrupt features (internal/icu recognition states;
+	// FeatInterrupt above counts the take itself at the issue boundary).
+
+	FeatIntPendInHandler // event line latched while the handler was executing
+	FeatIntMaskedPend    // matured recognition blocked by the enable mask
+	FeatIntCauseMulti    // take latched more than one cause bit (merged recognition)
+	FeatIntTailChain     // take within a few retirements of the previous RFE
+	FeatIntReti          // return from exception executed
+
 	// Bus arbitration and contention features (internal/bus).
 	FeatBusGrantAlone // granted with no other master queued
 	FeatBusGrantContend1
@@ -180,6 +189,19 @@ func (b *Bits) Or(o *Bits) (changed bool) {
 	return changed
 }
 
+// Has reports whether any hit-count bucket of feature f is set — the
+// per-feature reachability query pinned tests use ("did the guided loop
+// ever light this event?").
+func (b *Bits) Has(f Feature) bool {
+	for k := 0; k < NumBuckets; k++ {
+		bit := int(f)*NumBuckets + k
+		if b.w[bit>>6]&(1<<(bit&63)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Count returns the number of set bits.
 func (b *Bits) Count() int {
 	n := 0
@@ -203,7 +225,8 @@ func Groups() []Group {
 		{Name: "forward", Lo: featFwdBase, Hi: FeatBranchTaken},
 		{Name: "control", Lo: FeatBranchTaken, Hi: FeatLoadByte},
 		{Name: "dmem", Lo: FeatLoadByte, Hi: FeatTrapOverflowAdd},
-		{Name: "trap", Lo: FeatTrapOverflowAdd, Hi: FeatBusGrantAlone},
+		{Name: "trap", Lo: FeatTrapOverflowAdd, Hi: FeatIntPendInHandler},
+		{Name: "int", Lo: FeatIntPendInHandler, Hi: FeatBusGrantAlone},
 		{Name: "bus", Lo: FeatBusGrantAlone, Hi: featCacheBase},
 		{Name: "cache", Lo: featCacheBase, Hi: Feature(NumFeatures)},
 	}

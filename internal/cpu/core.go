@@ -3,6 +3,7 @@ package cpu
 import (
 	"fmt"
 
+	"repro/internal/archint"
 	"repro/internal/cache"
 	"repro/internal/coverage"
 	"repro/internal/fault"
@@ -148,6 +149,10 @@ type Core struct {
 
 	trace    TraceFn
 	storeObs StoreFn
+	// inj drives a deterministic interrupt-event plan into the ICU,
+	// retire-indexed so the differential harness can replay the same plan
+	// against the architectural reference; nil means no external events.
+	inj *archint.Injector
 	// cov collects microarchitectural coverage when attached; nil (the
 	// default) is the zero-cost disabled mode — coverage.Map methods are
 	// nil-safe, so call sites pay one predictable branch.
@@ -200,6 +205,9 @@ func (c *Core) Reset(pc uint32) {
 	c.wedgePC = 0
 	c.PathUse = [2][2][fault.NumPaths]int64{}
 	c.ICU.Reset()
+	if c.inj != nil {
+		c.inj.Reset()
+	}
 	c.redirect(pc)
 }
 
@@ -222,9 +230,18 @@ func (c *Core) SetTracer(fn TraceFn) { c.trace = fn }
 // detaches).
 func (c *Core) SetStoreObserver(fn StoreFn) { c.storeObs = fn }
 
-// SetCoverage attaches a coverage map (nil detaches). Like tracers and
-// store observers, the attachment survives Reset.
-func (c *Core) SetCoverage(m *coverage.Map) { c.cov = m }
+// SetCoverage attaches a coverage map to the core and its ICU (nil
+// detaches). Like tracers and store observers, the attachment survives
+// Reset.
+func (c *Core) SetCoverage(m *coverage.Map) {
+	c.cov = m
+	c.ICU.SetCoverage(m)
+}
+
+// SetInjector attaches an interrupt-plan injector (nil detaches). The
+// attachment survives Reset; the injector's own delivery cursor rewinds
+// with the core.
+func (c *Core) SetInjector(in *archint.Injector) { c.inj = in }
 
 // Config returns the core's configuration.
 func (c *Core) Config() Config { return c.cfg }
@@ -354,7 +371,11 @@ func (c *Core) Step() {
 	// Fetch: keep the queue full.
 	c.stepFetch()
 
-	// Interrupt recognition pipeline.
+	// External interrupt events matured by this cycle's retirements, then
+	// the recognition pipeline.
+	if c.inj != nil {
+		c.inj.Tick(retired, c.ICU.Raise)
+	}
 	c.ICU.Tick(retired)
 }
 

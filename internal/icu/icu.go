@@ -1,6 +1,9 @@
 package icu
 
-import "repro/internal/fault"
+import (
+	"repro/internal/coverage"
+	"repro/internal/fault"
+)
 
 // RecognitionDelay is the number of clock cycles the recognition pipeline
 // takes between an event being latched and the interrupt being requested at
@@ -38,20 +41,41 @@ type ICU struct {
 	countdown int
 	retired   uint32 // instructions retired since the trigger
 	inHandler bool
+
+	// sinceRFE counts retirements since the last handler return while
+	// within the tail-chain window; -1 means outside it. Coverage only.
+	sinceRFE int
+	// maskedNoted makes FeatIntMaskedPend edge-triggered: one increment
+	// per recognition episode that matures masked, not one per polled
+	// cycle (dwell time would pollute the coverage signal). Coverage only.
+	maskedNoted bool
+
+	// cov collects interrupt-recognition coverage when attached; nil (the
+	// default) is the zero-cost disabled mode.
+	cov *coverage.Map
 }
+
+// tailChainWindow is how many retirements after an RFE a take still counts
+// as tail-chaining (back-to-back handler invocations) for coverage.
+const tailChainWindow = 8
 
 // New builds an ICU with the given configuration and fault plane.
 func New(cfg Config, plane fault.Plane) *ICU {
 	if plane == nil {
 		plane = fault.None
 	}
-	return &ICU{cfg: cfg, plane: plane, evClean: !fault.AffectsEvLines(plane)}
+	return &ICU{cfg: cfg, plane: plane, evClean: !fault.AffectsEvLines(plane), sinceRFE: -1}
 }
 
 // Reset restores power-on state (everything clear, interrupts disabled).
+// Like the core's, a coverage attachment survives Reset.
 func (u *ICU) Reset() {
-	*u = ICU{cfg: u.cfg, plane: u.plane, evClean: u.evClean}
+	*u = ICU{cfg: u.cfg, plane: u.plane, evClean: u.evClean, sinceRFE: -1, cov: u.cov}
 }
+
+// SetCoverage attaches a coverage map for the interrupt-recognition
+// features (nil detaches). The attachment survives Reset.
+func (u *ICU) SetCoverage(m *coverage.Map) { u.cov = m }
 
 // SetPlane swaps the fault-injection plane (nil restores fault-free). Used
 // by reusable fault-simulation arenas, which reset one long-lived ICU
@@ -88,11 +112,15 @@ func (u *ICU) Raise(line uint8) {
 			u.numPending++
 		}
 		u.pending[line] = true
+		if u.inHandler {
+			u.cov.Inc(coverage.FeatIntPendInHandler)
+		}
 	}
 	if !u.counting && !u.inHandler {
 		u.counting = true
 		u.countdown = RecognitionDelay
 		u.retired = 0
+		u.maskedNoted = false
 	}
 }
 
@@ -115,6 +143,11 @@ func (u *ICU) Tick(retired int) {
 			}
 		}
 	}
+	if u.sinceRFE >= 0 {
+		if u.sinceRFE += retired; u.sinceRFE > tailChainWindow {
+			u.sinceRFE = -1
+		}
+	}
 	if !u.counting {
 		return
 	}
@@ -131,7 +164,15 @@ func (u *ICU) WantInterrupt() bool {
 	if u.inHandler || !u.counting || u.countdown > 0 {
 		return false
 	}
-	return u.encodeCause()&u.plane.Enable(u.enable) != 0
+	c := u.encodeCause()
+	if c&u.plane.Enable(u.enable) == 0 {
+		if c != 0 && !u.maskedNoted {
+			u.cov.Inc(coverage.FeatIntMaskedPend)
+			u.maskedNoted = true
+		}
+		return false
+	}
+	return true
 }
 
 // TakeInterrupt commits the interrupt: latches cause/distance/EPC, clears
@@ -147,12 +188,34 @@ func (u *ICU) TakeInterrupt(resumePC uint32) (vector uint32) {
 	u.numPending = 0
 	u.counting = false
 	u.inHandler = true
+	u.maskedNoted = false
+	if u.cov != nil {
+		if c := u.cause; c&(c-1) != 0 {
+			u.cov.Inc(coverage.FeatIntCauseMulti)
+		}
+		if u.sinceRFE >= 0 {
+			u.cov.Inc(coverage.FeatIntTailChain)
+		}
+	}
+	u.sinceRFE = -1
 	return u.vector
 }
 
-// ReturnFromException ends handler mode and returns the resume PC.
+// ReturnFromException ends handler mode and returns the resume PC. Events
+// that pended while the handler ran re-arm the recognition pipeline here:
+// pending state is level-latched, so an enabled event is eventually
+// recognised no matter when it arrived — the architectural delivery
+// guarantee the differential interrupt harness (internal/archint) rests
+// on.
 func (u *ICU) ReturnFromException() uint32 {
 	u.inHandler = false
+	u.cov.Inc(coverage.FeatIntReti)
+	u.sinceRFE = 0
+	if u.numPending != 0 && !u.counting {
+		u.counting = true
+		u.countdown = RecognitionDelay
+		u.retired = 0
+	}
 	return u.epc
 }
 

@@ -160,6 +160,135 @@ func TestDistanceFaultInjection(t *testing.T) {
 	}
 }
 
+// TestSimultaneousEqualPriorityLines: two lines raised in the same cycle
+// have equal priority — one recognition merges both into the cause latch,
+// under either encoder, and neither line survives the take.
+func TestSimultaneousEqualPriorityLines(t *testing.T) {
+	for _, tc := range []struct {
+		cfg  Config
+		want uint32
+	}{
+		{Config{}, 1<<fault.EvOverflowMul | 1<<fault.EvDivZero},
+		{Config{SharedCauseBits: true}, 1 << 1}, // lines 2,3 share bit 1
+	} {
+		u := New(tc.cfg, nil)
+		u.SetEnable(0xF)
+		u.Raise(fault.EvOverflowMul)
+		u.Raise(fault.EvDivZero) // same cycle: no Tick between raises
+		for i := 0; i < RecognitionDelay; i++ {
+			u.Tick(1)
+		}
+		if !u.WantInterrupt() {
+			t.Fatalf("cfg %+v: no interrupt", tc.cfg)
+		}
+		u.TakeInterrupt(0)
+		if u.Cause() != tc.want {
+			t.Errorf("cfg %+v: cause %#x, want %#x", tc.cfg, u.Cause(), tc.want)
+		}
+		if u.PendingMask() != 0 {
+			t.Errorf("cfg %+v: lines survived the take: %#x", tc.cfg, u.PendingMask())
+		}
+	}
+}
+
+// TestMaskWriteAtRecognitionBoundary: an ienable write landing in the very
+// cycle recognition matures wins — the next issue boundary sees the new
+// mask, in both directions.
+func TestMaskWriteAtRecognitionBoundary(t *testing.T) {
+	// Disabling just as the countdown matures suppresses the take.
+	u := New(Config{}, nil)
+	u.SetEnable(0xF)
+	u.SetVector(0x400)
+	u.Raise(fault.EvDivZero)
+	for i := 0; i < RecognitionDelay-1; i++ {
+		u.Tick(1)
+	}
+	u.Tick(1)      // countdown reaches zero this cycle...
+	u.SetEnable(0) // ...and the same cycle's CSR write clears the mask
+	if u.WantInterrupt() {
+		t.Error("masked interrupt requested at the recognition boundary")
+	}
+	// The pending line is not lost: re-enabling delivers it from the
+	// already-matured recognition state.
+	u.SetEnable(0xF)
+	if !u.WantInterrupt() {
+		t.Error("re-enabled interrupt not requested")
+	}
+	// Conversely, enabling in the maturity cycle delivers immediately.
+	v := New(Config{}, nil)
+	v.SetVector(0x400)
+	v.Raise(fault.EvDivZero) // raised while masked: counts down anyway
+	for i := 0; i < RecognitionDelay; i++ {
+		v.Tick(1)
+	}
+	if v.WantInterrupt() {
+		t.Fatal("request while masked")
+	}
+	v.SetEnable(0xF)
+	if !v.WantInterrupt() {
+		t.Error("same-boundary enable write did not deliver")
+	}
+}
+
+// TestRetiWithNoActiveInterrupt: a stray RFE outside a handler is legal —
+// it reports the stale EPC, does not enter or corrupt handler state, and a
+// later interrupt still takes normally.
+func TestRetiWithNoActiveInterrupt(t *testing.T) {
+	u := New(Config{}, nil)
+	u.SetEnable(0xF)
+	u.SetVector(0x400)
+	if pc := u.ReturnFromException(); pc != 0 {
+		t.Errorf("stray RFE returned %#x, want stale EPC 0", pc)
+	}
+	if u.InHandler() {
+		t.Error("stray RFE entered handler mode")
+	}
+	u.Raise(fault.EvOverflowAdd)
+	for i := 0; i < RecognitionDelay; i++ {
+		u.Tick(1)
+	}
+	if !u.WantInterrupt() {
+		t.Error("interrupt lost after stray RFE")
+	}
+	u.TakeInterrupt(0x80)
+	if pc := u.ReturnFromException(); pc != 0x80 {
+		t.Errorf("real RFE returned %#x", pc)
+	}
+}
+
+// TestHandlerPendedEventRecognisedAfterRFE pins the delivery guarantee:
+// an event arriving while the handler runs is recognised after RFE — the
+// recognition pipeline re-arms on handler return.
+func TestHandlerPendedEventRecognisedAfterRFE(t *testing.T) {
+	u := New(Config{}, nil)
+	u.SetEnable(0xF)
+	u.SetVector(0x400)
+	u.Raise(fault.EvOverflowAdd)
+	for i := 0; i < RecognitionDelay; i++ {
+		u.Tick(1)
+	}
+	u.TakeInterrupt(0x100)
+	u.Raise(fault.EvDivZero) // arrives mid-handler: latched, not armed
+	u.Tick(1)
+	if u.WantInterrupt() {
+		t.Fatal("nested take inside the handler")
+	}
+	u.ReturnFromException()
+	if u.WantInterrupt() {
+		t.Fatal("re-armed recognition skipped its delay")
+	}
+	for i := 0; i < RecognitionDelay; i++ {
+		u.Tick(1)
+	}
+	if !u.WantInterrupt() {
+		t.Fatal("handler-pended event never recognised")
+	}
+	u.TakeInterrupt(0x104)
+	if u.Cause() != 1<<fault.EvDivZero {
+		t.Errorf("cause %#x", u.Cause())
+	}
+}
+
 func TestResetClearsEverything(t *testing.T) {
 	u := New(Config{}, nil)
 	u.SetEnable(0xF)

@@ -5,4 +5,13 @@
 // any bus contention) must match this interpreter exactly, because timing
 // must never change semantics. The two implementations share nothing
 // beyond the instruction decoder.
+//
+// Interrupts are modelled architecturally, not microarchitecturally: with
+// an archint.Model attached (ISS.Int), planned and synchronous events are
+// recognised precisely at instruction boundaries — the zero-imprecision
+// ideal the pipeline's delayed recognition converges to. See
+// internal/archint for the cross-model contract that makes
+// handler-carrying programs comparable despite the differing recognition
+// points. With no model attached, CSR, RFE and event recognition remain
+// outside the interpreter's subset.
 package iss

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/archint"
+	"repro/internal/fault"
 	"repro/internal/isa"
 )
 
@@ -78,6 +80,13 @@ type ISS struct {
 	Has64  bool
 	Halted bool
 
+	// Int is the architectural interrupt model (internal/archint): plan
+	// delivery, pending/mask/cause resolution, vector entry and RFE,
+	// recognised precisely at instruction boundaries. Nil (the default)
+	// leaves interrupts unmodelled — CSR, RFE and event recognition are
+	// then outside the interpreter's subset, exactly as before.
+	Int *archint.Model
+
 	instret int64
 }
 
@@ -106,13 +115,24 @@ func (s *ISS) setRegPair(r uint8, v uint64) {
 	s.setReg((r+1)&31, uint32(v>>32))
 }
 
-// Step executes one instruction. It returns an error for undecodable words
-// or operations outside the interpreter's supported subset (CSR, cache and
-// interrupt operations are timing- or microarchitecture-coupled and are
-// deliberately not modelled here).
+// Step executes one instruction, after recognising any interrupt that is
+// architecturally due at this boundary (when an interrupt model is
+// attached). It returns an error for undecodable words or operations
+// outside the interpreter's supported subset (cache operations and — with
+// no interrupt model attached — CSR and RFE are microarchitecture-coupled
+// and not modelled).
 func (s *ISS) Step() error {
 	if s.Halted {
 		return nil
+	}
+	if s.Int != nil {
+		// Plan events matured by the retire count pend now; an enabled
+		// pending cause redirects to the handler before the next
+		// instruction executes (precise recognition, EPC = next PC).
+		s.Int.Advance(s.instret)
+		if s.Int.ShouldTake() {
+			s.PC = s.Int.Take(s.PC)
+		}
 	}
 	word := uint32(s.Mem.Read(s.PC, 4))
 	inst, err := isa.Decode(word)
@@ -154,22 +174,37 @@ func (s *ISS) Step() error {
 	case isa.OpMUL:
 		s.setReg(inst.Rd, a*b)
 
-	// Trap-raising arithmetic. The pipeline additionally raises a
-	// synchronous event towards the ICU; events are architecturally
-	// invisible while interrupts stay disabled (the reset state), which is
-	// the regime the differential harness generates, so the interpreter
-	// models only the computed result. DIVV saturates like the hardware on
-	// MinInt32 / -1 and returns 0 on division by zero.
+	// Trap-raising arithmetic. With an interrupt model attached the
+	// overflow/div-zero conditions latch the same synchronous event lines
+	// the pipeline raises towards its ICU; without one the events are
+	// architecturally invisible (interrupts stay disabled in that regime)
+	// and only the computed result is modelled. DIVV saturates like the
+	// hardware on MinInt32 / -1 and returns 0 on division by zero.
 	case isa.OpADDV:
-		s.setReg(inst.Rd, a+b)
+		sum := a + b
+		s.setReg(inst.Rd, sum)
+		if s.Int != nil && (a^sum)&(b^sum)&0x8000_0000 != 0 {
+			s.Int.Raise(fault.EvOverflowAdd)
+		}
 	case isa.OpSUBV:
-		s.setReg(inst.Rd, a-b)
+		diff := a - b
+		s.setReg(inst.Rd, diff)
+		if s.Int != nil && (a^b)&(a^diff)&0x8000_0000 != 0 {
+			s.Int.Raise(fault.EvOverflowSub)
+		}
 	case isa.OpMULV:
-		s.setReg(inst.Rd, uint32(int64(int32(a))*int64(int32(b))))
+		prod := int64(int32(a)) * int64(int32(b))
+		s.setReg(inst.Rd, uint32(prod))
+		if s.Int != nil && prod != int64(int32(prod)) {
+			s.Int.Raise(fault.EvOverflowMul)
+		}
 	case isa.OpDIVV:
 		switch {
 		case b == 0:
 			s.setReg(inst.Rd, 0)
+			if s.Int != nil {
+				s.Int.Raise(fault.EvDivZero)
+			}
 		case a == 0x8000_0000 && b == 0xFFFF_FFFF:
 			s.setReg(inst.Rd, a)
 		default:
@@ -250,6 +285,28 @@ func (s *ISS) Step() error {
 		s.setReg(inst.Rd, s.PC+4)
 		next = a
 
+	case isa.OpRFE:
+		if s.Int == nil {
+			return fmt.Errorf("iss: pc %#x: rfe without an interrupt model", s.PC)
+		}
+		next = s.Int.RFE()
+	case isa.OpCSRR:
+		if s.Int == nil {
+			return fmt.Errorf("iss: pc %#x: csrr without an interrupt model", s.PC)
+		}
+		v, ok := s.readIntCSR(imm)
+		if !ok {
+			return fmt.Errorf("iss: pc %#x: unsupported csr %d", s.PC, imm)
+		}
+		s.setReg(inst.Rd, v)
+	case isa.OpCSRW:
+		if s.Int == nil {
+			return fmt.Errorf("iss: pc %#x: csrw without an interrupt model", s.PC)
+		}
+		if !s.writeIntCSR(imm, a) {
+			return fmt.Errorf("iss: pc %#x: unsupported csr %d", s.PC, imm)
+		}
+
 	case isa.OpNOP:
 		// nothing
 	case isa.OpHALT:
@@ -260,6 +317,44 @@ func (s *ISS) Step() error {
 	s.instret++
 	s.PC = next
 	return nil
+}
+
+// readIntCSR reads the interrupt CSR block from the attached model. The
+// timing CSRs (cycle, the stall counters) have no meaning here and stay
+// unsupported — a generated program reading them is a harness bug, not a
+// divergence.
+func (s *ISS) readIntCSR(n int32) (uint32, bool) {
+	switch n {
+	case isa.CsrICause:
+		return s.Int.Cause(), true
+	case isa.CsrIDist:
+		return s.Int.Dist(), true
+	case isa.CsrIEPC:
+		return s.Int.EPC(), true
+	case isa.CsrIEnable:
+		return s.Int.Enable(), true
+	case isa.CsrIPend:
+		return s.Int.PendingMask(), true
+	case isa.CsrIVec:
+		return s.Int.Vector(), true
+	}
+	return 0, false
+}
+
+// writeIntCSR writes the interrupt CSR block, mirroring the pipeline's CSR
+// write semantics (ipend is write-one-to-clear).
+func (s *ISS) writeIntCSR(n int32, v uint32) bool {
+	switch n {
+	case isa.CsrIEnable:
+		s.Int.SetEnable(v)
+	case isa.CsrIVec:
+		s.Int.SetVector(v)
+	case isa.CsrIPend:
+		s.Int.ClearPending(v)
+	default:
+		return false
+	}
+	return true
 }
 
 // Run steps until HALT or the instruction budget is exhausted.

@@ -18,7 +18,20 @@
 //
 // Register conventions: r1..r15 are operand registers seeded with random
 // constants, r16 (BaseReg) holds the scratch base address, r17 (LoopReg)
-// is the loop counter. r28..r31 are left to the sbst/core wrappers, so a
-// Program can also run wrapped as an sbst.Routine under any execution
-// strategy.
+// is the loop counter, and handler mode reserves r20..r23
+// (AccumReg/ExpectReg/HTmpReg/HandlerTmpReg). r28..r31 are left to the
+// sbst/core wrappers, so a Program can also run wrapped as an
+// sbst.Routine under any execution strategy.
+//
+// Handler mode (Config.Interrupts, an archint.Plan) additionally emits a
+// pinned interrupt prelude — vector installation, a terminating
+// accumulate-and-RFE handler, the plan's enable mask — and a pinned drain
+// loop that spins until every enabled planned cause has been observed.
+// The handler touches only AccumReg and HandlerTmpReg — registers no
+// other generated code writes — so its placement (which differs between
+// the precise interpreter and the imprecise pipeline, and can fall inside
+// a mutation-duplicated prelude) never reaches compared architectural
+// state or any live scratch value; the drain loop is the only non-counted
+// backward branch the generator emits, and it terminates by the ICU's
+// delivery guarantee (see internal/archint).
 package progen

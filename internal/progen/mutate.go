@@ -134,6 +134,26 @@ func (p *Program) spliceFrom(e Edit, donor *Program) (*Program, error) {
 	return cp, nil
 }
 
+// WithoutPlanEvent returns p rebuilt with interrupt-plan event i removed —
+// the plan-axis minimization step. The drain target and enable sequence
+// baked into the prelude unit depend on the plan, so the program is
+// regenerated from the edited recipe (same seed, same edit list) rather
+// than patched. Dropping the last event would leave handler mode entirely
+// and change the unit structure under the recorded edits, so a one-event
+// plan refuses to shrink further.
+func (p *Program) WithoutPlanEvent(i int) (*Program, error) {
+	r := p.Recipe
+	n := len(r.Cfg.Interrupts.Events)
+	if i < 0 || i >= n {
+		return nil, fmt.Errorf("progen: drop plan event %d of %d", i, n)
+	}
+	if n == 1 {
+		return nil, fmt.Errorf("progen: cannot drop the last plan event")
+	}
+	r.Cfg.Interrupts = r.Cfg.Interrupts.WithoutEvent(i)
+	return FromRecipe(r)
+}
+
 // maxSpliceUnits bounds one splice so mutated programs grow gradually.
 const maxSpliceUnits = 8
 

@@ -1,8 +1,10 @@
 package progen
 
 import (
+	"math"
 	"math/rand"
 
+	"repro/internal/archint"
 	"repro/internal/asm"
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -14,6 +16,26 @@ const (
 	BaseReg       = 16 // holds Config.ScratchBase
 	LoopReg       = 17 // counted-loop counter
 	MaxOperandReg = 15 // operands are r1..r15
+
+	// Handler-mode registers. The interrupt handler and the drain loop may
+	// run at different program points on different execution models
+	// (imprecise recognition), so everything they touch lives outside both
+	// the compared operand set (r1..r15) and the generator's own working
+	// registers — the transparency that makes handler-carrying programs
+	// differentially comparable at all.
+	//
+	// The handler itself may touch ONLY AccumReg and HandlerTmpReg:
+	// mutation can duplicate the prelude (and splice donors' preludes)
+	// into interrupt-enabled code, so a take can land mid-prelude — e.g.
+	// between `ori r22, ...` and `csrw ivec, r22` — and a handler that
+	// clobbered the prelude's scratch register would corrupt the vector on
+	// resume. The fuzzer found exactly that (see the
+	// interrupt-prelude-dup corpus seed); keeping the handler's registers
+	// disjoint from every other unit's closes the whole class.
+	AccumReg      = 20 // OR-accumulated icause observations (handler-only write)
+	ExpectReg     = 21 // cause bits the drain loop waits for (prelude write, drain read)
+	HTmpReg       = 22 // prelude/drain scratch, never touched by the handler
+	HandlerTmpReg = 23 // handler-only scratch
 )
 
 // DefaultScratchBase is the default scratch window (clear of the sbst
@@ -54,21 +76,69 @@ type Config struct {
 	// register spill area (16 words) follows the window.
 	ScratchBase uint32
 	ScratchSize int
+
+	// Interrupts, when it schedules any events, switches the generator
+	// into handler-emitting mode: the program installs an interrupt vector
+	// and a terminating handler (accumulate icause, RFE), enables the
+	// plan's mask, and — before spilling its registers — drains until
+	// every enabled planned cause has been observed. The plan is part of
+	// the Config and therefore of the Recipe, so FromRecipe rebuilds
+	// handler programs bit-identically and corpus entries carry their
+	// interrupt schedule with them.
+	Interrupts archint.Plan `json:",omitzero"`
 }
 
-func (c Config) withDefaults() Config {
-	if c.MemFrac <= 0 {
-		c.MemFrac = 0.2
+// Fraction-knob bounds. Values outside [0, max] are clamped rather than
+// silently skewing generation: rng.Float64() < frac degenerates for
+// frac >= 1 (the branch always taken) and for NaN (never taken).
+const (
+	maxMemFrac    = 0.9
+	maxBranchFrac = 0.98
+	maxTrapFrac   = 0.9
+)
+
+// clampFrac normalises one fraction knob: non-finite or non-positive
+// values fall back to def, values above max clamp to max.
+func clampFrac(v, def, max float64) float64 {
+	if math.IsNaN(v) || v <= 0 {
+		return def
 	}
-	if c.BranchFrac <= 0 {
-		c.BranchFrac = 0.75
+	if v > max {
+		return max
+	}
+	return v
+}
+
+// withDefaults fills defaults and validates the knobs. Normalisation is
+// idempotent — Recipe stores the normalised Config, and FromRecipe must
+// rebuild the exact same program from it.
+func (c Config) withDefaults() Config {
+	c.MemFrac = clampFrac(c.MemFrac, 0.2, maxMemFrac)
+	c.BranchFrac = clampFrac(c.BranchFrac, 0.75, maxBranchFrac)
+	c.TrapFrac = clampFrac(c.TrapFrac, 0, maxTrapFrac)
+	// MemFrac and TrapFrac are drawn sequentially per slot; a combined
+	// budget above 1 would starve the plain-ALU mix entirely. Rescale the
+	// pair to sum below 1 (0.95 keeps the rescale a fixed point).
+	if sum := c.MemFrac + c.TrapFrac; sum > 1 {
+		c.MemFrac *= 0.95 / sum
+		c.TrapFrac *= 0.95 / sum
+	}
+	if c.Blocks < 0 {
+		c.Blocks = 0
+	}
+	if c.Blocks > 64 {
+		c.Blocks = 64
 	}
 	if c.ScratchBase == 0 {
 		c.ScratchBase = DefaultScratchBase
 	}
-	if c.ScratchSize == 0 {
+	// The scratch window must fit the widest access (8-byte pairs) with a
+	// non-degenerate offset range; out-of-range sizes would panic the
+	// offset draw or overrun the compared window.
+	if c.ScratchSize < 64 {
 		c.ScratchSize = 256
 	}
+	c.ScratchSize &^= 7
 	return c
 }
 
@@ -79,6 +149,13 @@ func (c Config) ScratchWords() int {
 	c = c.withDefaults()
 	return (c.ScratchSize + 4*(MaxOperandReg+1)) / 4
 }
+
+// sharedCause reports which ICU cause encoder the program's execution
+// target uses: 64-bit pair programs must run on core C (fully decoded
+// cause register), everything else targets core A (shared cause bits) —
+// the same derivation internal/conform applies when picking the core
+// under test. The drain loop's expected-cause mask depends on it.
+func (c Config) sharedCause() bool { return !c.Pairs64 }
 
 // Unit is one droppable fragment of a generated program. Emit appends the
 // fragment to a builder; it captures only concrete values chosen at
@@ -120,6 +197,31 @@ func Generate(seed int64, cfg Config) *Program {
 
 	base := cfg.ScratchBase
 	addUnit("base", true, func(b *asm.Builder) { b.Li(BaseReg, base) })
+	if cfg.Interrupts.Enabled() {
+		// Handler-mode prelude, one pinned unit so mutation can never
+		// split the handler: jump over the handler body, install the
+		// vector, publish the drain target, enable the plan's mask (last —
+		// events that pend earlier stay unrecognised until here, with the
+		// vector already valid). The handler accumulates observed causes
+		// into AccumReg and returns; it touches no compared state, so its
+		// timing-dependent placement cannot diverge the models.
+		enable, expect := cfg.Interrupts.Enable, cfg.Interrupts.ExpectedCause(cfg.sharedCause())
+		addUnit("ivec", true, func(b *asm.Builder) {
+			over := b.AutoLabel("over")
+			handler := b.AutoLabel("handler")
+			b.Jump(isa.OpJ, over)
+			b.Label(handler)
+			b.CsrR(HandlerTmpReg, isa.CsrICause)
+			b.R(isa.OpOR, AccumReg, AccumReg, HandlerTmpReg)
+			b.Emit(isa.Inst{Op: isa.OpRFE})
+			b.Label(over)
+			b.LiAddr(HTmpReg, handler)
+			b.CsrW(isa.CsrIVec, HTmpReg)
+			b.Li(ExpectReg, expect)
+			b.Li(HTmpReg, enable)
+			b.CsrW(isa.CsrIEnable, HTmpReg)
+		})
+	}
 	for r := uint8(1); r <= MaxOperandReg; r++ {
 		r, v := r, rng.Uint32()
 		addUnit("seed", false, func(b *asm.Builder) { b.Li(r, v) })
@@ -180,6 +282,22 @@ func Generate(seed int64, cfg Config) *Program {
 				b.Label(after)
 			})
 		}
+	}
+
+	if cfg.Interrupts.Enabled() {
+		// Drain before the spills: spin until every enabled planned cause
+		// has been accumulated. Not a counted loop, but still terminating
+		// by construction — the loop itself keeps retiring instructions,
+		// which matures every planned retire index, and the ICU contract
+		// guarantees an enabled pending event is eventually recognised
+		// (recognition re-arms on RFE). The interpreter, recognising
+		// precisely, falls straight through.
+		addUnit("drain", true, func(b *asm.Builder) {
+			top := b.AutoLabel("drain")
+			b.Label(top)
+			b.R(isa.OpAND, HTmpReg, AccumReg, ExpectReg)
+			b.Branch(isa.OpBNE, HTmpReg, ExpectReg, top)
+		})
 	}
 
 	// Spill the operand registers so memory comparison also covers

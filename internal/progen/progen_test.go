@@ -1,14 +1,19 @@
 package progen
 
 import (
+	"math"
+	"math/rand"
+	"reflect"
 	"testing"
 
+	"repro/internal/archint"
 	"repro/internal/isa"
 	"repro/internal/iss"
 )
 
 // run executes a generated program on the interpreter, failing the test on
-// any error (non-termination, undecodable word, unsupported op).
+// any error (non-termination, undecodable word, unsupported op). Handler
+// programs get the architectural interrupt model their plan requires.
 func run(t *testing.T, p *Program, has64 bool) *iss.ISS {
 	t.Helper()
 	prog, err := p.Assemble(0x1000)
@@ -18,6 +23,9 @@ func run(t *testing.T, p *Program, has64 bool) *iss.ISS {
 	m := iss.NewSparseMem()
 	m.LoadWords(prog.Base, prog.Words)
 	s := iss.New(m, prog.Base, has64)
+	if p.Cfg.Interrupts.Enabled() {
+		s.Int = archint.NewModel(p.Cfg.sharedCause(), p.Cfg.Interrupts)
+	}
 	if err := s.Run(500_000); err != nil {
 		t.Fatalf("seed %d: %v", p.Seed, err)
 	}
@@ -176,6 +184,149 @@ func TestWithoutUnit(t *testing.T) {
 		t.Fatalf("expected only the pinned unit to remain, have %d", got)
 	}
 	run(t, q, true)
+}
+
+// TestKnobValidation: out-of-range knobs are clamped deterministically
+// instead of panicking the generator or silently degenerating the mix,
+// and the normalisation is a fixed point (the property recipe replay
+// depends on).
+func TestKnobValidation(t *testing.T) {
+	wild := []Config{
+		{MemFrac: 3.5, TrapFrac: 2.0, BranchFrac: 7},
+		{MemFrac: math.NaN(), BranchFrac: math.NaN(), TrapFrac: math.NaN()},
+		{MemFrac: -1, BranchFrac: -0.5, TrapFrac: -2},
+		{MemFrac: 0.8, TrapFrac: 0.8}, // sum > 1
+		{ScratchSize: -100, Blocks: -3},
+		{ScratchSize: 7, Blocks: 100000},
+	}
+	for i, cfg := range wild {
+		n := cfg.withDefaults()
+		if !(n.MemFrac > 0 && n.MemFrac <= maxMemFrac) ||
+			!(n.BranchFrac > 0 && n.BranchFrac <= maxBranchFrac) ||
+			!(n.TrapFrac >= 0 && n.TrapFrac <= maxTrapFrac) {
+			t.Errorf("cfg %d: fractions not normalised: %+v", i, n)
+		}
+		if n.MemFrac+n.TrapFrac > 1 {
+			t.Errorf("cfg %d: MemFrac+TrapFrac = %v still above 1", i, n.MemFrac+n.TrapFrac)
+		}
+		if n.ScratchSize < 64 || n.ScratchSize%8 != 0 {
+			t.Errorf("cfg %d: scratch size %d", i, n.ScratchSize)
+		}
+		if n.Blocks < 0 || n.Blocks > 64 {
+			t.Errorf("cfg %d: blocks %d", i, n.Blocks)
+		}
+		if again := n.withDefaults(); !reflect.DeepEqual(n, again) {
+			t.Errorf("cfg %d: normalisation not idempotent: %+v vs %+v", i, n, again)
+		}
+		// The generator must run the wild config end to end, and a recipe
+		// carrying it must rebuild bit-identically.
+		p := Generate(int64(i)+1, cfg)
+		run(t, p, false)
+		q, err := FromRecipe(p.Recipe)
+		if err != nil {
+			t.Fatalf("cfg %d: %v", i, err)
+		}
+		a, _ := p.Assemble(0x1000)
+		b, _ := q.Assemble(0x1000)
+		for k := range a.Words {
+			if a.Words[k] != b.Words[k] {
+				t.Fatalf("cfg %d: recipe replay diverged at word %d", i, k)
+			}
+		}
+	}
+}
+
+// interruptCfg returns a handler-mode config with a recognisable plan.
+func interruptCfg(seed int64) Config {
+	rng := rand.New(rand.NewSource(seed))
+	return Config{TrapFrac: 0.1, Interrupts: archint.RandomPlan(rng)}
+}
+
+// TestHandlerModeTerminatesAndDrains: handler programs terminate on the
+// interpreter, observe every enabled planned cause (the drain loop's exit
+// condition), and keep their interrupt machinery out of the compared
+// operand registers.
+func TestHandlerModeTerminatesAndDrains(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		cfg := interruptCfg(seed)
+		p := Generate(seed, cfg)
+		s := run(t, p, false)
+		expect := p.Cfg.Interrupts.ExpectedCause(p.Cfg.sharedCause())
+		if expect == 0 {
+			t.Fatalf("seed %d: plan schedules nothing recognisable", seed)
+		}
+		if got := s.Regs[AccumReg]; got&expect != expect {
+			t.Errorf("seed %d: accumulated causes %#x missing expected %#x", seed, got, expect)
+		}
+		if s.Int.InHandler() {
+			t.Errorf("seed %d: program halted inside the handler", seed)
+		}
+	}
+}
+
+// TestHandlerModeRecipeRoundtrip: handler-mode programs — plan included —
+// rebuild bit-identically from their recipe, through mutation chains too.
+func TestHandlerModeRecipeRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for seed := int64(1); seed <= 6; seed++ {
+		p := Generate(seed, interruptCfg(seed))
+		for k := 0; k < 3; k++ {
+			p = Mutate(rng, p)
+		}
+		q, err := FromRecipe(p.Recipe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := p.Assemble(0x1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := q.Assemble(0x1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Words) != len(b.Words) {
+			t.Fatalf("seed %d: sizes differ", seed)
+		}
+		for i := range a.Words {
+			if a.Words[i] != b.Words[i] {
+				t.Fatalf("seed %d: word %d differs", seed, i)
+			}
+		}
+	}
+}
+
+// TestWithoutPlanEvent: dropping any plan event but the last rebuilds a
+// valid, terminating handler program; the last event refuses to drop.
+func TestWithoutPlanEvent(t *testing.T) {
+	var p *Program
+	for seed := int64(1); ; seed++ {
+		p = Generate(seed, interruptCfg(seed))
+		if len(p.Cfg.Interrupts.Events) >= 2 {
+			break
+		}
+	}
+	n := len(p.Cfg.Interrupts.Events)
+	for i := 0; i < n; i++ {
+		q, err := p.WithoutPlanEvent(i)
+		if err != nil {
+			t.Fatalf("drop %d: %v", i, err)
+		}
+		if len(q.Cfg.Interrupts.Events) != n-1 {
+			t.Fatalf("drop %d: %d events left", i, len(q.Cfg.Interrupts.Events))
+		}
+		run(t, q, false)
+	}
+	single := p
+	for len(single.Cfg.Interrupts.Events) > 1 {
+		var err error
+		if single, err = single.WithoutPlanEvent(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := single.WithoutPlanEvent(0); err == nil {
+		t.Error("last plan event dropped")
+	}
 }
 
 func TestUnitInstCounts(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/archint"
 	"repro/internal/asm"
 	"repro/internal/bus"
 	"repro/internal/cache"
@@ -276,6 +277,12 @@ func (s *SoC) Reset() {
 
 // SetPlane swaps core id's fault-injection plane (nil restores fault-free).
 func (s *SoC) SetPlane(id int, p fault.Plane) { s.Cores[id].Core.SetPlane(p) }
+
+// SetInjector attaches an interrupt-plan injector to core id (nil
+// detaches): the pipeline half of the architectural interrupt subsystem —
+// the same archint.Plan the functional reference recognises is driven
+// into this core's ICU, retire-indexed. The attachment survives Reset.
+func (s *SoC) SetInjector(id int, in *archint.Injector) { s.Cores[id].Core.SetInjector(in) }
 
 // SetCoverage attaches one coverage map to every instrumented component of
 // the system — all cores, their private caches, and the shared bus — so a
