@@ -1,14 +1,16 @@
 // Command conform runs the conformance suite: seeded random programs
 // cross-checked between the functional ISS, the cycle-accurate pipeline
-// (cached, uncached, bus-contended, interrupt-enabled) and the fault-free
-// arena engine, plus random fault universes pushed through both campaign
-// engines with bit-identical reports required (see internal/conform).
+// (cached, uncached, bus-contended, interrupt-enabled), the fault-free
+// arena engine, the wrapping strategies and the multi-core scheduler,
+// plus random fault universes pushed through both campaign engines with
+// bit-identical reports required (see internal/conform).
 //
 // Usage:
 //
-//	conform [-scenario all|cached|uncached|contended|arena|interrupts|campaign]
+//	conform [-scenario all|cached|uncached|contended|arena|interrupts|strategies|sched|campaign]
 //	        [-seed N] [-n N] [-duration D] [-cover] [-corpus DIR]
-//	        [-minimize] [-recipe FILE] [-selftest] [-v]
+//	        [-minimize] [-recipe FILE] [-selftest] [-list]
+//	        [-artifacts DIR] [-v]
 //
 // By default each scenario runs -n fresh seeded programs (or universes).
 // With -cover the program scenarios instead run the coverage-guided corpus
@@ -28,6 +30,22 @@
 // through its ICU, and the architectural results must still agree.
 // Failing interrupt programs minimize along both axes — program units and
 // plan events.
+//
+// The strategies scenario bridges the program into routine block form
+// (progen.BlockForm) and wraps it with core.Plain, core.CacheBased (a
+// seed-swept partition budget exercises multi-chunk splitting) and
+// core.TCMBased: every wrapping the strategy accepts must reproduce the
+// ISS reference signature, and Validate/MemoryOverhead rejections are
+// counted as explicit skip verdicts. The sched scenario partitions the
+// bridged program plus seed-derived sbst library tasks over a random core
+// count and requires the multi-core barrier boot's per-task signatures to
+// be bit-identical to the one-core serial plan; its failures minimize
+// along program units and library tasks.
+//
+// -list prints the scenario names one per line (machine-readable); the CI
+// workflow matrices are gated against it by TestScenarioMatrixInSync.
+// -artifacts DIR saves every reported mismatch's minimized recipe/plan
+// JSON into DIR so CI can upload it as a workflow artifact.
 //
 // On a mismatch the failing input is shrunk (drop-an-instruction for
 // programs, drop-a-site for fault universes) and the tool prints the

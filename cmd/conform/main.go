@@ -5,14 +5,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/conform"
+	"repro/internal/fault"
 	"repro/internal/progen"
 )
 
 func main() {
-	scenarioName := flag.String("scenario", "all", "scenario to run (all, cached, uncached, contended, arena, interrupts, campaign)")
+	scenarioName := flag.String("scenario", "all", "scenario to run (all, cached, uncached, contended, arena, interrupts, strategies, sched, campaign)")
 	seed := flag.Int64("seed", 1, "first seed")
 	n := flag.Int("n", 200, "programs (or universes) per scenario")
 	duration := flag.Duration("duration", 0, "run each scenario for this long instead of -n iterations")
@@ -21,9 +23,18 @@ func main() {
 	minimize := flag.Bool("minimize", false, "minimize the -corpus directory through -scenario (drop entries whose coverage other entries subsume) and exit")
 	recipe := flag.String("recipe", "", "replay one recipe JSON file through -scenario and exit (repro mode)")
 	selftest := flag.Bool("selftest", false, "inject a decoder bug and require the harness to catch and minimize it")
+	list := flag.Bool("list", false, "print the scenario names, one per line, and exit (machine-readable; CI matrices sync against it)")
+	artifacts := flag.String("artifacts", "", "on a mismatch, save the failing recipe/plan JSON into this directory (workflow-artifact repro)")
 	verbose := flag.Bool("v", false, "print every seed")
 	flag.Parse()
 
+	if *list {
+		for _, sc := range conform.Scenarios() {
+			fmt.Println(sc.Name)
+		}
+		return
+	}
+	artifactsDir = *artifacts
 	if *corpus != "" {
 		*cover = true
 	}
@@ -98,6 +109,51 @@ func main() {
 	}
 }
 
+// artifactsDir, when set via -artifacts, receives the failing recipe/plan
+// JSON of every reported mismatch so CI can upload it as a workflow
+// artifact and the repro survives the runner.
+var artifactsDir string
+
+// artifact is the self-describing failure record written to artifactsDir.
+type artifact struct {
+	Scenario string         `json:"scenario"`
+	Seed     int64          `json:"seed"`
+	Detail   string         `json:"detail"`
+	Repro    string         `json:"repro"`
+	LibTasks []string       `json:"libTasks,omitempty"`
+	Recipe   *progen.Recipe `json:"recipe,omitempty"`
+	Sites    []fault.Site   `json:"sites,omitempty"`
+}
+
+// saveArtifact writes the minimized mismatch into artifactsDir (no-op when
+// the flag is unset). Failures to save are reported but never mask the
+// mismatch exit code.
+func saveArtifact(m *conform.Mismatch) {
+	if artifactsDir == "" {
+		return
+	}
+	a := artifact{Scenario: m.Scenario, Seed: m.Seed, Detail: m.Detail,
+		Repro: m.Repro(), LibTasks: m.LibTasks, Sites: m.Sites}
+	if m.Program != nil {
+		a.Recipe = &m.Program.Recipe
+	}
+	blob, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conform: artifact:", err)
+		return
+	}
+	if err := os.MkdirAll(artifactsDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "conform: artifact:", err)
+		return
+	}
+	name := filepath.Join(artifactsDir, fmt.Sprintf("failing-%s-seed%d.json", m.Scenario, m.Seed))
+	if err := os.WriteFile(name, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "conform: artifact:", err)
+		return
+	}
+	fmt.Printf("artifact: %s\n", name)
+}
+
 // report shrinks and prints a mismatch.
 func report(m *conform.Mismatch) {
 	fmt.Printf("MISMATCH: %s\n", m)
@@ -111,6 +167,7 @@ func report(m *conform.Mismatch) {
 	}
 	fmt.Printf("repro: %s\n", m.Repro())
 	fmt.Println(m.Disassembly())
+	saveArtifact(m)
 }
 
 // reportGuided prints the extra repro handles of a guided find: the
@@ -139,7 +196,7 @@ func runMinimize(scenarioName, corpusDir string) int {
 	}
 	if scenarioName == "all" {
 		fmt.Fprintln(os.Stderr, "conform: -minimize needs one program scenario "+
-			"(-scenario cached|uncached|contended|arena|interrupts): coverage is "+
+			"(-scenario cached|uncached|contended|arena|interrupts|strategies|sched): coverage is "+
 			"scenario-relative, so each corpus minimizes against the scenario it serves")
 		return 2
 	}
@@ -163,7 +220,10 @@ func runMinimize(scenarioName, corpusDir string) int {
 }
 
 // replayRecipe rebuilds one recipe file and runs it through the scenario
-// once — the direct repro path for corpus entries and guided finds.
+// once — the direct repro path for corpus entries, guided finds and saved
+// -artifacts files. An artifact wraps the recipe with its scenario and
+// (for sched mismatches) the minimized library task list, so the uploaded
+// file replays exactly the failing configuration.
 func replayRecipe(path, scenarioName string, selftest bool) int {
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -171,9 +231,24 @@ func replayRecipe(path, scenarioName string, selftest bool) int {
 		return 2
 	}
 	var r progen.Recipe
-	if err := json.Unmarshal(blob, &r); err != nil {
-		fmt.Fprintf(os.Stderr, "conform: %s: %v\n", path, err)
+	var libs []string
+	var a artifact
+	switch {
+	case json.Unmarshal(blob, &a) == nil && a.Recipe != nil:
+		r = *a.Recipe
+		libs = a.LibTasks
+		if scenarioName == "all" && a.Scenario != "" {
+			scenarioName = a.Scenario
+		}
+	case json.Unmarshal(blob, &a) == nil && a.Sites != nil:
+		fmt.Fprintf(os.Stderr, "conform: %s is a campaign artifact; replay with "+
+			"go run ./cmd/conform -scenario campaign -seed %d -n 1\n", path, a.Seed)
 		return 2
+	default:
+		if err := json.Unmarshal(blob, &r); err != nil {
+			fmt.Fprintf(os.Stderr, "conform: %s: %v\n", path, err)
+			return 2
+		}
 	}
 	p, err := progen.FromRecipe(r)
 	if err != nil {
@@ -188,7 +263,7 @@ func replayRecipe(path, scenarioName string, selftest bool) int {
 		fmt.Fprintln(os.Stderr, "conform:", err)
 		return 2
 	}
-	if m := sc.CheckProgram(p, nil); m != nil {
+	if m := sc.CheckProgramWithLibs(p, libs, nil); m != nil {
 		report(m)
 		fmt.Printf("replay: go run ./cmd/conform -recipe %s -scenario %s\n", path, scenarioName)
 		return 1

@@ -78,6 +78,10 @@ type Cache struct {
 	// a nil map (the default) is the zero-cost disabled mode.
 	cov     *coverage.Map
 	covRole int
+
+	// sinceInv marks that a CINV has happened and no miss has been recorded
+	// yet: the next miss is a chunk-boundary cold refill (CacheColdMiss).
+	sinceInv bool
 }
 
 // New builds an empty cache with the given configuration.
@@ -125,6 +129,16 @@ func (c *Cache) cover(event int) {
 	}
 }
 
+// coverMiss records a miss, distinguishing the first miss after a CINV —
+// the refill at a wrapping-strategy chunk boundary.
+func (c *Cache) coverMiss() {
+	c.cover(coverage.CacheMiss)
+	if c.sinceInv {
+		c.sinceInv = false
+		c.cover(coverage.CacheColdMiss)
+	}
+}
+
 func (c *Cache) index(addr uint32) (set, tag uint32) {
 	return (addr >> c.setShift) & c.setMask, addr >> c.setShift >> trailingBits(c.setMask)
 }
@@ -161,7 +175,7 @@ func (c *Cache) Read(addr uint32, n int) (v uint64, hit bool) {
 	s, w := c.lookup(addr)
 	if w < 0 {
 		c.stats.Misses++
-		c.cover(coverage.CacheMiss)
+		c.coverMiss()
 		return 0, false
 	}
 	c.stats.Hits++
@@ -176,7 +190,7 @@ func (c *Cache) Write(addr uint32, v uint64, n int) (hit bool) {
 	s, w := c.lookup(addr)
 	if w < 0 {
 		c.stats.Misses++
-		c.cover(coverage.CacheMiss)
+		c.coverMiss()
 		return false
 	}
 	c.stats.Hits++
@@ -253,6 +267,7 @@ func (c *Cache) InvalidateAll() {
 	}
 	c.stats.Invalidates++
 	c.cover(coverage.CacheInvalidate)
+	c.sinceInv = true
 }
 
 // Reset restores power-on state: every line invalid and clean, statistics
@@ -268,6 +283,7 @@ func (c *Cache) Reset() {
 	}
 	c.tick = 0
 	c.stats = Stats{}
+	c.sinceInv = false
 }
 
 // ResidentLines counts valid lines (used in tests and by the strategy

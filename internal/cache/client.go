@@ -200,6 +200,11 @@ type Bypass struct {
 	addr  uint32
 	size  int
 	write bool
+
+	// cov collects barrier flag-line coverage when attached (the uncached
+	// data-side alias client is where the scheduler's completion protocol
+	// becomes observable); nil is the zero-cost disabled mode.
+	cov *coverage.Map
 }
 
 // NewBypass builds an uncached client on port. lineBuffer enables the
@@ -211,6 +216,28 @@ func NewBypass(port *bus.Port, lineBuffer bool) *Bypass {
 // InvalidateBuffer drops the prefetch buffer (called on control-flow
 // redirects so stale lines are not reused; harmless to call when disabled).
 func (b *Bypass) InvalidateBuffer() { b.bufValid = false }
+
+// SetCoverage attaches a coverage map recording barrier flag-line accesses
+// (nil detaches). The attachment survives Reset.
+func (b *Bypass) SetCoverage(m *coverage.Map) { b.cov = m }
+
+// inFlagLine reports whether addr falls in the reserved barrier flag line.
+func inFlagLine(addr uint32) bool {
+	return addr >= mem.BarrierFlagBase && addr < mem.SRAMUncachedBase+mem.SRAMSize
+}
+
+// coverFlagRead classifies a completed flag-line read: a zero flag is a
+// spinning poll (the peer is still testing), non-zero is the release.
+func (b *Bypass) coverFlagRead(v uint64) {
+	if b.cov == nil || b.write || !inFlagLine(b.addr) {
+		return
+	}
+	if v == 0 {
+		b.cov.Inc(coverage.FeatBarrierSpin)
+	} else {
+		b.cov.Inc(coverage.FeatBarrierRelease)
+	}
+}
 
 // Busy reports whether an access is in flight.
 func (b *Bypass) Busy() bool { return b.state != ctrlIdle }
@@ -225,6 +252,9 @@ func (b *Bypass) Start(addr uint32, write bool, wdata uint64, size int) {
 	if write {
 		if b.bufValid && mem.LineAddr(addr) == b.bufAddr {
 			b.bufValid = false
+		}
+		if b.cov != nil && inFlagLine(addr) {
+			b.cov.Inc(coverage.FeatBarrierPublish)
 		}
 		var buf [8]byte
 		writeLE(buf[:], wdata, size)
@@ -267,7 +297,9 @@ func (b *Bypass) Tick() (bool, uint64) {
 			off := b.addr - b.bufAddr
 			return true, readLE(b.buf[off:], b.size)
 		}
-		return true, readLE(data, b.size)
+		v := readLE(data, b.size)
+		b.coverFlagRead(v)
+		return true, v
 	case ctrlWT:
 		if !b.port.Done() {
 			return false, 0
@@ -315,11 +347,25 @@ type TCMClient struct {
 	write   bool
 	wdata   uint64
 	size    int
+
+	// cov/readFeat/writeFeat record TCM traffic coverage when attached —
+	// the copy-loop states of the TCM-based wrapping strategy.
+	cov       *coverage.Map
+	readFeat  coverage.Feature
+	writeFeat coverage.Feature
 }
 
 // NewTCMClient builds a client for dev mapped at base.
 func NewTCMClient(dev mem.Device, base uint32) *TCMClient {
 	return &TCMClient{dev: dev, base: base}
+}
+
+// SetCoverage attaches a coverage map with the features to record for reads
+// and writes through this client (nil detaches); survives Reset.
+func (t *TCMClient) SetCoverage(m *coverage.Map, readFeat, writeFeat coverage.Feature) {
+	t.cov = m
+	t.readFeat = readFeat
+	t.writeFeat = writeFeat
 }
 
 // Busy reports whether an access is in flight (never across cycles).
@@ -333,6 +379,13 @@ func (t *TCMClient) Start(addr uint32, write bool, wdata uint64, size int) {
 	t.addr = alignTo(addr, size) - t.base
 	t.write, t.wdata, t.size = write, wdata, size
 	t.pending = true
+	if t.cov != nil {
+		if write {
+			t.cov.Inc(t.writeFeat)
+		} else {
+			t.cov.Inc(t.readFeat)
+		}
+	}
 }
 
 // Tick completes the access.

@@ -1,0 +1,78 @@
+package conform
+
+// The self-syncing CI scenario matrix: this test is the drift gate the CI
+// satellite asks for. The smoke loop in ci.yml and the nightly per-scenario
+// matrix are hand-written YAML; Scenarios() is the source of truth. A new
+// scenario that is not added to both files fails `go test ./...` (and so
+// every CI run) with a message naming the missing entry — a scenario can
+// never silently miss smoke or nightly coverage again. The reverse drift
+// (a matrix entry for a scenario that no longer exists) fails too.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func readWorkflow(t *testing.T, name string) string {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join("..", "..", ".github", "workflows", name))
+	if err != nil {
+		t.Fatalf("workflow %s unreadable: %v", name, err)
+	}
+	return string(blob)
+}
+
+func sortedSet(names []string) []string {
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}
+
+func diffSets(t *testing.T, where string, got, want []string) {
+	t.Helper()
+	g := strings.Join(sortedSet(got), " ")
+	w := strings.Join(sortedSet(want), " ")
+	if g != w {
+		t.Errorf("%s scenario matrix out of sync:\n  matrix:      %s\n  Scenarios(): %s\n"+
+			"update the workflow to match `go run ./cmd/conform -list`", where, g, w)
+	}
+}
+
+// TestScenarioMatrixInSync checks both workflow files against Scenarios().
+func TestScenarioMatrixInSync(t *testing.T) {
+	var all, guidable []string
+	for _, sc := range Scenarios() {
+		all = append(all, sc.Name)
+		if sc.Guidable() {
+			guidable = append(guidable, sc.Name)
+		}
+	}
+
+	// nightly.yml: the per-scenario matrix must carry every scenario.
+	nightly := readWorkflow(t, "nightly.yml")
+	mre := regexp.MustCompile(`scenario:\s*\[([^\]]+)\]`)
+	m := mre.FindStringSubmatch(nightly)
+	if m == nil {
+		t.Fatal("nightly.yml: no `scenario: [...]` matrix found")
+	}
+	var matrix []string
+	for _, f := range strings.Split(m[1], ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			matrix = append(matrix, f)
+		}
+	}
+	diffSets(t, "nightly.yml", matrix, all)
+
+	// ci.yml: the guided smoke loop must cover every guidable scenario.
+	ci := readWorkflow(t, "ci.yml")
+	lre := regexp.MustCompile(`for s in ([a-z ]+); do`)
+	l := lre.FindStringSubmatch(ci)
+	if l == nil {
+		t.Fatal("ci.yml: no `for s in ...; do` smoke loop found")
+	}
+	diffSets(t, "ci.yml", strings.Fields(l[1]), guidable)
+}

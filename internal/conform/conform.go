@@ -92,6 +92,18 @@ func (s *Scenario) Run(seed int64) *Mismatch { return s.run(seed) }
 // supports coverage collection and guided fuzzing.
 func (s *Scenario) Guidable() bool { return s.spec != nil }
 
+// Skips reports the explicit skip verdicts this scenario instance has
+// recorded so far: wrappings a strategy rejected (MemoryOverhead/Validate)
+// and out-of-scope programs a cross-scenario corpus handed over. Skips are
+// deliberately loud in the totals — a scenario that silently passed what
+// it never ran would hide coverage holes.
+func (s *Scenario) Skips() int {
+	if s.spec == nil || s.spec.skips == nil {
+		return 0
+	}
+	return *s.spec.skips
+}
+
 // CheckProgram runs one specific program through the scenario's engines,
 // collecting coverage into cov when non-nil. A nil result means the
 // engines agreed. Only valid on Guidable scenarios.
@@ -100,13 +112,45 @@ func (s *Scenario) CheckProgram(p *progen.Program, cov *coverage.Map) *Mismatch 
 	if detail == "" {
 		return nil
 	}
-	return &Mismatch{
+	m := &Mismatch{
 		Scenario: s.Name,
 		Seed:     p.Seed,
 		Detail:   detail,
 		Program:  p,
 		recheckProg: func(q *progen.Program) string {
 			return s.spec.check(q, s.mut, nil)
+		},
+	}
+	s.spec.decorateSched(m)
+	return m
+}
+
+// CheckProgramWithLibs is CheckProgram with an explicit scheduler
+// library-task list — the form a minimized sched artifact carries. A sched
+// mismatch's unit drops are validated against its reduced task list, so
+// replaying the recipe with the full seed-derived list may legitimately
+// pass; replaying with the saved list reproduces. Scenarios other than
+// sched (and a nil libs) fall back to CheckProgram.
+func (s *Scenario) CheckProgramWithLibs(p *progen.Program, libs []string, cov *coverage.Map) *Mismatch {
+	if !s.spec.sched || libs == nil {
+		return s.CheckProgram(p, cov)
+	}
+	detail := s.spec.checkSched(p, libs, cov)
+	if detail == "" {
+		return nil
+	}
+	sp := s.spec
+	return &Mismatch{
+		Scenario: s.Name,
+		Seed:     p.Seed,
+		Detail:   detail,
+		Program:  p,
+		LibTasks: libs,
+		recheckProg: func(q *progen.Program) string {
+			return sp.checkSched(q, libs, nil)
+		},
+		recheckSched: func(q *progen.Program, l []string) string {
+			return sp.checkSched(q, l, nil)
 		},
 	}
 }
@@ -116,6 +160,7 @@ func Scenarios() []*Scenario {
 	out := []*Scenario{}
 	for _, spec := range progSpecs {
 		spec := spec
+		spec.skips = new(int)
 		out = append(out, &Scenario{
 			Name: spec.name,
 			Desc: spec.desc,
@@ -147,12 +192,14 @@ func Lookup(name string) (*Scenario, error) {
 
 // NewMutated returns a copy of a program scenario with a target-side
 // decoder mutation injected — the self-test mode. Campaign scenarios have
-// no decoder in the loop, and the arena scenario hands the program to the
-// engine as a routine rather than an image, so neither can be mutated.
+// no decoder in the loop, and the arena, strategies and sched scenarios
+// hand the program to their engines as a routine rather than an image, so
+// none of those can be mutated.
 func NewMutated(name string, mut Mutation) (*Scenario, error) {
 	for _, spec := range progSpecs {
-		if spec.name == name && !spec.arena {
+		if spec.name == name && spec.mutable() {
 			spec := spec
+			spec.skips = new(int)
 			return &Scenario{
 				Name: spec.name,
 				Desc: spec.desc + " (injected decoder bug)",
@@ -175,7 +222,28 @@ type progSpec struct {
 	// recognition model, the pipeline gets the same plan through the ICU
 	// injection shim.
 	intr bool
+	// strat compares the program under every wrapping strategy against the
+	// ISS reference signature; sched fuzzes Partition plans against serial
+	// one-core execution (see strategies.go).
+	strat bool
+	sched bool
+	// skips counts explicit skip verdicts (strategy/scheduler wrapping
+	// rejections, out-of-scope programs); allocated per Scenario instance.
+	skips *int
 }
+
+// skip records one explicit skip verdict.
+func (sp progSpec) skip() {
+	if sp.skips != nil {
+		*sp.skips++
+	}
+}
+
+// mutable reports whether the scenario runs the assembled image directly
+// on the target (and so supports an injected decoder mutation). The arena,
+// strategies and sched scenarios re-emit the program through routines and
+// strategy wrappers — there is no shared image to mutate.
+func (sp progSpec) mutable() bool { return !sp.arena && !sp.strat && !sp.sched }
 
 var progSpecs = []progSpec{
 	{name: "cached", desc: "ISS vs pipeline, private caches on, single core",
@@ -187,6 +255,10 @@ var progSpecs = []progSpec{
 		arena: true},
 	{name: "interrupts", desc: "ISS+archint model vs pipeline ICU, handler-carrying programs under a shared interrupt plan",
 		intr: true},
+	{name: "strategies", desc: "one program under Plain/CacheBased/TCMBased wrapping vs the ISS reference signature",
+		strat: true},
+	{name: "sched", desc: "multi-core Partition plans (barrier protocol included) vs single-core serial execution",
+		sched: true},
 }
 
 // baseCfgFor derives the scenario-independent generator configuration for
@@ -227,11 +299,23 @@ func genFor(seed int64) *progen.Program { return progen.Generate(seed, baseCfgFo
 // planned and instruction-raised events interleave.
 func (sp progSpec) cfgFor(seed int64) progen.Config {
 	cfg := baseCfgFor(seed)
-	if sp.intr {
+	switch {
+	case sp.intr:
 		rng := rand.New(rand.NewSource(seed ^ 0x61726368696e74)) // "archint"
 		cfg.Interrupts = archint.RandomPlan(rng)
 		if cfg.TrapFrac == 0 && seed%2 == 0 {
 			cfg.TrapFrac = 0.1
+		}
+	case sp.sched:
+		// Scheduled tasks land on any core, and only core C implements the
+		// 64-bit pair extension.
+		cfg.Pairs64 = false
+	case sp.strat:
+		// Larger programs on the seeds that also shrink the cache
+		// strategy's partition budget (stratGeom), so multi-chunk wrapping
+		// is reliably reached.
+		if ((seed%3)+3)%3 == 2 {
+			cfg.Blocks = 18
 		}
 	}
 	return cfg
@@ -243,7 +327,7 @@ func (sp progSpec) runSeed(seed int64, mut Mutation) *Mismatch {
 	if detail == "" {
 		return nil
 	}
-	return &Mismatch{
+	m := &Mismatch{
 		Scenario: sp.name,
 		Seed:     seed,
 		Detail:   detail,
@@ -253,6 +337,21 @@ func (sp progSpec) runSeed(seed int64, mut Mutation) *Mismatch {
 		},
 		fromSweep: true,
 	}
+	sp.decorateSched(m)
+	return m
+}
+
+// decorateSched attaches the scheduler scenario's second minimization axis
+// to a fresh mismatch: the seed-derived library task list and a recheck
+// that honours a reduced list (drop-a-task minimization).
+func (sp progSpec) decorateSched(m *Mismatch) {
+	if !sp.sched {
+		return
+	}
+	m.LibTasks = schedShapeFor(m.Seed).libs
+	m.recheckSched = func(q *progen.Program, libs []string) string {
+		return sp.checkSched(q, libs, nil)
+	}
 }
 
 // check runs program p on the interpreter and on the scenario's target and
@@ -260,6 +359,12 @@ func (sp progSpec) runSeed(seed int64, mut Mutation) *Mismatch {
 // When cov is non-nil the target system's microarchitectural coverage is
 // collected into it.
 func (sp progSpec) check(p *progen.Program, mut Mutation, cov *coverage.Map) string {
+	if sp.strat {
+		return sp.checkStrategies(p, cov)
+	}
+	if sp.sched {
+		return sp.checkSched(p, schedShapeFor(p.Seed).libs, cov)
+	}
 	if sp.arena && p.Cfg.Interrupts.Enabled() {
 		// The arena's golden-capture run happens inside core.NewArena,
 		// before any plan shim could attach; a handler program's drain

@@ -11,13 +11,21 @@
 //	(4) interrupt-enabled runs: handler-carrying programs under a shared
 //	    archint interrupt plan, the ISS recognising precisely, the
 //	    pipeline through its imprecise ICU,
+//	(5) strategy-wrapped runs: the program in routine block form under
+//	    core.Plain / CacheBased / TCMBased, every accepted wrapping
+//	    reproducing the ISS reference signature (rejections are explicit
+//	    skip verdicts),
+//	(6) scheduled multi-core boots: sched.Partition plans, barrier
+//	    protocol included, bit-identical per-task signatures against
+//	    one-core serial execution,
 //
 // and, at the campaign level, fuzzes random fault universes through the
 // arena and legacy campaign engines, requiring bit-identical reports.
 //
 // On a mismatch the harness shrinks the failing input —
 // drop-an-instruction minimization for programs (plus drop-a-plan-event
-// for interrupt programs), drop-a-site minimization for fault universes —
+// for interrupt programs and drop-a-task for scheduler plans),
+// drop-a-site minimization for fault universes —
 // and renders a one-line repro command plus a disassembly of the
 // minimized program (see cmd/conform). MinimizeCorpus is the corpus
 // lifecycle pass: entries whose coverage bits other entries subsume are

@@ -78,11 +78,13 @@ type FuzzResult struct {
 	Iters    int // programs run
 	Corpus   int // corpus entries at exit (0 in random mode)
 	NewInDir int // entries newly saved to CorpusDir
+	Skips    int // explicit skip verdicts (see Scenario.Skips)
 	Bits     coverage.Bits
 	Mismatch *Mismatch // non-nil when the loop stopped on a divergence
 }
 
-// Summary renders the coverage reached, total and by feature group.
+// Summary renders the coverage reached, total and by feature group, plus
+// any explicit skip verdicts the scenario recorded.
 func (r *FuzzResult) Summary() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%d runs, corpus %d, coverage %d bits (", r.Iters, r.Corpus, r.Bits.Count())
@@ -93,6 +95,9 @@ func (r *FuzzResult) Summary() string {
 		fmt.Fprintf(&sb, "%s %d/%d", g.Name, g.Set, g.Total)
 	}
 	sb.WriteString(")")
+	if r.Skips > 0 {
+		fmt.Fprintf(&sb, ", %d skip verdicts", r.Skips)
+	}
 	return sb.String()
 }
 
@@ -110,6 +115,10 @@ func (s *Scenario) Fuzz(seed int64, iters int, deadline time.Time, opts FuzzOpti
 	// fully reproducible from its command line.
 	rng := rand.New(rand.NewSource(seed ^ 0x636f7665726167)) // "coverag"
 	res := &FuzzResult{}
+	// Scenario.Skips is a lifetime counter; report this loop's delta, on
+	// every exit path (including an early mismatch stop).
+	skipsBase := s.Skips()
+	defer func() { res.Skips = s.Skips() - skipsBase }()
 	var corpus []*progen.Program
 
 	if opts.CorpusDir != "" {

@@ -20,12 +20,16 @@ type Mismatch struct {
 	Program *progen.Program
 	// Sites is the failing fault universe (campaign scenarios).
 	Sites []fault.Site
+	// LibTasks is the failing plan's library task list (sched scenario);
+	// the fuzzed program is always task 0 and never dropped as a whole.
+	LibTasks []string
 
 	// recheck functions re-run the failing check on a reduced input and
 	// return the divergence ("" = the reduced input passes, so the
 	// reduction went too far).
 	recheckProg  func(*progen.Program) string
 	recheckSites func([]fault.Site) string
+	recheckSched func(*progen.Program, []string) string
 
 	// fromSweep marks mismatches whose program is exactly the seed sweep's
 	// Generate(seed, cfgFor(seed)) — the only case a "-seed N -n 1" command
@@ -70,17 +74,54 @@ func (m *Mismatch) Disassembly() string {
 const maxShrinkRounds = 10
 
 // Minimize greedily shrinks the failing input: drop-an-instruction (unit)
-// minimization for programs, drop-a-site minimization for fault universes.
-// Every candidate reduction is re-checked against the scenario; reductions
-// that stop failing are rolled back. Detail is updated to describe the
-// minimized failure.
+// minimization for programs, drop-a-site minimization for fault universes,
+// and both-axis drop-a-unit / drop-a-task minimization for scheduler
+// mismatches. Every candidate reduction is re-checked against the
+// scenario; reductions that stop failing are rolled back. Detail is
+// updated to describe the minimized failure.
 func (m *Mismatch) Minimize() {
 	switch {
+	case m.Program != nil && m.recheckSched != nil:
+		m.Program, m.LibTasks = minimizeSched(m.Program, m.LibTasks, m.recheckSched,
+			func(d string) { m.Detail = d })
 	case m.Program != nil && m.recheckProg != nil:
 		m.Program = minimizeProgram(m.Program, m.recheckProg, func(d string) { m.Detail = d })
 	case m.Sites != nil && m.recheckSites != nil:
 		m.Sites = minimizeSites(m.Sites, m.recheckSites, func(d string) { m.Detail = d })
 	}
+}
+
+// minimizeSched is the scheduler scenario's both-axis greedy loop: drop a
+// unit from the fuzzed program, then drop a library task from the plan,
+// until neither axis can shrink. Each accepted reduction re-ran the full
+// serial-vs-parallel check with the reduced inputs.
+func minimizeSched(p *progen.Program, libs []string, fails func(*progen.Program, []string) string, onFail func(string)) (*progen.Program, []string) {
+	for round := 0; round < maxShrinkRounds; round++ {
+		changed := false
+		for i := len(p.Units) - 1; i >= 0; i-- {
+			if p.Units[i].Pinned {
+				continue
+			}
+			q := p.WithoutUnit(i)
+			if d := fails(q, libs); d != "" {
+				p = q
+				onFail(d)
+				changed = true
+			}
+		}
+		for i := len(libs) - 1; i >= 0; i-- {
+			sub := append(append([]string(nil), libs[:i]...), libs[i+1:]...)
+			if d := fails(p, sub); d != "" {
+				libs = sub
+				onFail(d)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return p, libs
 }
 
 // minimizeProgram drops units from the end first (the spill stores go

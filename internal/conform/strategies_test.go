@@ -1,0 +1,142 @@
+package conform
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/coverage"
+	"repro/internal/progen"
+)
+
+// TestGuidedReachesStrategyCoverage is the acceptance bar of the strategy
+// half of the tentpole: at a fixed seed and budget, the guided loop on the
+// strategies scenario must actually wrap programs with the cache and TCM
+// strategies — lighting the chunk-boundary cold-refill feature (a CINV
+// followed by the refill miss, on both cache roles) and the TCM copy-loop
+// states (code staging, DTCM traffic, ITCM fetch). Deterministic, so a
+// pin, in the same pattern as TestGuidedReachesInterruptCoverage.
+func TestGuidedReachesStrategyCoverage(t *testing.T) {
+	sc, err := Lookup("strategies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Fuzz(1, 25, time.Time{}, FuzzOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatch != nil {
+		t.Fatalf("unexpected mismatch: %v", res.Mismatch)
+	}
+	feats := map[string]coverage.Feature{
+		"icache-cold-refill": coverage.CacheFeat(coverage.RoleICache, coverage.CacheColdMiss),
+		"dcache-cold-refill": coverage.CacheFeat(coverage.RoleDCache, coverage.CacheColdMiss),
+		"icache-invalidate":  coverage.CacheFeat(coverage.RoleICache, coverage.CacheInvalidate),
+		"tcm-fetch":          coverage.FeatTCMFetch,
+		"tcm-stage-code":     coverage.FeatTCMStageCode,
+		"dtcm-read":          coverage.FeatTCMDataRead,
+		"dtcm-write":         coverage.FeatTCMDataWrite,
+	}
+	for name, f := range feats {
+		if !res.Bits.Has(f) {
+			t.Errorf("strategy feature %s unreached by the guided loop", name)
+		}
+	}
+}
+
+// TestGuidedReachesSchedCoverage pins the scheduler half: the guided loop
+// must boot multi-core partition plans whose barrier protocol publishes,
+// spins on and releases the uncached completion flags.
+func TestGuidedReachesSchedCoverage(t *testing.T) {
+	sc, err := Lookup("sched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Fuzz(1, 20, time.Time{}, FuzzOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatch != nil {
+		t.Fatalf("unexpected mismatch: %v", res.Mismatch)
+	}
+	feats := map[string]coverage.Feature{
+		"barrier-publish": coverage.FeatBarrierPublish,
+		"barrier-spin":    coverage.FeatBarrierSpin,
+		"barrier-release": coverage.FeatBarrierRelease,
+	}
+	for name, f := range feats {
+		if !res.Bits.Has(f) {
+			t.Errorf("scheduler feature %s unreached by the guided loop", name)
+		}
+	}
+}
+
+// TestStrategySkipVerdicts: a program whose scratch window exceeds the
+// data cache must be rejected by the cache strategy's Validate — and that
+// rejection must surface as an explicit skip verdict, not a silent pass
+// (the remaining wrappings still compare against the ISS reference).
+func TestStrategySkipVerdicts(t *testing.T) {
+	sc, err := Lookup("strategies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 kB scratch: fits the DTCM (16 kB) but not the 4 kB data cache.
+	p := progen.Generate(5, progen.Config{ScratchSize: 8192})
+	if m := sc.CheckProgram(p, nil); m != nil {
+		t.Fatalf("oversized-scratch program diverged instead of skipping: %v", m)
+	}
+	if n := sc.Skips(); n != 1 {
+		t.Errorf("skip verdicts = %d, want 1 (cache wrapping rejected)", n)
+	}
+}
+
+// TestSchedMismatchShrinksBothAxes drives the scheduler minimizer with a
+// synthetic failure predicate: the check "fails" while the library list
+// still contains alu, whatever the program looks like. Minimization must
+// then drop every droppable unit AND every other library task, proving
+// both axes shrink and roll back correctly.
+func TestSchedMismatchShrinksBothAxes(t *testing.T) {
+	p := progen.Generate(3, progen.Config{})
+	m := &Mismatch{
+		Scenario: "sched",
+		Seed:     3,
+		Detail:   "synthetic",
+		Program:  p,
+		LibTasks: []string{"shift", "alu", "branch"},
+		recheckSched: func(q *progen.Program, libs []string) string {
+			for _, l := range libs {
+				if l == "alu" {
+					return "still failing"
+				}
+			}
+			return ""
+		},
+	}
+	before := len(p.Units)
+	m.Minimize()
+	if len(m.LibTasks) != 1 || m.LibTasks[0] != "alu" {
+		t.Errorf("task axis minimized to %v, want [alu]", m.LibTasks)
+	}
+	droppable := 0
+	for _, u := range m.Program.Units {
+		if !u.Pinned {
+			droppable++
+		}
+	}
+	if droppable != 0 {
+		t.Errorf("unit axis left %d droppable units (program had %d)", droppable, before)
+	}
+	if m.Detail != "still failing" {
+		t.Errorf("detail not updated by minimization: %q", m.Detail)
+	}
+}
+
+// TestStrategiesAndSchedRefuseMutation: the strategy and scheduler
+// scenarios re-emit the program through routine wrappers, so the
+// injected-decoder-bug self-test cannot apply to them.
+func TestStrategiesAndSchedRefuseMutation(t *testing.T) {
+	for _, name := range []string{"strategies", "sched"} {
+		if _, err := NewMutated(name, DecoderBugArithShift); err == nil {
+			t.Errorf("NewMutated(%q) accepted a routine-based scenario", name)
+		}
+	}
+}

@@ -225,9 +225,11 @@ func (s CacheBased) emitMultiChunk(b *asm.Builder, r *sbst.Routine, chunks [][]s
 func (CacheBased) MemoryOverhead(*sbst.Routine) (int, error) { return 0, nil }
 
 // sigMailboxAddr places the signature mailbox in the uncached SRAM alias,
-// just past the routine's data area.
+// just past the routine's data area, on its own cache line: the routine's
+// cached stores must never share a line with the mailbox, or a later dirty
+// write-back could overwrite the uncached commit.
 func sigMailboxAddr(r *sbst.Routine) uint32 {
-	off := r.DataBase - mem.SRAMBase + uint32((r.DataSize()+7)&^7)
+	off := r.DataBase - mem.SRAMBase + uint32((r.DataSize()+mem.LineBytes-1)&^(mem.LineBytes-1))
 	return mem.SRAMUncachedBase + off
 }
 

@@ -418,6 +418,92 @@ func TestRoutineSizesFitIcache(t *testing.T) {
 	}
 }
 
+func TestCachePartitionExactFit(t *testing.T) {
+	// A routine sized so that size + chunkOverheadBytes exactly equals the
+	// partition budget must stay a single chunk; one instruction over must
+	// split. This pins the boundary arithmetic of the splitting rule.
+	r := fwdRoutine(0)
+	size, err := r.SizeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := CacheBased{WriteAllocate: true, ICacheBytes: size + chunkOverheadBytes}
+	chunks, err := exact.partition(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 1 {
+		t.Errorf("exactly-cache-sized routine split into %d chunks", len(chunks))
+	}
+	// Below the exact fit the early single-chunk exit no longer applies;
+	// shrink the budget under the blocks' own footprint (the plain-form
+	// size includes a prologue the per-block packing does not) so the
+	// packing loop must actually split.
+	sumBlocks := 0
+	for _, blk := range r.Blocks {
+		bs, err := blockSize(blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumBlocks += bs
+	}
+	over := CacheBased{WriteAllocate: true, ICacheBytes: sumBlocks + chunkOverheadBytes - int(isa.InstBytes)}
+	chunks, err = over.partition(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) < 2 {
+		t.Errorf("one-instruction-over routine stayed in %d chunk(s)", len(chunks))
+	}
+	// The exact fit must also validate and run.
+	if err := exact.Validate(r); err != nil {
+		t.Errorf("exact fit rejected: %v", err)
+	}
+	res, _, err := RunSingle(cfg(1, true, true, [3]int{}), 0,
+		&CoreJob{Routine: fwdRoutine(0), Strategy: exact, CodeBase: soc.CodeLow}, maxRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("exact-fit run failed: %+v", res)
+	}
+}
+
+// oversizedRoutine emits more straight-line code than one TCM can hold.
+func oversizedRoutine() *sbst.Routine {
+	r := &sbst.Routine{Name: "huge", Target: "huge", DataBase: dataBaseFor(0)}
+	r.Blocks = []sbst.Block{{Name: "pad", Emit: func(b *asm.Builder) {
+		for i := 0; i < mem.TCMSize/int(isa.InstBytes); i++ {
+			b.I(isa.OpADDI, 1, 1, 1)
+		}
+		b.Misr(1)
+	}}}
+	return r
+}
+
+func TestTCMRejectsOversizedRoutine(t *testing.T) {
+	// A routine larger than the ITCM has no TCM deployment: Emit and
+	// MemoryOverhead must both reject it (an overhead figure for an
+	// unplaceable routine would silently corrupt Table IV accounting).
+	r := oversizedRoutine()
+	s := TCMBased{CoreID: 0}
+	if err := s.Emit(asm.NewBuilder(), r); err == nil {
+		t.Error("oversized routine accepted by Emit")
+	}
+	if _, err := s.MemoryOverhead(r); err == nil {
+		t.Error("oversized routine got a MemoryOverhead figure")
+	}
+	// Oversized data alone must reject the same way.
+	rd := fwdRoutine(0)
+	rd.ScratchBytes = mem.TCMSize + 4
+	if err := s.Emit(asm.NewBuilder(), rd); err == nil {
+		t.Error("oversized data accepted by Emit")
+	}
+	if _, err := s.MemoryOverhead(rd); err == nil {
+		t.Error("oversized data got a MemoryOverhead figure")
+	}
+}
+
 func TestMisrReferenceMatchesHardware(t *testing.T) {
 	// A trivial routine folding known constants must produce the Go-side
 	// MisrStream prediction.

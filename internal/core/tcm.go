@@ -45,12 +45,10 @@ func (s TCMBased) bodyProgram(r *sbst.Routine) (*asm.Program, error) {
 	return sub.Assemble(mem.ITCMFor(s.CoreID))
 }
 
-// Emit implements Strategy.
-func (s TCMBased) Emit(b *asm.Builder, r *sbst.Routine) error {
-	body, err := s.bodyProgram(r)
-	if err != nil {
-		return fmt.Errorf("core: assembling TCM body of %q: %w", r.Name, err)
-	}
+// validate checks the assembled body and pattern table against the TCM
+// sizes — the strategy's applicability rule, shared by Emit and
+// MemoryOverhead so an unplaceable routine is rejected consistently.
+func (s TCMBased) validate(r *sbst.Routine, body *asm.Program) error {
 	if body.Size()+12 > mem.TCMSize {
 		return fmt.Errorf("core: routine %q (%d bytes) exceeds the %d-byte ITCM",
 			r.Name, body.Size(), mem.TCMSize)
@@ -58,6 +56,18 @@ func (s TCMBased) Emit(b *asm.Builder, r *sbst.Routine) error {
 	if r.DataSize() > mem.TCMSize {
 		return fmt.Errorf("core: routine %q data (%d bytes) exceeds the %d-byte DTCM",
 			r.Name, r.DataSize(), mem.TCMSize)
+	}
+	return nil
+}
+
+// Emit implements Strategy.
+func (s TCMBased) Emit(b *asm.Builder, r *sbst.Routine) error {
+	body, err := s.bodyProgram(r)
+	if err != nil {
+		return fmt.Errorf("core: assembling TCM body of %q: %w", r.Name, err)
+	}
+	if err := s.validate(r, body); err != nil {
+		return err
 	}
 	imgLabel := b.AutoLabel("tcmimg")
 
@@ -114,10 +124,15 @@ func (s TCMBased) Emit(b *asm.Builder, r *sbst.Routine) error {
 // MemoryOverhead implements Strategy: the TCM bytes reserved for the
 // routine's code and data (the paper's Table IV "overall memory overhead";
 // the flash-side image exists under every strategy and is not counted,
-// matching the paper's accounting).
+// matching the paper's accounting). A routine whose code or data exceeds
+// the TCMs has no overhead figure — it cannot be deployed this way — so the
+// same validation Emit applies rejects it here too.
 func (s TCMBased) MemoryOverhead(r *sbst.Routine) (int, error) {
 	body, err := s.bodyProgram(r)
 	if err != nil {
+		return 0, err
+	}
+	if err := s.validate(r, body); err != nil {
 		return 0, err
 	}
 	return body.Size() + r.DataSize(), nil

@@ -77,6 +77,24 @@ const (
 	FeatBusBurstLine // full line burst (cache refill / write-back)
 	FeatBusCancel    // queued request retracted (fetch redirect)
 
+	// Cross-core synchronisation features: accesses to the reserved barrier
+	// flag line in the uncached SRAM alias (mem.BarrierFlagBase), observed
+	// by the uncached data-side client. The scheduler's decentralized
+	// completion protocol lives entirely in these three states.
+
+	FeatBarrierPublish // flag-line write (a core publishing completion)
+	FeatBarrierSpin    // flag-line read observed zero (peer still testing)
+	FeatBarrierRelease // flag-line read observed a published flag
+
+	// TCM staging features (internal/cache TCMClient): the copy-loop states
+	// of the TCM-based wrapping strategy, which boots by staging code and
+	// pattern data into the core-private memories.
+
+	FeatTCMFetch     // instruction fetch served from the ITCM
+	FeatTCMStageCode // data-side access to the ITCM (boot copy loop)
+	FeatTCMDataRead  // DTCM data read
+	FeatTCMDataWrite // DTCM data write
+
 	featCacheBase // per-role cache block, indexed by CacheFeat
 )
 
@@ -95,6 +113,7 @@ const (
 	CacheWriteback   // dirty line replaced
 	CacheInvalidate  // whole-cache CINV
 	CacheWriteAround // no-write-allocate write-through
+	CacheColdMiss    // first miss after a CINV (chunk-boundary refill)
 	NumCacheEvents
 )
 
@@ -227,7 +246,9 @@ func Groups() []Group {
 		{Name: "dmem", Lo: FeatLoadByte, Hi: FeatTrapOverflowAdd},
 		{Name: "trap", Lo: FeatTrapOverflowAdd, Hi: FeatIntPendInHandler},
 		{Name: "int", Lo: FeatIntPendInHandler, Hi: FeatBusGrantAlone},
-		{Name: "bus", Lo: FeatBusGrantAlone, Hi: featCacheBase},
+		{Name: "bus", Lo: FeatBusGrantAlone, Hi: FeatBarrierPublish},
+		{Name: "sync", Lo: FeatBarrierPublish, Hi: FeatTCMFetch},
+		{Name: "tcm", Lo: FeatTCMFetch, Hi: featCacheBase},
 		{Name: "cache", Lo: featCacheBase, Hi: Feature(NumFeatures)},
 	}
 }

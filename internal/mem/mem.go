@@ -24,6 +24,11 @@ const (
 
 	// LineBytes is the width of a bus burst and of one cache line.
 	LineBytes = 16
+
+	// BarrierFlagBase is the reserved line at the top of the uncached SRAM
+	// alias holding the per-core completion flags of the decentralized
+	// scheduler barrier (internal/sched). Word id*4 belongs to core id.
+	BarrierFlagBase = SRAMUncachedBase + SRAMSize - 64
 )
 
 // Device is byte-addressable storage with an access-cost model. Addresses

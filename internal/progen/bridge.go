@@ -1,0 +1,153 @@
+package progen
+
+// Strategy bridge: BlockForm re-emits a generated program as an
+// sbst.Routine made of self-contained blocks, the shape the paper's
+// wrapping strategies (core.Plain / CacheBased / TCMBased) consume. The
+// strategies may re-execute the body (the cache strategy's loading +
+// execution loops) and may split it between blocks (chunking), so a raw
+// generated program — whose registers and scratch evolve cumulatively —
+// cannot be wrapped directly. Each bridge block therefore re-establishes
+// its full context and folds its complete architectural effect into the
+// MISR signature register:
+//
+//	save link · base := strategy base · clear scratch window ·
+//	seed r1..r15 deterministically · generated units · fold r1..r15 and
+//	the scratch window into RegSig · restore link
+//
+// Given the same entry signature, a block always produces the same exit
+// signature, which is exactly the re-execution invariance the cache
+// strategy's loops and the multi-chunk mailbox chain require. The link
+// save/restore keeps call/return units from clobbering the TCM strategy's
+// body-return protocol (it calls the body via JALR).
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/sbst"
+)
+
+// Bridge scratch registers, all outside the generator's operand set
+// (r1..r15), its working registers (BaseReg, LoopReg, handler r20..r23)
+// and the ISA-reserved wrapper registers (r26..r31).
+const (
+	bridgeCursorReg = 18 // clear/fold address cursor
+	bridgeCountReg  = 19 // clear/fold word counter
+	bridgeLinkSave  = 24 // RegLink preserved across call/return units
+	bridgeFoldTmp   = 25 // scratch-word load target for the fold
+)
+
+// blockInstBudget caps the generated-unit instructions grouped into one
+// bridge block; block boundaries are where the cache strategy may split.
+const blockInstBudget = 32
+
+// bridgeSeeds derives the deterministic per-register constants every block
+// seeds r1..r15 with. They depend only on the base seed — not on the
+// droppable seed units — so minimization and mutation never change a
+// block's entry state.
+func bridgeSeeds(seed int64) [MaxOperandReg + 1]uint32 {
+	var out [MaxOperandReg + 1]uint32
+	x := uint64(seed)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	for r := 1; r <= MaxOperandReg; r++ {
+		x ^= x >> 27
+		x *= 0x3C79AC492BA7B653
+		x ^= x >> 33
+		out[r] = uint32(x)
+	}
+	return out
+}
+
+// BlockForm converts the program into strategy-wrappable routine form. The
+// pinned scratch-base unit is dropped (each block derives the generator's
+// base register from the strategy-provided isa.RegBase, so the TCM
+// strategy can repoint the data area at the DTCM); handler-mode units
+// (ivec, drain) are dropped too — an interrupt plan is meaningless without
+// its injector, and the strategy scenarios skip handler programs entirely.
+// The routine's scratch footprint is the program's compared window (the
+// scratch area plus the register spill slots).
+func (p *Program) BlockForm(name string) *sbst.Routine {
+	words := p.Cfg.ScratchWords()
+	seeds := bridgeSeeds(p.Seed)
+	var blocks []sbst.Block
+	var cur []Unit
+	curInsts := 0
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		units := cur
+		cur, curInsts = nil, 0
+		blocks = append(blocks, sbst.Block{
+			Name: fmt.Sprintf("%s%d", name, len(blocks)),
+			Emit: func(b *asm.Builder) { emitBridgeBlock(b, units, seeds, words) },
+		})
+	}
+	for _, u := range p.Units {
+		switch u.Name {
+		case "base", "ivec", "drain":
+			continue
+		}
+		cur = append(cur, u)
+		curInsts += u.Insts
+		if curInsts >= blockInstBudget {
+			flush()
+		}
+	}
+	flush()
+	if len(blocks) == 0 {
+		// Every generated unit was dropped: a single empty block still
+		// clears, seeds and folds, so the signature stays well defined.
+		blocks = append(blocks, sbst.Block{
+			Name: name + "0",
+			Emit: func(b *asm.Builder) { emitBridgeBlock(b, nil, seeds, words) },
+		})
+	}
+	return &sbst.Routine{
+		Name:         name,
+		Target:       "progen",
+		DataBase:     p.Cfg.ScratchBase,
+		ScratchBytes: words * 4,
+		Blocks:       blocks,
+	}
+}
+
+// emitBridgeBlock emits one self-contained block (see the file comment for
+// the structure).
+func emitBridgeBlock(b *asm.Builder, units []Unit, seeds [MaxOperandReg + 1]uint32, scratchWords int) {
+	// Preserve the wrapper's link register: call/return units write r31,
+	// and the TCM strategy's body must still return through it.
+	b.R(isa.OpADD, bridgeLinkSave, isa.RegLink, isa.RegZero)
+	// The strategy's data base becomes the generator's base register.
+	b.R(isa.OpADD, BaseReg, isa.RegBase, isa.RegZero)
+	// Clear the scratch window so re-execution reads the same memory state.
+	b.R(isa.OpADD, bridgeCursorReg, BaseReg, isa.RegZero)
+	b.Li(bridgeCountReg, uint32(scratchWords))
+	clr := b.AutoLabel("clr")
+	b.Label(clr)
+	b.Store(isa.OpSW, isa.RegZero, bridgeCursorReg, 0)
+	b.I(isa.OpADDI, bridgeCursorReg, bridgeCursorReg, 4)
+	b.I(isa.OpADDI, bridgeCountReg, bridgeCountReg, -1)
+	b.Branch(isa.OpBNE, bridgeCountReg, isa.RegZero, clr)
+	// Deterministic operand seeds.
+	for r := uint8(1); r <= MaxOperandReg; r++ {
+		b.Li(r, seeds[r])
+	}
+	for _, u := range units {
+		u.Emit(b)
+	}
+	// Fold the block's architectural effect into the signature.
+	for r := uint8(1); r <= MaxOperandReg; r++ {
+		b.Misr(r)
+	}
+	b.R(isa.OpADD, bridgeCursorReg, BaseReg, isa.RegZero)
+	b.Li(bridgeCountReg, uint32(scratchWords))
+	fold := b.AutoLabel("fold")
+	b.Label(fold)
+	b.Load(isa.OpLW, bridgeFoldTmp, bridgeCursorReg, 0)
+	b.Misr(bridgeFoldTmp)
+	b.I(isa.OpADDI, bridgeCursorReg, bridgeCursorReg, 4)
+	b.I(isa.OpADDI, bridgeCountReg, bridgeCountReg, -1)
+	b.Branch(isa.OpBNE, bridgeCountReg, isa.RegZero, fold)
+	b.R(isa.OpADD, isa.RegLink, bridgeLinkSave, isa.RegZero)
+}

@@ -1,0 +1,133 @@
+package progen
+
+import (
+	"testing"
+
+	"repro/internal/archint"
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/iss"
+	"repro/internal/sbst"
+)
+
+// emitPlainForm assembles the bridged routine in single-core plain shape:
+// signature reset, strategy-style data base, body, HALT.
+func emitPlainForm(t *testing.T, r *sbst.Routine, reps int) *asm.Program {
+	t.Helper()
+	b := asm.NewBuilder()
+	for i := 0; i < reps; i++ {
+		r.EmitSigReset(b)
+		b.Li(isa.RegBase, r.DataBase)
+		r.EmitBody(b)
+	}
+	b.Halt()
+	p, err := b.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runOnISS(t *testing.T, prog *asm.Program, setup func(*iss.ISS)) *iss.ISS {
+	t.Helper()
+	m := iss.NewSparseMem()
+	m.LoadWords(prog.Base, prog.Words)
+	s := iss.New(m, prog.Base, false)
+	if setup != nil {
+		setup(s)
+	}
+	if err := s.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestBlockFormDeterministic: the bridge is a pure function of the
+// program — two conversions assemble to identical images.
+func TestBlockFormDeterministic(t *testing.T) {
+	p := Generate(7, Config{})
+	a := emitPlainForm(t, p.BlockForm("x"), 1)
+	b := emitPlainForm(t, p.BlockForm("x"), 1)
+	if len(a.Words) != len(b.Words) {
+		t.Fatalf("image sizes differ: %d vs %d", len(a.Words), len(b.Words))
+	}
+	for i := range a.Words {
+		if a.Words[i] != b.Words[i] {
+			t.Fatalf("word %d differs: %08x vs %08x", i, a.Words[i], b.Words[i])
+		}
+	}
+}
+
+// TestBlockFormReexecutionInvariant is the property the cache strategy's
+// loading+execution loops rest on: running the body a second time (after a
+// signature reset, exactly the single-chunk loop shape) must produce the
+// same signature, because every block clears its scratch window and
+// re-seeds its registers.
+func TestBlockFormReexecutionInvariant(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 9} {
+		p := Generate(seed, Config{})
+		r := p.BlockForm("x")
+		once := runOnISS(t, emitPlainForm(t, r, 1), nil).Regs[isa.RegSig]
+		twice := runOnISS(t, emitPlainForm(t, r, 2), nil).Regs[isa.RegSig]
+		if once != twice {
+			t.Errorf("seed %d: re-execution changed the signature: %08x vs %08x", seed, once, twice)
+		}
+		if once == 0 {
+			t.Errorf("seed %d: zero signature", seed)
+		}
+	}
+}
+
+// TestBlockFormPreservesLink: call/return units clobber r31 inside a
+// block, but the block must restore it — the TCM strategy returns from its
+// body through RegLink.
+func TestBlockFormPreservesLink(t *testing.T) {
+	// Find a seed whose program contains a call unit.
+	var p *Program
+	for seed := int64(1); seed < 64; seed++ {
+		q := Generate(seed, Config{BranchFrac: 0.97})
+		for _, u := range q.Units {
+			if u.Name == "call" {
+				p = q
+				break
+			}
+		}
+		if p != nil {
+			break
+		}
+	}
+	if p == nil {
+		t.Fatal("no call unit in the first 64 seeds")
+	}
+	const sentinel = 0xCAFEF00D
+	s := runOnISS(t, emitPlainForm(t, p.BlockForm("x"), 1), func(s *iss.ISS) {
+		s.Regs[isa.RegLink] = sentinel
+	})
+	if got := s.Regs[isa.RegLink]; got != sentinel {
+		t.Errorf("link register not preserved across blocks: %08x, want %08x", got, sentinel)
+	}
+}
+
+// TestBlockFormDropsHandlerUnits: the bridge must strip handler-mode units
+// (vector install, drain loop) — without their injection plan they would
+// enable interrupts the wrappers cannot deliver.
+func TestBlockFormDropsHandlerUnits(t *testing.T) {
+	cfg := Config{}
+	cfg.Interrupts.Enable = 1
+	cfg.Interrupts.Events = []archint.Event{{Retire: 4, Line: 0}}
+	p := Generate(11, cfg)
+	if !p.Cfg.Interrupts.Enabled() {
+		t.Fatal("test plan not enabled")
+	}
+	prog := emitPlainForm(t, p.BlockForm("x"), 1)
+	for i, w := range prog.Words {
+		inst, err := isa.Decode(w)
+		if err != nil {
+			continue
+		}
+		switch inst.Op {
+		case isa.OpCSRW, isa.OpCSRR, isa.OpRFE:
+			t.Fatalf("word %d: handler-mode instruction %v survived the bridge", i, inst.Op)
+		}
+	}
+}

@@ -19,9 +19,12 @@
 // Register conventions: r1..r15 are operand registers seeded with random
 // constants, r16 (BaseReg) holds the scratch base address, r17 (LoopReg)
 // is the loop counter, and handler mode reserves r20..r23
-// (AccumReg/ExpectReg/HTmpReg/HandlerTmpReg). r28..r31 are left to the
-// sbst/core wrappers, so a Program can also run wrapped as an
-// sbst.Routine under any execution strategy.
+// (AccumReg/ExpectReg/HTmpReg/HandlerTmpReg). The strategy bridge
+// (BlockForm) uses r18/r19/r24/r25 for its clear/fold loops and link
+// preservation; r26..r31 are left to the sbst/core wrappers. A Program
+// can therefore run bare (Assemble), as an atomic routine (Routine), or
+// in strategy-wrappable block form (BlockForm) under core.Plain,
+// core.CacheBased or core.TCMBased.
 //
 // Handler mode (Config.Interrupts, an archint.Plan) additionally emits a
 // pinned interrupt prelude — vector installation, a terminating

@@ -116,7 +116,7 @@ func TestPartitionProperties(t *testing.T) {
 // stableSortDescending mirrors Partition's ordering rule.
 func stableSortDescending(tasks []Task) {
 	for i := 1; i < len(tasks); i++ {
-		for j := i; j > 0 && tasks[j].cost() > tasks[j-1].cost(); j-- {
+		for j := i; j > 0 && tasks[j].Cost() > tasks[j-1].Cost(); j-- {
 			tasks[j], tasks[j-1] = tasks[j-1], tasks[j]
 		}
 	}

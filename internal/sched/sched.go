@@ -21,7 +21,9 @@ type Task struct {
 	EstCycles int64
 }
 
-func (t Task) cost() int64 {
+// Cost is the partitioning weight: EstCycles when set, otherwise the
+// routine's code size as a proxy.
+func (t Task) Cost() int64 {
 	if t.EstCycles > 0 {
 		return t.EstCycles
 	}
@@ -46,7 +48,7 @@ func Partition(tasks []Task, nCores int) (Plan, error) {
 		return Plan{}, fmt.Errorf("sched: core count %d out of range", nCores)
 	}
 	sorted := append([]Task(nil), tasks...)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].cost() > sorted[j].cost() })
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Cost() > sorted[j].Cost() })
 	var plan Plan
 	plan.NCores = nCores
 	var load [soc.NumCores]int64
@@ -58,7 +60,7 @@ func Partition(tasks []Task, nCores int) (Plan, error) {
 			}
 		}
 		plan.PerCore[best] = append(plan.PerCore[best], t)
-		load[best] += t.cost()
+		load[best] += t.Cost()
 	}
 	return plan, nil
 }
@@ -68,16 +70,17 @@ func (p Plan) Makespan() [soc.NumCores]int64 {
 	var load [soc.NumCores]int64
 	for c, tasks := range p.PerCore {
 		for _, t := range tasks {
-			load[c] += t.cost()
+			load[c] += t.Cost()
 		}
 	}
 	return load
 }
 
-// flagAddr is core id's completion flag in the uncached SRAM alias. The
-// flags live in a reserved line at the top of SRAM.
-func flagAddr(id int) uint32 {
-	return mem.SRAMUncachedBase + mem.SRAMSize - 64 + uint32(id)*4
+// FlagAddr is core id's completion flag in the uncached SRAM alias. The
+// flags live in the reserved line at the top of SRAM (mem.BarrierFlagBase);
+// exported so conformance checkers can observe the barrier outcome.
+func FlagAddr(id int) uint32 {
+	return mem.BarrierFlagBase + uint32(id)*4
 }
 
 // barrier emits the decentralized completion protocol: publish this core's
@@ -86,13 +89,13 @@ func flagAddr(id int) uint32 {
 func barrier(id, nCores int) func(*asm.Builder) {
 	return func(b *asm.Builder) {
 		b.I(isa.OpADDI, 1, isa.RegZero, 1)
-		b.Li(2, flagAddr(id))
+		b.Li(2, FlagAddr(id))
 		b.Store(isa.OpSW, 1, 2, 0)
 		for other := 0; other < nCores; other++ {
 			if other == id {
 				continue
 			}
-			b.Li(2, flagAddr(other))
+			b.Li(2, FlagAddr(other))
 			wait := b.AutoLabel(fmt.Sprintf("wait%d_", other))
 			b.Label(wait)
 			// Back off between polls so spinning cores do not saturate the
@@ -134,7 +137,7 @@ func (p Plan) Jobs(strategyFor func(coreID int) core.Strategy) [soc.NumCores]*co
 
 // ClearFlags zeroes the barrier flags in the SoC's SRAM before a run.
 func ClearFlags(s *soc.SoC) {
-	base := flagAddr(0) - mem.SRAMUncachedBase
+	base := FlagAddr(0) - mem.SRAMUncachedBase
 	for id := 0; id < soc.NumCores; id++ {
 		mem.WriteWord(s.SRAM, base+uint32(id)*4, 0)
 	}

@@ -90,7 +90,7 @@ func TestScheduledRunCompletesWithBarrier(t *testing.T) {
 		}
 	}
 	// Every barrier flag must be set.
-	base := flagAddr(0) - mem.SRAMUncachedBase
+	base := FlagAddr(0) - mem.SRAMUncachedBase
 	for id := 0; id < 3; id++ {
 		if mem.ReadWord(s.SRAM, base+uint32(id)*4) != 1 {
 			t.Errorf("core %d never published its flag", id)
@@ -141,7 +141,7 @@ func TestParallelBeatsSerial(t *testing.T) {
 func TestFlagAddressesDisjoint(t *testing.T) {
 	seen := map[uint32]bool{}
 	for id := 0; id < soc.NumCores; id++ {
-		a := flagAddr(id)
+		a := FlagAddr(id)
 		if seen[a] {
 			t.Fatal("flag collision")
 		}

@@ -299,6 +299,22 @@ func (s *SoC) SetCoverage(m *coverage.Map) {
 		if u.DCache != nil {
 			u.DCache.SetCoverage(m, coverage.RoleDCache)
 		}
+		// TCM traffic: instruction fetches from the ITCM, the data-side
+		// ITCM window (the TCM strategy's boot copy loop) and DTCM data.
+		if tc, ok := u.imem.tcm.(*cache.TCMClient); ok {
+			tc.SetCoverage(m, coverage.FeatTCMFetch, coverage.FeatTCMStageCode)
+		}
+		if tc, ok := u.dmem.tcm.(*cache.TCMClient); ok {
+			tc.SetCoverage(m, coverage.FeatTCMDataRead, coverage.FeatTCMDataWrite)
+		}
+		if tc, ok := u.dmem.tcm2.(*cache.TCMClient); ok {
+			tc.SetCoverage(m, coverage.FeatTCMStageCode, coverage.FeatTCMStageCode)
+		}
+		// The uncached data-side alias carries the scheduler barrier's
+		// completion flags.
+		if bp, ok := u.dmem.uncached.(*cache.Bypass); ok {
+			bp.SetCoverage(m)
+		}
 	}
 }
 
