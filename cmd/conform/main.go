@@ -60,6 +60,10 @@ func main() {
 		scenarios = []*conform.Scenario{sc}
 	}
 
+	// Panicked checks and all-skip windows fail the run, but only after
+	// every scenario has had its turn — they are verdicts about the suite,
+	// not stop-the-world divergences.
+	exitCode := 0
 	for _, sc := range scenarios {
 		start := time.Now()
 		deadline := time.Time{}
@@ -69,7 +73,8 @@ func main() {
 			iters = 1 << 30 // the deadline is the bound
 		}
 		if *cover && sc.Guidable() {
-			res, err := sc.Fuzz(*seed, iters, deadline, conform.FuzzOptions{CorpusDir: *corpus})
+			res, err := sc.Fuzz(*seed, iters, deadline,
+				conform.FuzzOptions{CorpusDir: *corpus, OnPanic: saveArtifact})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "conform:", err)
 				os.Exit(2)
@@ -80,12 +85,23 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("scenario %-9s %s  (%.1fs)\n", sc.Name, res.Summary(), time.Since(start).Seconds())
+			if res.Panics > 0 {
+				fmt.Fprintf(os.Stderr, "conform: scenario %s: %d panicked checks isolated (first: %s)\n",
+					sc.Name, res.Panics, res.FirstPanic.Detail)
+				exitCode = 1
+			}
+			if res.Iters > 0 && res.FullSkips >= res.Iters {
+				fmt.Fprintf(os.Stderr, "conform: scenario %s skipped all %d iterations entirely — this seed window tests nothing\n",
+					sc.Name, res.Iters)
+				exitCode = 1
+			}
 			continue
 		}
 		if *cover {
 			fmt.Printf("scenario %-9s runs unguided (no generated program to steer)\n", sc.Name)
 		}
-		count := 0
+		count, panics := 0, 0
+		fullBase := sc.FullSkips()
 		for i := 0; ; i++ {
 			if deadline.IsZero() {
 				if i >= iters {
@@ -99,6 +115,15 @@ func main() {
 				fmt.Printf("scenario %-9s seed %d\n", sc.Name, s)
 			}
 			if m := sc.Run(s); m != nil {
+				if m.Panicked {
+					// Isolated, artifact saved, sweep continues: one
+					// crashing seed must not cost the rest of the window.
+					panics++
+					fmt.Printf("scenario %-9s seed %d PANIC (isolated): %s\n", sc.Name, s, m.Detail)
+					saveArtifact(m)
+					count++
+					continue
+				}
 				report(m)
 				os.Exit(1)
 			}
@@ -106,7 +131,17 @@ func main() {
 		}
 		fmt.Printf("scenario %-9s %4d runs ok  (%.1fs)  %s\n",
 			sc.Name, count, time.Since(start).Seconds(), sc.Desc)
+		if panics > 0 {
+			fmt.Fprintf(os.Stderr, "conform: scenario %s: %d panicked checks isolated\n", sc.Name, panics)
+			exitCode = 1
+		}
+		if fullSkips := sc.FullSkips() - fullBase; count > 0 && fullSkips >= count {
+			fmt.Fprintf(os.Stderr, "conform: scenario %s skipped all %d iterations entirely — this seed window tests nothing\n",
+				sc.Name, count)
+			exitCode = 1
+		}
 	}
+	os.Exit(exitCode)
 }
 
 // artifactsDir, when set via -artifacts, receives the failing recipe/plan
@@ -120,6 +155,8 @@ type artifact struct {
 	Seed     int64          `json:"seed"`
 	Detail   string         `json:"detail"`
 	Repro    string         `json:"repro"`
+	Panicked bool           `json:"panicked,omitempty"`
+	Stack    string         `json:"stack,omitempty"`
 	LibTasks []string       `json:"libTasks,omitempty"`
 	Recipe   *progen.Recipe `json:"recipe,omitempty"`
 	Sites    []fault.Site   `json:"sites,omitempty"`
@@ -133,7 +170,8 @@ func saveArtifact(m *conform.Mismatch) {
 		return
 	}
 	a := artifact{Scenario: m.Scenario, Seed: m.Seed, Detail: m.Detail,
-		Repro: m.Repro(), LibTasks: m.LibTasks, Sites: m.Sites}
+		Repro: m.Repro(), Panicked: m.Panicked, Stack: m.Stack,
+		LibTasks: m.LibTasks, Sites: m.Sites}
 	if m.Program != nil {
 		a.Recipe = &m.Program.Recipe
 	}
@@ -330,6 +368,56 @@ func runSelfTest(seed int64, n int, cover, verbose bool) int {
 		fmt.Fprintf(os.Stderr, "conform: selftest repro too large (%d instructions)\n", insts)
 		return 1
 	}
+	if code := runCrashSelfTest(seed); code != 0 {
+		return code
+	}
 	fmt.Println("selftest ok")
+	return 0
+}
+
+// runCrashSelfTest is the crash leg of the self-test: an injected engine
+// bug that panics instead of diverging must be isolated on every iteration
+// — recipe artifact saved, fuzz loop still completing — proving the
+// recover boundary end to end.
+func runCrashSelfTest(seed int64) int {
+	crash, err := conform.NewMutated("uncached", conform.CrashBug)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conform:", err)
+		return 2
+	}
+	// Artifacts must land somewhere checkable even without -artifacts.
+	saved := artifactsDir
+	defer func() { artifactsDir = saved }()
+	if artifactsDir == "" {
+		tmp, err := os.MkdirTemp("", "conform-selftest")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "conform:", err)
+			return 2
+		}
+		defer os.RemoveAll(tmp)
+		artifactsDir = tmp
+	}
+	const crashIters = 5
+	res, err := crash.Fuzz(seed, crashIters, time.Time{}, conform.FuzzOptions{OnPanic: saveArtifact})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conform:", err)
+		return 2
+	}
+	if res.Mismatch != nil {
+		fmt.Fprintf(os.Stderr, "conform: selftest: crash bug stopped the loop instead of isolating: %s\n", res.Mismatch)
+		return 1
+	}
+	if res.Iters != crashIters || res.Panics != crashIters {
+		fmt.Fprintf(os.Stderr, "conform: selftest: crash bug isolated %d of %d runs (want %d of %d)\n",
+			res.Panics, res.Iters, crashIters, crashIters)
+		return 1
+	}
+	names, err := filepath.Glob(filepath.Join(artifactsDir, "failing-*.json"))
+	if err != nil || len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "conform: selftest: crash bug saved no recipe artifact")
+		return 1
+	}
+	fmt.Printf("injected crash bug isolated %d/%d runs, recipe artifact saved (%s)\n",
+		res.Panics, res.Iters, filepath.Base(names[0]))
 	return 0
 }

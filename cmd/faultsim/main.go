@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,9 @@ func main() {
 	bitStep := flag.Int("bitstep", 1, "enumerate every Nth data bit (campaign reduction)")
 	engine := flag.String("engine", "arena", "campaign engine: arena (reusable SoCs, early exit) or legacy (rebuild per fault)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	journal := flag.String("journal", "", "append-only verdict journal file (line-delimited JSON; survives SIGKILL)")
+	resume := flag.Bool("resume", false, "resume from -journal: skip settled sites and reproduce the bit-identical report")
+	reportFile := flag.String("report", "", "write the final fault.Report as JSON to this file")
 	verbose := flag.Bool("v", false, "list undetected faults")
 	flag.Parse()
 	if *engine != "arena" && *engine != "legacy" {
@@ -112,12 +116,29 @@ func main() {
 	replayCfg := cfg
 	replayCfg.Replay = traffic
 
-	rep, err := core.RunCampaign(replayCfg, *coreID, jobs[*coreID], sites,
-		budget, *workers, *engine == "legacy")
+	rep, err := core.RunCampaignOpts(replayCfg, *coreID, jobs[*coreID], sites,
+		budget, core.CampaignOptions{
+			Workers: *workers,
+			Legacy:  *engine == "legacy",
+			Journal: *journal,
+			Resume:  *resume,
+		})
 	fail(err)
 	fmt.Printf("routine=%s core=%c strategy=%s multicore=%v engine=%s\n",
 		*routineName, rune('A'+*coreID), *strategyName, *multicore, *engine)
 	fmt.Println(rep.String())
+	for _, a := range rep.Anomalies {
+		fmt.Fprintf(os.Stderr, "faultsim: panicked run (site %v): %s\n", a.Site, a.Msg)
+	}
+	if *reportFile != "" {
+		// Stacks are diagnostic, not part of the verdict set: strip them so
+		// report files are byte-comparable across resumed runs.
+		clean := rep
+		clean.Anomalies = nil
+		blob, err := json.MarshalIndent(clean, "", "  ")
+		fail(err)
+		fail(os.WriteFile(*reportFile, append(blob, '\n'), 0o644))
+	}
 
 	fmt.Println("per-signal breakdown:")
 	for _, st := range rep.BySignal() {

@@ -3,6 +3,7 @@ package conform
 import (
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"strings"
 
 	"repro/internal/archint"
@@ -51,6 +52,15 @@ func DecoderBugArithShift(i isa.Inst) isa.Inst {
 	return i
 }
 
+// CrashBug is the self-test's injected harness defect: a target-side
+// mutation that panics on the first decodable instruction instead of
+// diverging — the model of an engine bug that crashes mid-check. The fuzz
+// loop must isolate it (panicked mismatch, recipe saved, loop continues)
+// rather than die.
+func CrashBug(i isa.Inst) isa.Inst {
+	panic(fmt.Sprintf("injected crash bug on %v", i.Op))
+}
+
 // mutate returns a copy of prog with the mutation applied to every word
 // that decodes. Generated programs contain no data words, so this is
 // exactly "the target decodes the same image differently".
@@ -85,8 +95,45 @@ type Scenario struct {
 	mut  Mutation  // injected target-side decoder bug (self-test); nil normally
 }
 
-// Run executes one iteration. A nil result means the engines agreed.
-func (s *Scenario) Run(seed int64) *Mismatch { return s.run(seed) }
+// guardCheck runs one differential check behind the harness's recover
+// boundary. A panicking check returns a "panic: ..." detail plus the
+// captured stack instead of unwinding into the sweep or fuzz loop — the
+// same isolation fault campaigns apply per run.
+func guardCheck(f func() string) (detail, stack string) {
+	defer func() {
+		if v := recover(); v != nil {
+			detail = fmt.Sprintf("panic: %v", v)
+			stack = string(debug.Stack())
+		}
+	}()
+	return f(), ""
+}
+
+// guardRecheck wraps a minimization recheck the same way: a reduction that
+// panics is still a failing reduction, so panicking mismatches minimize
+// like any other.
+func guardRecheck(f func() string) string {
+	d, _ := guardCheck(f)
+	return d
+}
+
+// Run executes one iteration. A nil result means the engines agreed. A
+// panic anywhere in the check surfaces as a Panicked mismatch instead of
+// killing the caller.
+func (s *Scenario) Run(seed int64) (m *Mismatch) {
+	defer func() {
+		if v := recover(); v != nil {
+			m = &Mismatch{
+				Scenario: s.Name,
+				Seed:     seed,
+				Detail:   fmt.Sprintf("panic: %v", v),
+				Panicked: true,
+				Stack:    string(debug.Stack()),
+			}
+		}
+	}()
+	return s.run(seed)
+}
 
 // Guidable reports whether the scenario runs generated programs and so
 // supports coverage collection and guided fuzzing.
@@ -104,11 +151,22 @@ func (s *Scenario) Skips() int {
 	return *s.spec.skips
 }
 
+// FullSkips reports iterations where the scenario compared NOTHING — every
+// wrapping was rejected or the whole program was out of scope. A window of
+// seeds producing only full skips means the scenario has stopped testing
+// anything, which CI treats as a failure rather than a silent pass.
+func (s *Scenario) FullSkips() int {
+	if s.spec == nil || s.spec.fullSkips == nil {
+		return 0
+	}
+	return *s.spec.fullSkips
+}
+
 // CheckProgram runs one specific program through the scenario's engines,
 // collecting coverage into cov when non-nil. A nil result means the
 // engines agreed. Only valid on Guidable scenarios.
 func (s *Scenario) CheckProgram(p *progen.Program, cov *coverage.Map) *Mismatch {
-	detail := s.spec.check(p, s.mut, cov)
+	detail, stack := guardCheck(func() string { return s.spec.check(p, s.mut, cov) })
 	if detail == "" {
 		return nil
 	}
@@ -116,9 +174,11 @@ func (s *Scenario) CheckProgram(p *progen.Program, cov *coverage.Map) *Mismatch 
 		Scenario: s.Name,
 		Seed:     p.Seed,
 		Detail:   detail,
+		Panicked: stack != "",
+		Stack:    stack,
 		Program:  p,
 		recheckProg: func(q *progen.Program) string {
-			return s.spec.check(q, s.mut, nil)
+			return guardRecheck(func() string { return s.spec.check(q, s.mut, nil) })
 		},
 	}
 	s.spec.decorateSched(m)
@@ -135,7 +195,7 @@ func (s *Scenario) CheckProgramWithLibs(p *progen.Program, libs []string, cov *c
 	if !s.spec.sched || libs == nil {
 		return s.CheckProgram(p, cov)
 	}
-	detail := s.spec.checkSched(p, libs, cov)
+	detail, stack := guardCheck(func() string { return s.spec.checkSched(p, libs, cov) })
 	if detail == "" {
 		return nil
 	}
@@ -144,13 +204,15 @@ func (s *Scenario) CheckProgramWithLibs(p *progen.Program, libs []string, cov *c
 		Scenario: s.Name,
 		Seed:     p.Seed,
 		Detail:   detail,
+		Panicked: stack != "",
+		Stack:    stack,
 		Program:  p,
 		LibTasks: libs,
 		recheckProg: func(q *progen.Program) string {
-			return sp.checkSched(q, libs, nil)
+			return guardRecheck(func() string { return sp.checkSched(q, libs, nil) })
 		},
 		recheckSched: func(q *progen.Program, l []string) string {
-			return sp.checkSched(q, l, nil)
+			return guardRecheck(func() string { return sp.checkSched(q, l, nil) })
 		},
 	}
 }
@@ -161,6 +223,7 @@ func Scenarios() []*Scenario {
 	for _, spec := range progSpecs {
 		spec := spec
 		spec.skips = new(int)
+		spec.fullSkips = new(int)
 		out = append(out, &Scenario{
 			Name: spec.name,
 			Desc: spec.desc,
@@ -200,6 +263,7 @@ func NewMutated(name string, mut Mutation) (*Scenario, error) {
 		if spec.name == name && spec.mutable() {
 			spec := spec
 			spec.skips = new(int)
+			spec.fullSkips = new(int)
 			return &Scenario{
 				Name: spec.name,
 				Desc: spec.desc + " (injected decoder bug)",
@@ -230,12 +294,22 @@ type progSpec struct {
 	// skips counts explicit skip verdicts (strategy/scheduler wrapping
 	// rejections, out-of-scope programs); allocated per Scenario instance.
 	skips *int
+	// fullSkips counts iterations that skipped ENTIRELY — not one wrapping
+	// among several, but a program the scenario compared nothing for.
+	fullSkips *int
 }
 
 // skip records one explicit skip verdict.
 func (sp progSpec) skip() {
 	if sp.skips != nil {
 		*sp.skips++
+	}
+}
+
+// fullSkip records an iteration that compared nothing at all.
+func (sp progSpec) fullSkip() {
+	if sp.fullSkips != nil {
+		*sp.fullSkips++
 	}
 }
 
@@ -323,7 +397,7 @@ func (sp progSpec) cfgFor(seed int64) progen.Config {
 
 func (sp progSpec) runSeed(seed int64, mut Mutation) *Mismatch {
 	p := progen.Generate(seed, sp.cfgFor(seed))
-	detail := sp.check(p, mut, nil)
+	detail, stack := guardCheck(func() string { return sp.check(p, mut, nil) })
 	if detail == "" {
 		return nil
 	}
@@ -331,9 +405,11 @@ func (sp progSpec) runSeed(seed int64, mut Mutation) *Mismatch {
 		Scenario: sp.name,
 		Seed:     seed,
 		Detail:   detail,
+		Panicked: stack != "",
+		Stack:    stack,
 		Program:  p,
 		recheckProg: func(q *progen.Program) string {
-			return sp.check(q, mut, nil)
+			return guardRecheck(func() string { return sp.check(q, mut, nil) })
 		},
 		fromSweep: true,
 	}
@@ -350,7 +426,7 @@ func (sp progSpec) decorateSched(m *Mismatch) {
 	}
 	m.LibTasks = schedShapeFor(m.Seed).libs
 	m.recheckSched = func(q *progen.Program, libs []string) string {
-		return sp.checkSched(q, libs, nil)
+		return guardRecheck(func() string { return sp.checkSched(q, libs, nil) })
 	}
 }
 
@@ -370,8 +446,10 @@ func (sp progSpec) check(p *progen.Program, mut Mutation, cov *coverage.Map) str
 		// before any plan shim could attach; a handler program's drain
 		// loop would spin its budget out waiting for events that are never
 		// injected. Handler programs are out of this scenario's scope (a
-		// cross-scenario corpus may legitimately hand one over): report
-		// agreement rather than a phantom divergence.
+		// cross-scenario corpus may legitimately hand one over): skip loudly
+		// rather than report a phantom divergence or a silent pass.
+		sp.skip()
+		sp.fullSkip()
 		return ""
 	}
 	has64, coreID := progTarget(p)

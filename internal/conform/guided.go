@@ -47,6 +47,11 @@ type FuzzOptions struct {
 	// program and nothing is kept or mutated. Coverage is still collected,
 	// which makes Random the baseline the guided mode is measured against.
 	Random bool
+
+	// OnPanic is called for every panicked check the loop isolates (the
+	// recipe-saving hook); the loop then continues instead of stopping. A
+	// genuine divergence still stops the loop. Nil means isolate silently.
+	OnPanic func(*Mismatch)
 }
 
 func (o FuzzOptions) withDefaults() FuzzOptions {
@@ -75,12 +80,17 @@ func pickParent(rng *rand.Rand, corpus []*progen.Program) *progen.Program {
 
 // FuzzResult summarises one fuzzing loop.
 type FuzzResult struct {
-	Iters    int // programs run
-	Corpus   int // corpus entries at exit (0 in random mode)
-	NewInDir int // entries newly saved to CorpusDir
-	Skips    int // explicit skip verdicts (see Scenario.Skips)
-	Bits     coverage.Bits
-	Mismatch *Mismatch // non-nil when the loop stopped on a divergence
+	Iters     int // programs run
+	Corpus    int // corpus entries at exit (0 in random mode)
+	NewInDir  int // entries newly saved to CorpusDir
+	Skips     int // explicit skip verdicts (see Scenario.Skips)
+	FullSkips int // iterations that compared nothing (see Scenario.FullSkips)
+	Panics    int // panicked checks isolated (loop continued past them)
+	Bits      coverage.Bits
+	Mismatch  *Mismatch // non-nil when the loop stopped on a divergence
+	// FirstPanic keeps the first isolated panic for reporting; the loop does
+	// not stop on it, so Mismatch stays nil unless a real divergence hits.
+	FirstPanic *Mismatch
 }
 
 // Summary renders the coverage reached, total and by feature group, plus
@@ -97,6 +107,9 @@ func (r *FuzzResult) Summary() string {
 	sb.WriteString(")")
 	if r.Skips > 0 {
 		fmt.Fprintf(&sb, ", %d skip verdicts", r.Skips)
+	}
+	if r.Panics > 0 {
+		fmt.Fprintf(&sb, ", %d panicked checks isolated", r.Panics)
 	}
 	return sb.String()
 }
@@ -117,8 +130,26 @@ func (s *Scenario) Fuzz(seed int64, iters int, deadline time.Time, opts FuzzOpti
 	res := &FuzzResult{}
 	// Scenario.Skips is a lifetime counter; report this loop's delta, on
 	// every exit path (including an early mismatch stop).
-	skipsBase := s.Skips()
-	defer func() { res.Skips = s.Skips() - skipsBase }()
+	skipsBase, fullBase := s.Skips(), s.FullSkips()
+	defer func() {
+		res.Skips = s.Skips() - skipsBase
+		res.FullSkips = s.FullSkips() - fullBase
+	}()
+	// isolate absorbs a panicked check: count it, hand it to the OnPanic
+	// hook, and let the loop continue. Only real divergences stop the loop.
+	isolate := func(m *Mismatch) bool {
+		if !m.Panicked {
+			return false
+		}
+		res.Panics++
+		if res.FirstPanic == nil {
+			res.FirstPanic = m
+		}
+		if opts.OnPanic != nil {
+			opts.OnPanic(m)
+		}
+		return true
+	}
 	var corpus []*progen.Program
 
 	if opts.CorpusDir != "" {
@@ -130,8 +161,11 @@ func (s *Scenario) Fuzz(seed int64, iters int, deadline time.Time, opts FuzzOpti
 		for _, p := range loaded {
 			cov.Reset()
 			if m := s.CheckProgram(p, cov); m != nil {
-				res.Mismatch = m
-				return res, nil
+				if !isolate(m) {
+					res.Mismatch = m
+					return res, nil
+				}
+				continue
 			}
 			bits := cov.Bits()
 			if res.Bits.Or(&bits) && !opts.Random {
@@ -167,8 +201,11 @@ func (s *Scenario) Fuzz(seed int64, iters int, deadline time.Time, opts FuzzOpti
 		cov.Reset()
 		res.Iters++
 		if m := s.CheckProgram(p, cov); m != nil {
-			res.Mismatch = m
-			return res, nil
+			if !isolate(m) {
+				res.Mismatch = m
+				return res, nil
+			}
+			continue
 		}
 		bits := cov.Bits()
 		gained := res.Bits.Or(&bits)

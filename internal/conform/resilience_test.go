@@ -1,0 +1,144 @@
+package conform
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/archint"
+	"repro/internal/progen"
+)
+
+// handlerProgram generates a handler-carrying program — out of scope for
+// the strategies, sched and arena scenarios, which must skip it entirely
+// (and loudly) rather than silently pass.
+func handlerProgram(t *testing.T) *progen.Program {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	p := progen.Generate(1, progen.Config{Interrupts: archint.RandomPlan(rng)})
+	if !p.Cfg.Interrupts.Enabled() {
+		t.Fatal("generated program has no interrupt plan")
+	}
+	return p
+}
+
+// TestRunIsolatesPanic pins the recover boundary at the scenario surface:
+// a check that panics comes back as a Panicked mismatch carrying the panic
+// value and a stack, never as an unwinding goroutine.
+func TestRunIsolatesPanic(t *testing.T) {
+	sc, err := NewMutated("uncached", CrashBug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sc.Run(1)
+	if m == nil {
+		t.Fatal("panicking check reported agreement")
+	}
+	if !m.Panicked {
+		t.Fatalf("mismatch not marked Panicked: %s", m)
+	}
+	if !strings.Contains(m.Detail, "panic:") || !strings.Contains(m.Detail, "injected crash bug") {
+		t.Errorf("detail does not carry the panic value: %q", m.Detail)
+	}
+	if m.Stack == "" {
+		t.Error("no stack captured")
+	}
+	if m.Program == nil {
+		t.Error("panicked mismatch lost its program (no recipe to save)")
+	}
+}
+
+// TestMinimizePanickedMismatch pins that panicking reductions count as
+// failing reductions: Minimize on a panicked mismatch terminates and keeps
+// a failing (still-panicking) program.
+func TestMinimizePanickedMismatch(t *testing.T) {
+	sc, err := NewMutated("uncached", CrashBug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sc.Run(1)
+	if m == nil || !m.Panicked {
+		t.Fatal("no panicked mismatch to minimize")
+	}
+	before := m.Program.NumInsts()
+	m.Minimize()
+	if !strings.Contains(m.Detail, "panic:") {
+		t.Errorf("minimized detail lost the panic: %q", m.Detail)
+	}
+	if got := m.Program.NumInsts(); got > before {
+		t.Errorf("minimization grew the program: %d -> %d instructions", before, got)
+	}
+}
+
+// TestFuzzContinuesPastPanics pins the fuzz loop's isolation contract: a
+// bug that panics on every program must not stop the loop — each panic is
+// counted, handed to OnPanic, and the loop runs its full budget.
+func TestFuzzContinuesPastPanics(t *testing.T) {
+	sc, err := NewMutated("uncached", CrashBug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hooked []*Mismatch
+	const iters = 4
+	res, err := sc.Fuzz(1, iters, time.Time{}, FuzzOptions{
+		OnPanic: func(m *Mismatch) { hooked = append(hooked, m) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatch != nil {
+		t.Fatalf("fuzz loop stopped on an isolated panic: %s", res.Mismatch)
+	}
+	if res.Iters != iters || res.Panics != iters {
+		t.Fatalf("iters=%d panics=%d, want %d/%d", res.Iters, res.Panics, iters, iters)
+	}
+	if len(hooked) != iters {
+		t.Fatalf("OnPanic called %d times, want %d", len(hooked), iters)
+	}
+	if res.FirstPanic == nil || !res.FirstPanic.Panicked || res.FirstPanic.Program == nil {
+		t.Fatalf("FirstPanic not kept for reporting: %+v", res.FirstPanic)
+	}
+	if !strings.Contains(res.Summary(), "panicked checks isolated") {
+		t.Errorf("summary silent about panics: %q", res.Summary())
+	}
+}
+
+// TestFullSkipVerdicts pins the skipped-everything counter on every
+// scenario that can skip a whole program: a handler-carrying program
+// compares nothing in strategies, sched and arena, and each must say so
+// through FullSkips — the signal CI gates on.
+func TestFullSkipVerdicts(t *testing.T) {
+	p := handlerProgram(t)
+	for _, name := range []string{"strategies", "sched", "arena"} {
+		sc, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := sc.CheckProgram(p, nil); m != nil {
+			t.Fatalf("%s: out-of-scope program reported a mismatch: %s", name, m)
+		}
+		if got := sc.FullSkips(); got != 1 {
+			t.Errorf("%s: FullSkips = %d, want 1", name, got)
+		}
+		if got := sc.Skips(); got != 1 {
+			t.Errorf("%s: Skips = %d, want 1", name, got)
+		}
+	}
+}
+
+// TestFullSkipsStayZeroInScope is the other half of the gate: a scenario
+// actually comparing things records no full skips, so a healthy seed
+// window can never trip the CI gate.
+func TestFullSkipsStayZeroInScope(t *testing.T) {
+	sc, err := Lookup("strategies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := sc.Run(3); m != nil {
+		t.Fatalf("seed 3 diverged: %s", m)
+	}
+	if got := sc.FullSkips(); got != 0 {
+		t.Errorf("in-scope run recorded %d full skips", got)
+	}
+}

@@ -16,6 +16,13 @@ type Mismatch struct {
 	Seed     int64
 	Detail   string
 
+	// Panicked marks a check that panicked instead of diverging: the
+	// harness's recover boundary caught it, Detail carries the panic value
+	// and Stack the captured stack. The fuzz loop isolates these (saving
+	// the recipe and continuing) rather than stopping on them.
+	Panicked bool
+	Stack    string
+
 	// Program is the failing generated program (program scenarios).
 	Program *progen.Program
 	// Sites is the failing fault universe (campaign scenarios).

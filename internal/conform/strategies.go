@@ -76,6 +76,7 @@ func (sp progSpec) checkStrategies(p *progen.Program, cov *coverage.Map) string 
 		// Handler programs need their injection plan, which no strategy
 		// wrapper carries; a cross-scenario corpus may hand one over.
 		sp.skip()
+		sp.fullSkip()
 		return ""
 	}
 	has64, coreID := progTarget(p)
@@ -110,6 +111,7 @@ func (sp progSpec) checkStrategies(p *progen.Program, cov *coverage.Map) string 
 		{"tcm", core.TCMBased{CoreID: coreID}, false},
 	}
 	var diffs []string
+	accepted := 0
 	for _, w := range wraps {
 		// Applicability first: a Validate/partition/TCM-size rejection is
 		// an explicit skip verdict for this wrapping, not a pass. One dry
@@ -120,6 +122,7 @@ func (sp progSpec) checkStrategies(p *progen.Program, cov *coverage.Map) string 
 			sp.skip()
 			continue
 		}
+		accepted++
 		res, err := runWrapped(r, coreID, w.strat, w.cached, cov)
 		if err != nil {
 			diffs = append(diffs, fmt.Sprintf("%s: %v", w.name, err))
@@ -132,6 +135,10 @@ func (sp progSpec) checkStrategies(p *progen.Program, cov *coverage.Map) string 
 		if res.Signature != refSig {
 			diffs = append(diffs, fmt.Sprintf("%s: sig %08x, want %08x", w.name, res.Signature, refSig))
 		}
+	}
+	if accepted == 0 {
+		// Every wrapping rejected the program: nothing was compared at all.
+		sp.fullSkip()
 	}
 	return renderDiffs(diffs)
 }
@@ -202,6 +209,7 @@ func (sp progSpec) checkSched(p *progen.Program, libs []string, cov *coverage.Ma
 		// core-C-only and a partition may place them on any core. Both are
 		// out of scope: explicit skips, not silent passes.
 		sp.skip()
+		sp.fullSkip()
 		return ""
 	}
 	sh := schedShapeFor(p.Seed)

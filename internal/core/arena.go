@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync"
 
 	"repro/internal/fault"
@@ -41,10 +42,21 @@ type Arena struct {
 	budget int64
 	early  bool
 
+	// Construction inputs, kept so a quarantined arena can rebuild itself
+	// and a dead one can fall back to rebuild-per-fault runs.
+	cfg soc.Config
+	job *CoreJob
+	opt ArenaOptions
+
 	// Golden observable trace and derived watchdog bounds.
 	golden    []obsEvent
 	hangLimit int64
 	floodCap  int
+
+	// Golden reference for the health check: the full result of the
+	// construction-time capture run.
+	goldenRes RunResult
+	goldenOK  bool
 
 	// Per-run monitor state (reset by Run).
 	capturing bool
@@ -53,9 +65,24 @@ type Arena struct {
 	diverged  bool
 	lastObs   int64
 
-	last       RunResult
-	runs       int64
-	earlyExits int64
+	// Failure-domain state. inRun is true while runOnce executes; finding
+	// it still set on the next Run means the previous run panicked out
+	// through the campaign's recover boundary. dead marks an arena whose
+	// rebuild failed: it serves every remaining site via fallbackRun.
+	inRun bool
+	dead  bool
+
+	// testPoison, when set (same-package tests only), runs after every
+	// Reset inside runOnce — the hook the quarantine tests use to corrupt
+	// post-Reset state.
+	testPoison func(*soc.SoC)
+
+	last         RunResult
+	runs         int64
+	earlyExits   int64
+	healthChecks int64
+	quarantines  int64
+	fallbackRuns int64
 }
 
 // obsEvent is one observable event: a completed data-side store of the core
@@ -100,17 +127,21 @@ func NewArena(cfg soc.Config, id int, job *CoreJob, budget int64, opt ArenaOptio
 	}
 	s.SealBaseline()
 
-	a := &Arena{s: s, id: id, entry: prog.Base, budget: budget}
+	a := &Arena{s: s, id: id, entry: prog.Base, budget: budget, cfg: cfg, job: job, opt: opt}
 	s.Cores[id].Core.SetStoreObserver(a.observe)
 
 	// Golden capture run: records the observable trace and calibrates the
 	// watchdog bounds. When it fails (the campaign will reject the golden
-	// anyway) early exit stays disabled and runs simply use the full budget.
+	// anyway) early exit stays disabled, runs simply use the full budget,
+	// and the health check has no reference to replay against.
 	a.capturing = true
-	_, ok := a.Run(fault.None)
+	_, ok, _ := a.runOnce(fault.None)
 	a.capturing = false
-	if ok && !opt.NoEarlyExit {
-		a.calibrate()
+	if ok {
+		a.goldenRes, a.goldenOK = a.last, true
+		if !opt.NoEarlyExit {
+			a.calibrate()
+		}
 	}
 	return a, nil
 }
@@ -167,9 +198,52 @@ func (a *Arena) observe(addr uint32, val uint64, size int) {
 // Run executes one fault run under plane p (fault.None for golden) and
 // reports the final signature plus whether the run completed cleanly. It is
 // the fault.RunFunc of this arena; each arena serves one worker goroutine.
+//
+// Run is also the arena's failure-domain boundary. A run that ends
+// anomalously — panicked out through the campaign's recover boundary, or
+// cut by a watchdog (early exit or budget exhaustion) — may have left state
+// behind that Reset cannot rewind, so before the verdict stands the arena
+// replays the golden run and requires the construction-time RunResult
+// exactly. A failed health check quarantines the arena: it is rebuilt from
+// scratch and the suspect site is re-run on a fresh SoC (legacy
+// rebuild-per-fault semantics), so one corrupt Reset can never silently
+// skew subsequent verdicts. If even the rebuild fails the arena is dead
+// and serves every remaining site via fresh-SoC runs.
 func (a *Arena) Run(p fault.Plane) (sig uint32, ok bool) {
+	if a.dead {
+		return a.fallbackRun(p)
+	}
+	if a.inRun {
+		// The previous run never returned: it panicked and the campaign's
+		// recover boundary caught it. Validate the arena before serving
+		// another site.
+		a.inRun = false
+		if !a.healthy() {
+			a.quarantine()
+			if a.dead {
+				return a.fallbackRun(p)
+			}
+		}
+	}
+	a.inRun = true
+	sig, ok, cut := a.runOnce(p)
+	a.inRun = false
+	if cut && !a.healthy() {
+		a.quarantine()
+		return a.fallbackRun(p)
+	}
+	return sig, ok
+}
+
+// runOnce executes one reset + plane-swap run. cut reports an anomalous
+// ending: a watchdog abort or budget exhaustion before the SoC drained
+// (wedged cores halt and drain normally, so they are not cut).
+func (a *Arena) runOnce(p fault.Plane) (sig uint32, ok, cut bool) {
 	s := a.s
 	s.Reset()
+	if a.testPoison != nil {
+		a.testPoison(s)
+	}
 	s.SetPlane(a.id, p)
 	s.Start(a.id, a.entry)
 	a.idx, a.count, a.diverged, a.lastObs = 0, 0, false, 0
@@ -205,7 +279,65 @@ func (a *Arena) Run(p fault.Plane) (sig uint32, ok bool) {
 		Issued2:   u.Core.Counter(fault.CntIssued2),
 		Instret:   u.Core.Counter(fault.CntInstret),
 	}
-	return a.last.Signature, a.last.OK
+	return a.last.Signature, a.last.OK, !done
+}
+
+// healthy replays the golden run and compares the full RunResult against
+// the construction-time capture — the same equivalence the
+// TestArenaResetMatchesFreshSoC family pins for normal runs, applied as an
+// online probe. Without a golden reference (capture failed) the check is
+// vacuous: the campaign rejects such goldens wholesale.
+func (a *Arena) healthy() (healthy bool) {
+	if !a.goldenOK {
+		return true
+	}
+	a.healthChecks++
+	saved := a.last
+	defer func() {
+		a.last = saved
+		if recover() != nil {
+			healthy = false
+		}
+	}()
+	_, ok, cut := a.runOnce(fault.None)
+	return ok && !cut && a.last == a.goldenRes
+}
+
+// quarantine retires the poisoned SoC and rebuilds the arena in place,
+// keeping the lifetime counters. A failed rebuild marks the arena dead.
+func (a *Arena) quarantine() {
+	runs, exits := a.runs, a.earlyExits
+	checks, quars, falls := a.healthChecks, a.quarantines+1, a.fallbackRuns
+	fresh, err := NewArena(a.cfg, a.id, a.job, a.budget, a.opt)
+	if err != nil {
+		a.dead = true
+		a.quarantines = quars
+		return
+	}
+	*a = *fresh
+	a.runs += runs
+	a.earlyExits += exits
+	a.healthChecks, a.quarantines, a.fallbackRuns = checks, quars, falls
+	// The copied SoC still notifies fresh's observer; re-point it at this
+	// arena so the monitor state it updates is the state Run consults.
+	a.s.Cores[a.id].Core.SetStoreObserver(a.observe)
+}
+
+// fallbackRun serves one site with legacy rebuild-per-fault semantics: a
+// fresh SoC, freshly assembled program and the full cycle budget. Used for
+// the site whose run poisoned the arena and for every site after the arena
+// died.
+func (a *Arena) fallbackRun(p fault.Plane) (sig uint32, ok bool) {
+	a.fallbackRuns++
+	c := a.cfg
+	c.Cores[a.id].Plane = p
+	var jobs [soc.NumCores]*CoreJob
+	jobs[a.id] = a.job
+	res, _, err := RunJobs(c, jobs, a.budget)
+	if err != nil || res[a.id] == nil {
+		return 0, false
+	}
+	return res[a.id].Signature, res[a.id].OK
 }
 
 // SoC exposes the underlying system (cache statistics, bus state) for
@@ -226,6 +358,75 @@ func (a *Arena) Runs() int64 { return a.runs }
 // before the full budget.
 func (a *Arena) EarlyExits() int64 { return a.earlyExits }
 
+// HealthChecks returns how many golden-replay health probes this arena ran.
+func (a *Arena) HealthChecks() int64 { return a.healthChecks }
+
+// Quarantines returns how many times this arena was rebuilt after a failed
+// health check.
+func (a *Arena) Quarantines() int64 { return a.quarantines }
+
+// FallbackRuns returns how many sites were served by fresh-SoC
+// rebuild-per-fault runs (quarantined sites, plus everything after the
+// arena died).
+func (a *Arena) FallbackRuns() int64 { return a.fallbackRuns }
+
+// Dead reports whether the arena gave up on reuse entirely (rebuild
+// failed) and now serves every site via fallback runs.
+func (a *Arena) Dead() bool { return a.dead }
+
+// CampaignOptions tunes RunCampaignOpts beyond the engine choice.
+type CampaignOptions struct {
+	// Workers is the worker-pool size; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Legacy selects the rebuild-per-fault reference engine.
+	Legacy bool
+	// Journal, when non-empty, is the path of the verdict journal.
+	// Combined with Resume, settled sites are folded in from the file;
+	// otherwise the file is created fresh (truncating any previous one).
+	Journal string
+	// Resume loads Journal (which must carry this campaign's fingerprint)
+	// and skips its settled sites.
+	Resume bool
+}
+
+// CampaignFingerprint content-addresses the campaign as a pure function:
+// the assembled program image and routine data tables, the ordered fault
+// universe, and the execution environment (core, budget, SoC configuration
+// with replayed traffic). Two campaigns with equal fingerprints compute
+// identical reports, which is what makes journaled verdicts transferable
+// across process restarts.
+func CampaignFingerprint(cfg soc.Config, id int, job *CoreJob, sites []fault.Site, budget int64) (fault.JournalHeader, error) {
+	prog, err := buildProgram(job)
+	if err != nil {
+		return fault.JournalHeader{}, err
+	}
+	ph := fnv.New64a()
+	fmt.Fprintf(ph, "base %08x:", prog.Base)
+	for _, w := range prog.Words {
+		fmt.Fprintf(ph, "%08x", w)
+	}
+	for _, r := range job.routines() {
+		fmt.Fprintf(ph, "|data %08x:", r.DataBase)
+		for _, w := range r.DataWords {
+			fmt.Fprintf(ph, "%08x", w)
+		}
+	}
+	eh := fnv.New64a()
+	for k := 0; k < soc.NumCores; k++ {
+		// Normalise exactly like NewArena/fallbackRun: only core id is
+		// active and planes are per-run state, not environment.
+		cfg.Cores[k].Active = k == id
+		cfg.Cores[k].Plane = nil
+	}
+	fmt.Fprintf(eh, "core %d budget %d cfg %+v", id, budget, cfg)
+	return fault.JournalHeader{
+		Program:  fmt.Sprintf("%016x", ph.Sum64()),
+		Universe: fault.HashSites(sites),
+		Env:      fmt.Sprintf("%016x", eh.Sum64()),
+		Sites:    len(sites),
+	}, nil
+}
+
 // RunCampaign fault-simulates job on core id for every site, in the replay
 // environment cfg with the given per-run cycle budget — the shared engine
 // dispatch behind experiments campaigns and cmd/faultsim. legacy selects
@@ -234,7 +435,33 @@ func (a *Arena) EarlyExits() int64 { return a.earlyExits }
 // Arena. Both engines produce identical reports. workers <= 0 uses
 // GOMAXPROCS.
 func RunCampaign(cfg soc.Config, id int, job *CoreJob, sites []fault.Site, budget int64, workers int, legacy bool) (fault.Report, error) {
-	if legacy {
+	return RunCampaignOpts(cfg, id, job, sites, budget, CampaignOptions{Workers: workers, Legacy: legacy})
+}
+
+// RunCampaignOpts is RunCampaign with journaling: verdicts stream to an
+// append-only journal as they settle, and a resumed campaign skips the
+// sites the journal already settles — producing a report bit-identical to
+// the uninterrupted run.
+func RunCampaignOpts(cfg soc.Config, id int, job *CoreJob, sites []fault.Site, budget int64, opt CampaignOptions) (fault.Report, error) {
+	var simOpt fault.SimOptions
+	if opt.Journal != "" {
+		header, err := CampaignFingerprint(cfg, id, job, sites, budget)
+		if err != nil {
+			return fault.Report{}, err
+		}
+		var j *fault.Journal
+		if opt.Resume {
+			j, err = fault.ResumeJournal(opt.Journal, header)
+		} else {
+			j, err = fault.CreateJournal(opt.Journal, header)
+		}
+		if err != nil {
+			return fault.Report{}, err
+		}
+		defer j.Close()
+		simOpt.Journal = j
+	}
+	if opt.Legacy {
 		runOne := func(p fault.Plane) (uint32, bool) {
 			c := cfg
 			for k := 0; k < soc.NumCores; k++ {
@@ -249,12 +476,16 @@ func RunCampaign(cfg soc.Config, id int, job *CoreJob, sites []fault.Site, budge
 			}
 			return res[id].Signature, res[id].OK
 		}
-		return fault.Simulate(sites, runOne, workers), nil
+		runners := make([]fault.RunFunc, fault.Workers(opt.Workers, len(sites)))
+		for i := range runners {
+			runners[i] = runOne
+		}
+		return fault.SimulateOpts(sites, runners, simOpt)
 	}
 	// Arenas are independent, and each construction simulates one golden
 	// capture run — build them concurrently so campaign startup costs one
 	// golden-run latency instead of one per worker.
-	n := fault.Workers(workers, len(sites))
+	n := fault.Workers(opt.Workers, len(sites))
 	arenas := make([]*Arena, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -273,5 +504,5 @@ func RunCampaign(cfg soc.Config, id int, job *CoreJob, sites []fault.Site, budge
 		}
 		runners[w] = arenas[w].Run
 	}
-	return fault.SimulateWith(sites, runners), nil
+	return fault.SimulateOpts(sites, runners, simOpt)
 }

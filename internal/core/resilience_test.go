@@ -1,0 +1,232 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/soc"
+)
+
+// poisonData returns a testPoison hook that corrupts the first word of
+// job's data table — post-Reset state the golden replay is guaranteed to
+// read, so a health check against the poisoned arena must see a divergent
+// result.
+func poisonData(job *CoreJob) func(*soc.SoC) {
+	return func(s *soc.SoC) {
+		off := job.Routine.DataBase - mem.SRAMBase
+		mem.WriteWord(s.SRAM, off, mem.ReadWord(s.SRAM, off)^0xDEADBEEF)
+	}
+}
+
+// hangSite stalls the pipeline forever (load-use request stuck on), so its
+// run is always watchdog-cut — the trigger for the arena health check.
+var hangSite = fault.Site{Unit: fault.UnitHDCU, Signal: fault.SigCtl, Path: fault.CtlLoadUse, Stuck: 1}
+
+// TestArenaQuarantineRecoversPoisonedReset extends the
+// TestArenaResetMatchesFreshSoC family with a deliberately corrupted
+// arena: the poison hook trashes post-Reset state, the watchdog-cut run's
+// health check detects it, the arena is quarantined and rebuilt, and the
+// suspect site's verdict comes from a fresh SoC — matching the legacy
+// engine exactly.
+func TestArenaQuarantineRecoversPoisonedReset(t *testing.T) {
+	replayCfg, job, budget := arenaEnv(t, 2, false)
+	wantRes, _ := freshRun(t, replayCfg, job, budget, nil)
+	freshHang, _ := freshRun(t, replayCfg, job, budget, fault.PlaneFor(hangSite))
+
+	a, err := NewArena(replayCfg, 0, job, budget, ArenaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Control: a cut run on a healthy arena passes its health check and no
+	// quarantine happens.
+	sig, ok := a.Run(fault.PlaneFor(hangSite))
+	if ok != freshHang.OK || (ok && sig != freshHang.Signature) {
+		t.Fatalf("healthy arena hang verdict (%08x, %v) != fresh (%08x, %v)",
+			sig, ok, freshHang.Signature, freshHang.OK)
+	}
+	if a.HealthChecks() != 1 || a.Quarantines() != 0 {
+		t.Fatalf("healthy cut run: checks=%d quarantines=%d, want 1/0",
+			a.HealthChecks(), a.Quarantines())
+	}
+
+	// Poison the arena. The next cut run must fail its health check,
+	// quarantine the arena, and settle the site on a fresh SoC.
+	a.testPoison = poisonData(job)
+	sig, ok = a.Run(fault.PlaneFor(hangSite))
+	if a.Quarantines() != 1 {
+		t.Fatalf("poisoned arena not quarantined (quarantines=%d)", a.Quarantines())
+	}
+	if a.Dead() {
+		t.Fatal("rebuild failed")
+	}
+	if a.FallbackRuns() != 1 {
+		t.Errorf("suspect site not served by fallback (fallbacks=%d)", a.FallbackRuns())
+	}
+	if ok != freshHang.OK || (ok && sig != freshHang.Signature) {
+		t.Errorf("quarantined site verdict (%08x, %v) != fresh-SoC (%08x, %v)",
+			sig, ok, freshHang.Signature, freshHang.OK)
+	}
+	if a.testPoison != nil {
+		t.Error("rebuild kept the poison hook")
+	}
+
+	// The rebuilt arena is healthy again: golden runs reproduce the fresh
+	// result exactly, monitor wiring included.
+	for i := 0; i < 2; i++ {
+		sig, ok = a.Run(fault.None)
+		if sig != wantRes.Signature || !ok {
+			t.Fatalf("rebuilt arena golden %08x ok=%v, fresh %08x", sig, ok, wantRes.Signature)
+		}
+		if got := a.Last(); got != wantRes {
+			t.Errorf("rebuilt arena result %+v != fresh %+v", got, wantRes)
+		}
+	}
+}
+
+// TestArenaPanickedRunHealthCheck pins the panic leg of the failure
+// domain: a run that panics out of the arena (caught by the campaign's
+// recover boundary) leaves inRun set, and the next Run health-checks the
+// arena before serving its site — quarantining it when the panic left
+// corrupt state behind.
+func TestArenaPanickedRunHealthCheck(t *testing.T) {
+	replayCfg, job, budget := arenaEnv(t, 1, false)
+	wantRes, _ := freshRun(t, replayCfg, job, budget, nil)
+
+	a, err := NewArena(replayCfg, 0, job, budget, ArenaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First call panics mid-run (the simulated defect); every later call
+	// poisons post-Reset state (the mess the defect left behind).
+	calls := 0
+	a.testPoison = func(s *soc.SoC) {
+		calls++
+		if calls == 1 {
+			panic("injected arena defect")
+		}
+		poisonData(job)(s)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("injected panic did not propagate")
+			}
+		}()
+		a.Run(fault.None)
+	}()
+
+	sig, ok := a.Run(fault.None)
+	if a.HealthChecks() == 0 {
+		t.Error("no health check after a panicked run")
+	}
+	if a.Quarantines() != 1 {
+		t.Fatalf("poisoned arena not quarantined after panic (quarantines=%d)", a.Quarantines())
+	}
+	if sig != wantRes.Signature || !ok {
+		t.Errorf("post-quarantine golden %08x ok=%v, want %08x", sig, ok, wantRes.Signature)
+	}
+}
+
+// campaignSites returns a small deterministic universe for campaign-level
+// tests, including the hang site so the cut path is exercised.
+func campaignSites() []fault.Site {
+	sites := fault.ForwardingLogic(fault.ListOptions{DataBits: 32, BitStep: 8})
+	fault.SortSites(sites)
+	sites = fault.Sample(sites, 29)
+	return append(sites, hangSite)
+}
+
+// TestCampaignJournalResumeBitIdentical is the acceptance pin for the
+// resume primitive at the engine level: a journaled campaign killed
+// mid-append (journal truncated to a prefix plus a torn line) and resumed
+// produces a fault.Report bit-identical to the uninterrupted run.
+func TestCampaignJournalResumeBitIdentical(t *testing.T) {
+	replayCfg, job, budget := arenaEnv(t, 1, false)
+	sites := campaignSites()
+	dir := t.TempDir()
+	fullPath := filepath.Join(dir, "full.journal")
+	killedPath := filepath.Join(dir, "killed.journal")
+
+	full, err := RunCampaignOpts(replayCfg, 0, job, sites, budget,
+		CampaignOptions{Workers: 2, Journal: fullPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Forge the killed journal: header, golden, three settled verdicts,
+	// one torn mid-append.
+	blob, err := os.ReadFile(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(blob), "\n")
+	if len(lines) < 7 {
+		t.Fatalf("journal too short: %d lines", len(lines))
+	}
+	partial := strings.Join(lines[:5], "") + lines[5][:len(lines[5])/2]
+	if err := os.WriteFile(killedPath, []byte(partial), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := RunCampaignOpts(replayCfg, 0, job, sites, budget,
+		CampaignOptions{Workers: 2, Journal: killedPath, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		t.Fatalf("resumed report differs from uninterrupted:\nfull    %+v\nresumed %+v", full, resumed)
+	}
+
+	// Both engines agree under journaling too: a legacy resume of the same
+	// arena-written journal reproduces the identical report.
+	legacy, err := RunCampaignOpts(replayCfg, 0, job, sites, budget,
+		CampaignOptions{Workers: 2, Legacy: true, Journal: killedPath, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, legacy) {
+		t.Fatal("legacy resume differs from arena report")
+	}
+}
+
+// TestCampaignJournalRefusesForeignFingerprint pins that a journal written
+// by one campaign cannot be resumed by a different one: any change to the
+// program, universe, or environment changes the fingerprint.
+func TestCampaignJournalRefusesForeignFingerprint(t *testing.T) {
+	replayCfg, job, budget := arenaEnv(t, 1, false)
+	sites := campaignSites()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.journal")
+
+	if _, err := RunCampaignOpts(replayCfg, 0, job, sites, budget,
+		CampaignOptions{Workers: 2, Journal: path}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different budget -> different environment hash.
+	if _, err := RunCampaignOpts(replayCfg, 0, job, sites, budget+1,
+		CampaignOptions{Workers: 2, Journal: path, Resume: true}); err == nil {
+		t.Error("budget change resumed a foreign journal")
+	}
+	// Different universe.
+	if _, err := RunCampaignOpts(replayCfg, 0, job, sites[:len(sites)-1], budget,
+		CampaignOptions{Workers: 2, Journal: path, Resume: true}); err == nil {
+		t.Error("universe change resumed a foreign journal")
+	}
+
+	// Identity resume works and reruns nothing (the report is complete).
+	rep, err := RunCampaignOpts(replayCfg, 0, job, sites, budget,
+		CampaignOptions{Workers: 2, Journal: path, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != len(sites) {
+		t.Errorf("resumed report total %d, want %d", rep.Total, len(sites))
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/bus"
@@ -37,6 +38,11 @@ type Options struct {
 	Workers int
 	// Engine selects the campaign engine (default EngineArena).
 	Engine Engine
+	// JournalDir, when non-empty, journals every campaign's verdicts to a
+	// content-addressed file in this directory and resumes from whatever
+	// those files already settle — an interrupted table sweep re-runs only
+	// unsettled sites (see internal/fault's Journal).
+	JournalDir string
 }
 
 func (o Options) bitStep() int {
@@ -167,15 +173,17 @@ func tableIIScenarios(quick bool) []scenarioSpec {
 // and bus traffic, then fault-simulates the core under test against the
 // replayed traffic.
 type campaign struct {
-	underTest int
-	cfg       soc.Config // configuration for the golden (full) run
-	jobs      [soc.NumCores]*core.CoreJob
-	workers   int
-	engine    Engine
+	underTest  int
+	cfg        soc.Config // configuration for the golden (full) run
+	jobs       [soc.NumCores]*core.CoreJob
+	workers    int
+	engine     Engine
+	journalDir string
 }
 
 func newCampaign(o Options, underTest int, cfg soc.Config, jobs [soc.NumCores]*core.CoreJob) campaign {
-	return campaign{underTest: underTest, cfg: cfg, jobs: jobs, workers: o.Workers, engine: o.Engine}
+	return campaign{underTest: underTest, cfg: cfg, jobs: jobs,
+		workers: o.Workers, engine: o.Engine, journalDir: o.JournalDir}
 }
 
 func (c campaign) run(sites []fault.Site) (fault.Report, error) {
@@ -199,8 +207,18 @@ func (c campaign) run(sites []fault.Site) (fault.Report, error) {
 	cfg := c.cfg
 	cfg.Replay = traffic
 
-	rep, err := core.RunCampaign(cfg, c.underTest, c.jobs[c.underTest], sites,
-		budget, c.workers, c.engine == EngineLegacy)
+	opt := core.CampaignOptions{Workers: c.workers, Legacy: c.engine == EngineLegacy}
+	if c.journalDir != "" {
+		// One content-addressed journal per campaign: resuming an
+		// interrupted sweep settles finished campaigns entirely from disk.
+		header, err := core.CampaignFingerprint(cfg, c.underTest, c.jobs[c.underTest], sites, budget)
+		if err != nil {
+			return fault.Report{}, err
+		}
+		opt.Journal = filepath.Join(c.journalDir, "campaign-"+header.Key()+".journal")
+		opt.Resume = true
+	}
+	rep, err := core.RunCampaignOpts(cfg, c.underTest, c.jobs[c.underTest], sites, budget, opt)
 	if err != nil {
 		return fault.Report{}, err
 	}

@@ -3,6 +3,7 @@ package fault
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -20,21 +21,42 @@ type RunFunc func(p Plane) (sig uint32, ok bool)
 // SiteResult records one fault's outcome. Crashed runs record signature 0:
 // the residual register value of a wedged or timed-out run is noise that
 // depends on where the watchdog fired, and canonicalising it keeps reports
-// comparable across campaign engines.
+// comparable across campaign engines. A Panicked run is the canonical
+// verdict for a simulator panic caught at the per-run recover boundary:
+// signature 0, Crashed, Detected — the fault provoked behaviour the model
+// itself cannot represent. The panic message and stack live in the
+// Report's Anomalies, not here, so SiteResult stays ==-comparable and
+// bit-identical across resumed campaigns.
 type SiteResult struct {
 	Site      Site
 	Detected  bool
 	Signature uint32
 	Crashed   bool // run wedged or timed out (counted as detected)
+	Panicked  bool // run panicked; caught at the per-run recover boundary
 }
 
-// Report summarises a campaign.
+// Anomaly is the diagnostic record of one caught panic. Index is the site
+// index in Results, or -1 for the golden run.
+type Anomaly struct {
+	Index int
+	Site  Site
+	Msg   string
+	Stack string
+}
+
+// Report summarises a campaign. Panics counts sites whose verdict is
+// Panicked; Anomalies carries their diagnostics in site order (diagnostic
+// only — resumed campaigns reproduce verdicts bit-identically, but a
+// journaled stack is reported by the run that caught it, so equality
+// checks between reports should compare Results and counts).
 type Report struct {
-	Golden   uint32
-	GoldenOK bool
-	Total    int
-	Detected int
-	Results  []SiteResult
+	Golden    uint32
+	GoldenOK  bool
+	Total     int
+	Detected  int
+	Panics    int
+	Results   []SiteResult
+	Anomalies []Anomaly `json:",omitempty"`
 }
 
 // Coverage returns the fault coverage in percent.
@@ -85,8 +107,12 @@ func (r Report) Undetected() []Site {
 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("%d/%d faults detected, FC %.2f%% (golden %08x)",
+	s := fmt.Sprintf("%d/%d faults detected, FC %.2f%% (golden %08x)",
 		r.Detected, r.Total, r.Coverage(), r.Golden)
+	if r.Panics > 0 {
+		s += fmt.Sprintf(", %d panicked (isolated)", r.Panics)
+	}
+	return s
 }
 
 // Workers resolves a worker-count option: n when positive, else GOMAXPROCS,
@@ -126,15 +152,66 @@ func Simulate(sites []Site, run RunFunc, workers int) Report {
 // claimed slots of Results, with the WaitGroup providing the final
 // happens-before edge to the caller.
 func SimulateWith(sites []Site, runners []RunFunc) Report {
-	golden, goldenOK := runners[0](None)
+	rep, _ := SimulateOpts(sites, runners, SimOptions{})
+	return rep
+}
+
+// SimOptions tunes SimulateOpts beyond the defaults.
+type SimOptions struct {
+	// Journal, when non-nil, supplies already-settled verdicts (those
+	// sites are not re-run) and records every newly settled one. The
+	// caller owns Close.
+	Journal *Journal
+}
+
+// safeRun invokes run behind the per-run recover boundary. A panic is
+// returned as a message/stack pair instead of unwinding into the worker
+// pool.
+func safeRun(run RunFunc, p Plane) (sig uint32, ok, panicked bool, msg, stack string) {
+	defer func() {
+		if v := recover(); v != nil {
+			sig, ok, panicked = 0, false, true
+			msg = fmt.Sprint(v)
+			stack = string(debug.Stack())
+		}
+	}()
+	sig, ok = run(p)
+	return
+}
+
+// SimulateOpts is the full-control campaign dispatcher behind Simulate and
+// SimulateWith. Every run — golden included — executes behind a recover
+// boundary: a panicking fault run settles the canonical Panicked verdict
+// for its site and the pool moves on; a panicking golden run yields
+// GoldenOK=false. The only errors are journal I/O or consistency failures,
+// reported after the campaign state they interrupt is already in rep.
+func SimulateOpts(sites []Site, runners []RunFunc, opt SimOptions) (Report, error) {
+	j := opt.Journal
+	golden, goldenOK, gpan, gmsg, gstack := safeRun(runners[0], None)
 	rep := Report{
 		Golden:   golden,
 		GoldenOK: goldenOK,
 		Total:    len(sites),
 		Results:  make([]SiteResult, len(sites)),
 	}
+	if j != nil {
+		if err := j.BindGolden(golden, goldenOK); err != nil {
+			return rep, err
+		}
+	}
+	msgs := make([]string, len(sites))
+	stacks := make([]string, len(sites))
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	for _, run := range runners {
 		wg.Add(1)
 		go func(run RunFunc) {
@@ -145,26 +222,52 @@ func SimulateWith(sites []Site, runners []RunFunc) Report {
 					return
 				}
 				site := sites[idx]
-				sig, ok := run(PlaneFor(site))
+				if j != nil {
+					if res, msg, stack, settled := j.Settled(idx); settled {
+						res.Site = site
+						rep.Results[idx] = res
+						msgs[idx], stacks[idx] = msg, stack
+						continue
+					}
+				}
+				sig, ok, panicked, msg, stack := safeRun(run, PlaneFor(site))
 				if !ok {
 					sig = 0 // canonical crash signature
 				}
-				rep.Results[idx] = SiteResult{
+				res := SiteResult{
 					Site:      site,
 					Signature: sig,
 					Crashed:   !ok,
+					Panicked:  panicked,
 					Detected:  !ok || sig != golden,
+				}
+				rep.Results[idx] = res
+				msgs[idx], stacks[idx] = msg, stack
+				if j != nil {
+					if err := j.Record(idx, res, msg, stack); err != nil {
+						setErr(err)
+						return
+					}
 				}
 			}
 		}(run)
 	}
 	wg.Wait()
-	for _, res := range rep.Results {
+	if gpan {
+		rep.Anomalies = append(rep.Anomalies, Anomaly{Index: -1, Msg: gmsg, Stack: gstack})
+	}
+	for i, res := range rep.Results {
 		if res.Detected {
 			rep.Detected++
 		}
+		if res.Panicked {
+			rep.Panics++
+			rep.Anomalies = append(rep.Anomalies, Anomaly{
+				Index: i, Site: res.Site, Msg: msgs[i], Stack: stacks[i],
+			})
+		}
 	}
-	return rep
+	return rep, firstErr
 }
 
 // MinMax summarises coverage across scenario campaigns (the paper's
