@@ -123,7 +123,11 @@ func BenchmarkFigure2(b *testing.B) {
 }
 
 // BenchmarkDelayFaultExtension regenerates the transition-fault campaign
-// (the paper's future-work note implemented).
+// (the paper's future-work note implemented). Campaigns run with golden-run
+// checkpointing on by default: Transition runs skip the golden prefix
+// before their site's first activating edge, never-activating sites are
+// served the golden verdict outright, and exactly-re-converged runs jump
+// over provably-golden windows.
 func BenchmarkDelayFaultExtension(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.DelayFaults(quick)
@@ -132,6 +136,47 @@ func BenchmarkDelayFaultExtension(b *testing.B) {
 		}
 		b.ReportMetric(rows[0].MaxFC-rows[0].MinFC, "coreA-delay-FC-spread-pts")
 		b.ReportMetric(rows[0].CacheFC, "coreA-delay-cache-FC-pct")
+	}
+}
+
+// BenchmarkCheckpointSpeedup times the quick transition-fault sweep under
+// the legacy engine, the arena engine with checkpointing disabled, and the
+// default checkpointed arena, verifies all three produce identical rows,
+// and reports the wall-clock speedups. The PR acceptance bar is >= 3x over
+// the legacy reference with checkpointing enabled; the ckpt-vs-plain-arena
+// metric isolates the checkpointing machinery's own contribution (bounded
+// by the detected-fault runs, whose diverged suffixes every sound engine
+// must simulate).
+func BenchmarkCheckpointSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		legacyRows, err := experiments.DelayFaults(experiments.Options{Quick: true, Engine: experiments.EngineLegacy})
+		if err != nil {
+			b.Fatal(err)
+		}
+		legacy := time.Since(t0)
+
+		t0 = time.Now()
+		plainRows, err := experiments.DelayFaults(experiments.Options{Quick: true, CheckpointInterval: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain := time.Since(t0)
+
+		t0 = time.Now()
+		ckptRows, err := experiments.DelayFaults(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ckpt := time.Since(t0)
+
+		if !reflect.DeepEqual(legacyRows, ckptRows) || !reflect.DeepEqual(plainRows, ckptRows) {
+			b.Fatalf("engines disagree:\nlegacy %+v\nplain  %+v\nckpt   %+v",
+				legacyRows, plainRows, ckptRows)
+		}
+		b.ReportMetric(legacy.Seconds()/ckpt.Seconds(), "speedup-vs-legacy")
+		b.ReportMetric(plain.Seconds()/ckpt.Seconds(), "ckpt-vs-plain-arena")
+		b.ReportMetric(ckpt.Seconds(), "ckpt-s")
 	}
 }
 

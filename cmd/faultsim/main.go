@@ -20,7 +20,9 @@ func main() {
 	strategyName := flag.String("strategy", "cache", "execution strategy: plain, cache or tcm")
 	multicore := flag.Bool("multicore", true, "replay 3-core bus contention around the core under test")
 	bitStep := flag.Int("bitstep", 1, "enumerate every Nth data bit (campaign reduction)")
+	faults := flag.String("faults", "stuckat", "fault model: stuckat or transition (forwarding routine only)")
 	engine := flag.String("engine", "arena", "campaign engine: arena (reusable SoCs, early exit) or legacy (rebuild per fault)")
+	ckptInterval := flag.Int64("checkpoint-interval", 0, "arena golden-run checkpoint interval in cycles (0 = auto, negative = off)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	journal := flag.String("journal", "", "append-only verdict journal file (line-delimited JSON; survives SIGKILL)")
 	resume := flag.Bool("resume", false, "resume from -journal: skip settled sites and reproduce the bit-identical report")
@@ -74,6 +76,18 @@ func main() {
 	case "icu":
 		sites = fault.ICU(opts)
 	}
+	switch *faults {
+	case "stuckat":
+	case "transition":
+		if *routineName != "forwarding" {
+			fmt.Fprintln(os.Stderr, "faultsim: -faults transition requires -routine forwarding")
+			os.Exit(2)
+		}
+		sites = fault.TransitionFaults(opts)
+	default:
+		fmt.Fprintf(os.Stderr, "faultsim: unknown fault model %q\n", *faults)
+		os.Exit(2)
+	}
 	fault.SortSites(sites)
 
 	// Environment: the other cores run the same routine for contention.
@@ -118,10 +132,11 @@ func main() {
 
 	rep, err := core.RunCampaignOpts(replayCfg, *coreID, jobs[*coreID], sites,
 		budget, core.CampaignOptions{
-			Workers: *workers,
-			Legacy:  *engine == "legacy",
-			Journal: *journal,
-			Resume:  *resume,
+			Workers:            *workers,
+			Legacy:             *engine == "legacy",
+			Journal:            *journal,
+			Resume:             *resume,
+			CheckpointInterval: *ckptInterval,
 		})
 	fail(err)
 	fmt.Printf("routine=%s core=%c strategy=%s multicore=%v engine=%s\n",

@@ -104,6 +104,48 @@ func (b *Bus) Reset() {
 // Cycle returns the current bus cycle count.
 func (b *Bus) Cycle() int64 { return b.cycle }
 
+// State is an opaque snapshot of the bus's dynamic state — in-flight
+// requests, arbitration position and statistics. Attachments (recorder,
+// coverage) are not part of it.
+type State struct {
+	reqs      []request
+	stats     []Stats
+	cycle     int64
+	owner     int
+	remaining int
+	rrNext    int
+	pending   uint64
+	totalBusy int64
+}
+
+// Snapshot captures the bus's dynamic state mid-run. The request slots use
+// fixed line-sized buffers, so a slice copy is a deep copy.
+func (b *Bus) Snapshot() *State {
+	return &State{
+		reqs:      append([]request(nil), b.reqs...),
+		stats:     append([]Stats(nil), b.stats...),
+		cycle:     b.cycle,
+		owner:     b.owner,
+		remaining: b.remaining,
+		rrNext:    b.rrNext,
+		pending:   b.pending,
+		totalBusy: b.totalBusy,
+	}
+}
+
+// Restore rewinds the bus to a snapshot taken from an identically built bus
+// (same master count and regions). Attachments are left as they are.
+func (b *Bus) Restore(st *State) {
+	copy(b.reqs, st.reqs)
+	copy(b.stats, st.stats)
+	b.cycle = st.cycle
+	b.owner = st.owner
+	b.remaining = st.remaining
+	b.rrNext = st.rrNext
+	b.pending = st.pending
+	b.totalBusy = st.totalBusy
+}
+
 // SetCoverage attaches a coverage map (nil detaches). Unlike the recorder,
 // the attachment survives Reset — coverage spans many runs of one bus.
 func (b *Bus) SetCoverage(m *coverage.Map) { b.cov = m }

@@ -90,6 +90,15 @@ func NewReplayer(port *Port, log []TrafficEvent) *Replayer {
 // mistaken for a replayed one).
 func (r *Replayer) Reset() { r.next = 0 }
 
+// Pos returns the replay cursor (number of events already submitted). The
+// in-flight request, if any, lives in the bus's request slot and is covered
+// by Bus.Snapshot, so the cursor is the replayer's whole dynamic state.
+func (r *Replayer) Pos() int { return r.next }
+
+// Seek rewinds or advances the replay cursor to a position previously
+// returned by Pos (checkpoint restore).
+func (r *Replayer) Seek(n int) { r.next = n }
+
 // Step advances the replayer by one cycle; call once per bus cycle after
 // Bus.Step. It is stepped once per simulated cycle for the whole campaign,
 // so it polls its request slot directly instead of going through the port

@@ -286,6 +286,56 @@ func (c *Cache) Reset() {
 	c.sinceInv = false
 }
 
+// State is an opaque snapshot of a cache's dynamic state (see Snapshot).
+type State struct {
+	lines    []line // sets×ways flattened; invalid lines are zero entries
+	tick     uint64
+	stats    Stats
+	sinceInv bool
+}
+
+// Snapshot captures the tag/data array, LRU clock and statistics mid-run.
+// Invalid lines are recorded as zero entries: their residual tag and data
+// bytes are unobservable (every lookup checks valid first), and omitting
+// them makes snapshots of behaviourally identical caches compare equal
+// regardless of what earlier runs left in the arrays.
+func (c *Cache) Snapshot() *State {
+	st := &State{tick: c.tick, stats: c.stats, sinceInv: c.sinceInv}
+	st.lines = make([]line, 0, len(c.sets)*c.cfg.Ways)
+	for _, ways := range c.sets {
+		for _, ln := range ways {
+			if ln.valid {
+				ln.data = append([]byte(nil), ln.data...)
+			} else {
+				ln = line{}
+			}
+			st.lines = append(st.lines, ln)
+		}
+	}
+	return st
+}
+
+// Restore rewinds the cache to a snapshot taken from an identically
+// configured cache. Invalid lines get zeroed metadata; their data bytes are
+// left as they are (unobservable, see Snapshot).
+func (c *Cache) Restore(st *State) {
+	i := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			src := &st.lines[i]
+			i++
+			dst := &c.sets[s][w]
+			dst.valid, dst.dirty, dst.tag, dst.age = src.valid, src.dirty, src.tag, src.age
+			if src.valid {
+				copy(dst.data, src.data)
+			}
+		}
+	}
+	c.tick = st.tick
+	c.stats = st.stats
+	c.sinceInv = st.sinceInv
+}
+
 // ResidentLines counts valid lines (used in tests and by the strategy
 // checker to verify a routine fits).
 func (c *Cache) ResidentLines() int {

@@ -417,9 +417,92 @@ func (t *TCMClient) TryAbort() bool {
 // Reset implements Client.
 func (t *TCMClient) Reset() { t.pending = false }
 
+// ClientState is an opaque snapshot of one concrete client's in-flight
+// state (Ctrl, Bypass or TCMClient — the superset of their dynamic fields),
+// captured by Save and reinstated by Load. Fields that are dead in the
+// captured state (an idle state machine's access parameters, an invalid
+// prefetch buffer's contents) are canonicalised to zero, so snapshots of
+// behaviourally identical clients compare equal regardless of what earlier
+// runs left behind.
+type ClientState struct {
+	state    ctrlState
+	addr     uint32
+	write    bool
+	wdata    uint64
+	size     int
+	rdata    uint64
+	bufValid bool
+	bufAddr  uint32
+	buf      [mem.LineBytes]byte
+	pending  bool
+}
+
+// Stateful is implemented by clients whose in-flight state can be
+// checkpointed. The bus request a busy client may have outstanding lives in
+// the bus's request slot and is covered by bus.Bus.Snapshot.
+type Stateful interface {
+	Save() ClientState
+	Load(ClientState)
+}
+
+// Save implements Stateful.
+func (c *Ctrl) Save() ClientState {
+	st := ClientState{state: c.state}
+	if c.state != ctrlIdle {
+		st.addr, st.write, st.wdata, st.size, st.rdata = c.addr, c.write, c.wdata, c.size, c.rdata
+	}
+	return st
+}
+
+// Load implements Stateful.
+func (c *Ctrl) Load(st ClientState) {
+	c.state = st.state
+	c.addr, c.write, c.wdata, c.size, c.rdata = st.addr, st.write, st.wdata, st.size, st.rdata
+}
+
+// Save implements Stateful.
+func (b *Bypass) Save() ClientState {
+	st := ClientState{state: b.state, bufValid: b.bufValid}
+	if b.state != ctrlIdle {
+		st.addr, st.size, st.write = b.addr, b.size, b.write
+	}
+	if b.bufValid {
+		st.bufAddr, st.buf = b.bufAddr, b.buf
+	}
+	return st
+}
+
+// Load implements Stateful.
+func (b *Bypass) Load(st ClientState) {
+	b.state = st.state
+	b.addr, b.size, b.write = st.addr, st.size, st.write
+	b.bufValid, b.bufAddr, b.buf = st.bufValid, st.bufAddr, st.buf
+}
+
+// Save implements Stateful. A TCM access never spans cycles, but the
+// Start/Tick pair may straddle a snapshot boundary, so pending state is
+// captured too.
+func (t *TCMClient) Save() ClientState {
+	st := ClientState{pending: t.pending}
+	if t.pending {
+		st.addr, st.write, st.wdata, st.size = t.addr, t.write, t.wdata, t.size
+	}
+	return st
+}
+
+// Load implements Stateful.
+func (t *TCMClient) Load(st ClientState) {
+	t.pending = st.pending
+	t.addr, t.write, t.wdata, t.size = st.addr, st.write, st.wdata, st.size
+}
+
 // Interface conformance checks.
 var (
 	_ Client = (*Ctrl)(nil)
 	_ Client = (*Bypass)(nil)
 	_ Client = (*TCMClient)(nil)
+
+	_ Stateful = (*Ctrl)(nil)
+	_ Stateful = (*Bypass)(nil)
+	_ Stateful = (*TCMClient)(nil)
 )

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"reflect"
 	"sync"
 
 	"repro/internal/fault"
@@ -58,12 +59,27 @@ type Arena struct {
 	goldenRes RunResult
 	goldenOK  bool
 
+	// Checkpointing state (nil/empty when ArenaOptions.CheckpointInterval
+	// is zero or the golden capture failed). probe and ckpts are read-only
+	// after construction and may be shared across arenas (see
+	// newArenaClone); soc.State snapshots are plain data restorable into
+	// any SoC built from the same config and programs.
+	probe *fault.MuxProbe
+	ckpts []checkpoint
+
 	// Per-run monitor state (reset by Run).
 	capturing bool
 	idx       int
 	count     int
 	diverged  bool
 	lastObs   int64
+
+	// Per-run fast-forward state: the checkpoints past the running
+	// Transition site's last activating edge, against which stepRun
+	// compares the live SoC for exact re-convergence with the golden run
+	// (empty when the run is not eligible).
+	ffCks   []checkpoint
+	ffPlane *fault.Transition
 
 	// Failure-domain state. inRun is true while runOnce executes; finding
 	// it still set on the next Run means the previous run panicked out
@@ -83,6 +99,21 @@ type Arena struct {
 	healthChecks int64
 	quarantines  int64
 	fallbackRuns int64
+	ckptRuns     int64
+	goldenServed int64
+	converged    int64
+	jumps        int64
+}
+
+// checkpoint is one golden-run restore point: the full SoC state at cycle,
+// plus the arena monitor and Transition edge history a run restored there
+// must resume with.
+type checkpoint struct {
+	cycle   int64
+	state   *soc.State
+	obsIdx  int
+	lastObs int64
+	hist    fault.MuxHistory
 }
 
 // obsEvent is one observable event: a completed data-side store of the core
@@ -101,6 +132,14 @@ type ArenaOptions struct {
 	// NoEarlyExit disables the divergence watchdogs; every run then uses
 	// the full cycle budget exactly like the legacy engine.
 	NoEarlyExit bool
+	// CheckpointInterval > 0 snapshots the golden capture run every that
+	// many cycles and starts each Transition-fault run from the last
+	// checkpoint before the site's first activating edge instead of
+	// replaying the golden prefix from cycle 0 (sites that never activate
+	// are served the golden verdict outright). Stuck-at sites always take
+	// the full replay. Zero disables checkpointing; campaigns enable it by
+	// default (see CampaignOptions.CheckpointInterval).
+	CheckpointInterval int64
 }
 
 // earlySlack mirrors the constant term of the legacy watchdog budget.
@@ -131,18 +170,61 @@ func NewArena(cfg soc.Config, id int, job *CoreJob, budget int64, opt ArenaOptio
 	s.Cores[id].Core.SetStoreObserver(a.observe)
 
 	// Golden capture run: records the observable trace and calibrates the
-	// watchdog bounds. When it fails (the campaign will reject the golden
-	// anyway) early exit stays disabled, runs simply use the full budget,
-	// and the health check has no reference to replay against.
+	// watchdog bounds. With checkpointing on, the run additionally carries
+	// the activation probe (an identity plane, so the run is still the
+	// golden run) and snapshots the SoC every CheckpointInterval cycles.
+	// When the capture fails (the campaign will reject the golden anyway)
+	// early exit stays disabled, runs simply use the full budget, the
+	// health check has no reference to replay against, and the
+	// checkpoints are dropped — restored runs would have no golden
+	// reference to be equivalent to.
+	capturePlane := fault.Plane(fault.None)
+	if opt.CheckpointInterval > 0 {
+		a.probe = fault.NewMuxProbe(s.Cycle)
+		capturePlane = a.probe
+	}
 	a.capturing = true
-	_, ok, _ := a.runOnce(fault.None)
+	_, ok, _ := a.runOnce(capturePlane)
 	a.capturing = false
 	if ok {
 		a.goldenRes, a.goldenOK = a.last, true
 		if !opt.NoEarlyExit {
 			a.calibrate()
 		}
+	} else {
+		a.probe, a.ckpts = nil, nil
 	}
+	return a, nil
+}
+
+// newArenaClone builds an additional worker arena from a prototype without
+// re-running the golden capture: a fresh SoC over the same config and
+// program, with the prototype's golden trace, watchdog bounds, activation
+// probe and checkpoints shared read-only. Snapshots are plain data
+// restorable into any identically-built SoC, so sharing ckpts across
+// workers is safe.
+func newArenaClone(proto *Arena) (*Arena, error) {
+	prog, err := buildProgram(proto.job)
+	if err != nil {
+		return nil, fmt.Errorf("arena core%d: %w", proto.id, err)
+	}
+	s := soc.New(proto.cfg)
+	if err := s.Load(prog); err != nil {
+		return nil, fmt.Errorf("arena core%d: %w", proto.id, err)
+	}
+	for _, r := range proto.job.routines() {
+		loadRoutineData(s, r)
+	}
+	s.SealBaseline()
+
+	a := &Arena{
+		s: s, id: proto.id, entry: prog.Base, budget: proto.budget,
+		early: proto.early, cfg: proto.cfg, job: proto.job, opt: proto.opt,
+		golden: proto.golden, hangLimit: proto.hangLimit,
+		floodCap: proto.floodCap, goldenRes: proto.goldenRes,
+		goldenOK: proto.goldenOK, probe: proto.probe, ckpts: proto.ckpts,
+	}
+	s.Cores[a.id].Core.SetStoreObserver(a.observe)
 	return a, nil
 }
 
@@ -226,7 +308,7 @@ func (a *Arena) Run(p fault.Plane) (sig uint32, ok bool) {
 		}
 	}
 	a.inRun = true
-	sig, ok, cut := a.runOnce(p)
+	sig, ok, cut := a.dispatch(p)
 	a.inRun = false
 	if cut && !a.healthy() {
 		a.quarantine()
@@ -235,29 +317,185 @@ func (a *Arena) Run(p fault.Plane) (sig uint32, ok bool) {
 	return sig, ok
 }
 
-// runOnce executes one reset + plane-swap run. cut reports an anomalous
-// ending: a watchdog abort or budget exhaustion before the SoC drained
-// (wedged cores halt and drain normally, so they are not cut).
+// dispatch picks the cheapest sound way to serve plane p. Transition
+// faults are transparent until their site's first activating edge, which
+// the construction-time probe recorded: sites that never activate are
+// served the golden verdict outright, and activating sites start from the
+// last golden checkpoint before their activation cycle with the plane's
+// edge history seeded from the checkpoint. Everything else — stuck-at
+// sites, the fault-free plane, unknown plane types — takes the full
+// replay from cycle 0.
+func (a *Arena) dispatch(p fault.Plane) (sig uint32, ok, cut bool) {
+	t, isTransition := p.(*fault.Transition)
+	if !isTransition || a.probe == nil || !a.goldenOK {
+		return a.runOnce(p)
+	}
+	act := a.probe.FirstActivation(t.S)
+	if act < 0 {
+		// The fault never modifies a delivered value: its run is
+		// bit-identical to the golden run, so serve the golden verdict.
+		a.goldenServed++
+		a.last = a.goldenRes
+		return a.goldenRes.Signature, a.goldenRes.OK, false
+	}
+	if ck := a.checkpointBefore(act); ck != nil {
+		return a.runFrom(ck, t)
+	}
+	return a.runOnce(p)
+}
+
+// checkpointBefore returns the latest golden checkpoint strictly before
+// cycle act, or nil when none exists (activation inside the first
+// interval, or checkpointing produced no snapshots).
+func (a *Arena) checkpointBefore(act int64) *checkpoint {
+	for i := len(a.ckpts) - 1; i >= 0; i-- {
+		if a.ckpts[i].cycle < act {
+			return &a.ckpts[i]
+		}
+	}
+	return nil
+}
+
+// runFrom executes a Transition run starting from a golden checkpoint
+// instead of cycle 0: SoC state restored, plane edge history seeded from
+// the checkpoint, and the divergence monitor resumed at the checkpoint's
+// trace position. Sound because the faulty run is bit-identical to the
+// golden run before the site's first activating edge, which the caller
+// guarantees lies after the checkpoint.
+func (a *Arena) runFrom(ck *checkpoint, t *fault.Transition) (sig uint32, ok, cut bool) {
+	s := a.s
+	s.Restore(ck.state)
+	if a.testPoison != nil {
+		a.testPoison(s)
+	}
+	t.SeedHistory(ck.hist.For(t.S))
+	s.SetPlane(a.id, t)
+	a.setupFastForward(t)
+	a.idx, a.count, a.diverged, a.lastObs = ck.obsIdx, ck.obsIdx, false, ck.lastObs
+	a.runs++
+	a.ckptRuns++
+	return a.stepRun()
+}
+
+// setupFastForward arms re-convergence detection for a Transition run: at
+// every golden checkpoint the run passes, stepRun checks whether the
+// faulty SoC has exactly re-converged with the golden run — in which case
+// the run is provably golden-identical until the site's next activating
+// edge and can jump over the gap (or straight to the golden verdict when
+// no edge remains).
+func (a *Arena) setupFastForward(p fault.Plane) {
+	a.ffCks, a.ffPlane = nil, nil
+	t, isTransition := p.(*fault.Transition)
+	if !isTransition || a.probe == nil || !a.goldenOK {
+		return
+	}
+	cur := a.s.Cycle()
+	for i := range a.ckpts {
+		if a.ckpts[i].cycle > cur {
+			a.ffCks, a.ffPlane = a.ckpts[i:], t
+			return
+		}
+	}
+}
+
+// converged reports whether, at golden checkpoint ck (which the run has
+// just reached), the faulty run has exactly re-converged with the golden
+// run: divergence monitor in the golden position, plane edge history
+// matching the golden history on the faulty bit, and the full SoC state
+// bit-identical to the checkpoint. All three are required for the
+// continuation to be provably golden-identical up to the next activating
+// edge — the monitor condition also guarantees the skipped window cannot
+// trip a watchdog the full replay would have tripped differently.
+func (a *Arena) convergedAt(ck *checkpoint) bool {
+	if a.diverged || a.idx != ck.obsIdx || a.count != ck.obsIdx || a.lastObs != ck.lastObs {
+		return false
+	}
+	prev, seen := a.ffPlane.History()
+	hPrev, hSeen := ck.hist.For(a.ffPlane.S)
+	if seen != hSeen || (seen && (prev^hPrev)>>(a.ffPlane.S.Bit&63)&1 != 0) {
+		return false
+	}
+	return reflect.DeepEqual(a.s.Snapshot(), ck.state)
+}
+
+// runOnce executes one reset + plane-swap run from cycle 0. cut reports an
+// anomalous ending: a watchdog abort or budget exhaustion before the SoC
+// drained (wedged cores halt and drain normally, so they are not cut).
 func (a *Arena) runOnce(p fault.Plane) (sig uint32, ok, cut bool) {
 	s := a.s
 	s.Reset()
 	if a.testPoison != nil {
 		a.testPoison(s)
 	}
+	if t, isTransition := p.(*fault.Transition); isTransition {
+		// The plane may have served an earlier run (fallback and re-run
+		// paths); stale edge history must not leak into this run.
+		t.ResetState()
+	}
 	s.SetPlane(a.id, p)
 	s.Start(a.id, a.entry)
+	a.setupFastForward(p)
 	a.idx, a.count, a.diverged, a.lastObs = 0, 0, false, 0
 	a.runs++
+	return a.stepRun()
+}
 
+// stepRun steps the prepared SoC (reset or checkpoint-restored, plane set,
+// monitor state primed) to completion and extracts the verdict. The cycle
+// budget is absolute: a checkpoint-restored run is charged for the skipped
+// prefix, so its verdict matches the full replay's exactly.
+func (a *Arena) stepRun() (sig uint32, ok, cut bool) {
+	s := a.s
 	aborted := false
-	var cycles int64
+	cycles := s.Cycle()
 	for cycles < a.budget {
 		if s.Done() {
 			break
 		}
 		s.Step()
 		cycles = s.Cycle()
-		if a.early && !a.capturing {
+		if a.capturing {
+			if iv := a.opt.CheckpointInterval; a.probe != nil && iv > 0 &&
+				cycles%iv == 0 && !s.Done() {
+				a.ckpts = append(a.ckpts, checkpoint{
+					cycle:   cycles,
+					state:   s.Snapshot(),
+					obsIdx:  len(a.golden),
+					lastObs: a.lastObs,
+					hist:    a.probe.History(),
+				})
+			}
+			continue
+		}
+		if len(a.ffCks) > 0 && cycles >= a.ffCks[0].cycle {
+			ck := &a.ffCks[0]
+			a.ffCks = a.ffCks[1:]
+			if cycles == ck.cycle && a.convergedAt(ck) {
+				next := a.probe.NextActivation(a.ffPlane.S, cycles)
+				if next < 0 {
+					// No further activating edge: the rest of the run is
+					// the rest of the golden run.
+					a.ffCks = nil
+					a.converged++
+					a.last = a.goldenRes
+					return a.goldenRes.Signature, a.goldenRes.OK, false
+				}
+				if ck2 := a.checkpointBefore(next); ck2 != nil && ck2.cycle > cycles {
+					// Jump over the provably-golden window up to the last
+					// checkpoint before the next injection.
+					s.Restore(ck2.state)
+					a.ffPlane.SeedHistory(ck2.hist.For(a.ffPlane.S))
+					a.idx, a.count, a.diverged, a.lastObs =
+						ck2.obsIdx, ck2.obsIdx, false, ck2.lastObs
+					a.jumps++
+					cycles = s.Cycle()
+					for len(a.ffCks) > 0 && a.ffCks[0].cycle <= cycles {
+						a.ffCks = a.ffCks[1:]
+					}
+				}
+			}
+		}
+		if a.early {
 			if cycles-a.lastObs > a.hangLimit || (a.diverged && a.count > a.floodCap) {
 				aborted = true
 				a.earlyExits++
@@ -308,6 +546,7 @@ func (a *Arena) healthy() (healthy bool) {
 func (a *Arena) quarantine() {
 	runs, exits := a.runs, a.earlyExits
 	checks, quars, falls := a.healthChecks, a.quarantines+1, a.fallbackRuns
+	ckruns, served, conv, jumps := a.ckptRuns, a.goldenServed, a.converged, a.jumps
 	fresh, err := NewArena(a.cfg, a.id, a.job, a.budget, a.opt)
 	if err != nil {
 		a.dead = true
@@ -318,6 +557,7 @@ func (a *Arena) quarantine() {
 	a.runs += runs
 	a.earlyExits += exits
 	a.healthChecks, a.quarantines, a.fallbackRuns = checks, quars, falls
+	a.ckptRuns, a.goldenServed, a.converged, a.jumps = ckruns, served, conv, jumps
 	// The copied SoC still notifies fresh's observer; re-point it at this
 	// arena so the monitor state it updates is the state Run consults.
 	a.s.Cores[a.id].Core.SetStoreObserver(a.observe)
@@ -326,16 +566,27 @@ func (a *Arena) quarantine() {
 // fallbackRun serves one site with legacy rebuild-per-fault semantics: a
 // fresh SoC, freshly assembled program and the full cycle budget. Used for
 // the site whose run poisoned the arena and for every site after the arena
-// died.
+// died. Stateful planes are reset first: the plane object may already have
+// executed on the poisoned arena, and its edge history must not leak into
+// the fresh-SoC verdict. A failed rebuild panics (into the campaign's
+// recover boundary, which records a Panicked verdict and counts an
+// anomaly) rather than masquerading as a crashed fault run — a build
+// failure is an engine fault, not a property of the site.
 func (a *Arena) fallbackRun(p fault.Plane) (sig uint32, ok bool) {
 	a.fallbackRuns++
+	if t, isTransition := p.(*fault.Transition); isTransition {
+		t.ResetState()
+	}
 	c := a.cfg
 	c.Cores[a.id].Plane = p
 	var jobs [soc.NumCores]*CoreJob
 	jobs[a.id] = a.job
 	res, _, err := RunJobs(c, jobs, a.budget)
-	if err != nil || res[a.id] == nil {
-		return 0, false
+	if err != nil {
+		panic(fmt.Sprintf("arena core%d: fallback run failed: %v", a.id, err))
+	}
+	if res[a.id] == nil {
+		panic(fmt.Sprintf("arena core%d: fallback run produced no result", a.id))
 	}
 	return res[a.id].Signature, res[a.id].OK
 }
@@ -374,6 +625,26 @@ func (a *Arena) FallbackRuns() int64 { return a.fallbackRuns }
 // failed) and now serves every site via fallback runs.
 func (a *Arena) Dead() bool { return a.dead }
 
+// Checkpoints returns how many golden-run restore points this arena holds.
+func (a *Arena) Checkpoints() int { return len(a.ckpts) }
+
+// CheckpointRuns returns how many runs started from a golden checkpoint
+// instead of replaying the full prefix.
+func (a *Arena) CheckpointRuns() int64 { return a.ckptRuns }
+
+// GoldenServed returns how many sites were served the golden verdict
+// outright because their fault never activates.
+func (a *Arena) GoldenServed() int64 { return a.goldenServed }
+
+// ConvergedRuns returns how many runs were cut short because the faulty
+// SoC provably re-converged with the golden run past the site's last
+// activating edge.
+func (a *Arena) ConvergedRuns() int64 { return a.converged }
+
+// Jumps returns how many provably-golden mid-run windows were skipped by
+// restoring a later checkpoint after exact re-convergence.
+func (a *Arena) Jumps() int64 { return a.jumps }
+
 // CampaignOptions tunes RunCampaignOpts beyond the engine choice.
 type CampaignOptions struct {
 	// Workers is the worker-pool size; <= 0 uses GOMAXPROCS.
@@ -387,6 +658,37 @@ type CampaignOptions struct {
 	// Resume loads Journal (which must carry this campaign's fingerprint)
 	// and skips its settled sites.
 	Resume bool
+	// CheckpointInterval controls golden-run checkpointing in the arena
+	// engine: 0 picks an automatic interval from the cycle budget,
+	// negative disables checkpointing, positive is the exact interval in
+	// cycles. Checkpointing is a pure execution-strategy choice — reports
+	// are bit-identical either way — so it does not enter the campaign
+	// fingerprint and journals transfer across settings. Ignored by the
+	// legacy engine.
+	CheckpointInterval int64
+}
+
+// resolveCheckpointInterval maps the CampaignOptions knob to the
+// ArenaOptions value. The automatic interval targets a restore point
+// roughly every 1/8 of a golden run (the budget is 8x golden plus slack,
+// so budget/64 approximates goldenCycles/8), clamped below so snapshot
+// traffic stays negligible next to stepping on long runs and above so
+// short campaigns still get useful prefix-skip granularity.
+func resolveCheckpointInterval(opt int64, budget int64) int64 {
+	switch {
+	case opt < 0:
+		return 0
+	case opt > 0:
+		return opt
+	}
+	iv := budget / 64
+	if iv < 256 {
+		iv = 256
+	}
+	if iv > 16_384 {
+		iv = 16_384
+	}
+	return iv
 }
 
 // CampaignFingerprint content-addresses the campaign as a pure function:
@@ -482,18 +784,25 @@ func RunCampaignOpts(cfg soc.Config, id int, job *CoreJob, sites []fault.Site, b
 		}
 		return fault.SimulateOpts(sites, runners, simOpt)
 	}
-	// Arenas are independent, and each construction simulates one golden
-	// capture run — build them concurrently so campaign startup costs one
-	// golden-run latency instead of one per worker.
+	// Arena 0 runs the one golden capture (with checkpointing unless
+	// disabled); the remaining workers are clones sharing its golden
+	// trace, probe and checkpoints over their own SoCs, so campaign
+	// startup costs one golden-run latency total.
+	aOpt := ArenaOptions{CheckpointInterval: resolveCheckpointInterval(opt.CheckpointInterval, budget)}
+	proto, err := NewArena(cfg, id, job, budget, aOpt)
+	if err != nil {
+		return fault.Report{}, err
+	}
 	n := fault.Workers(opt.Workers, len(sites))
 	arenas := make([]*Arena, n)
 	errs := make([]error, n)
+	arenas[0] = proto
 	var wg sync.WaitGroup
-	for w := 0; w < n; w++ {
+	for w := 1; w < n; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			arenas[w], errs[w] = NewArena(cfg, id, job, budget, ArenaOptions{})
+			arenas[w], errs[w] = newArenaClone(proto)
 		}(w)
 	}
 	wg.Wait()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -133,12 +134,78 @@ func TestArenaPanickedRunHealthCheck(t *testing.T) {
 	}
 }
 
+// TestArenaFallbackResetsStaleTransitionPlane pins the stateful-plane leg
+// of the fallback path: a Transition plane that already executed on the
+// (now retired) arena carries the poisoned run's edge history, and the
+// fallback fresh-SoC run must not inherit it — the verdict has to match a
+// clean legacy run of the same site exactly.
+func TestArenaFallbackResetsStaleTransitionPlane(t *testing.T) {
+	replayCfg, job, budget := arenaEnv(t, 1, false)
+	sites := fault.TransitionFaults(fault.ListOptions{DataBits: 32, BitStep: 8})
+	fault.SortSites(sites)
+	sites = fault.Sample(sites, 5)
+
+	a, err := NewArena(replayCfg, 0, job, budget, ArenaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleSeen := false
+	for _, site := range sites {
+		p := fault.NewTransition(site)
+		a.Run(p) // leaves the run's edge history on the plane object
+		if _, seen := p.History(); seen {
+			staleSeen = true
+		}
+		a.dead = true // simulate a failed rebuild: every site falls back
+		sig, ok := a.Run(p)
+		a.dead = false
+		fresh, _ := freshRun(t, replayCfg, job, budget, fault.PlaneFor(site))
+		if ok != fresh.OK || (ok && sig != fresh.Signature) {
+			t.Errorf("%v: fallback of a used plane (%08x, %v) != clean run (%08x, %v)",
+				site, sig, ok, fresh.Signature, fresh.OK)
+		}
+	}
+	if !staleSeen {
+		t.Fatal("no sampled site left edge history on its plane; test is vacuous")
+	}
+}
+
+// TestArenaFallbackSurfacesBuildError pins that a fallback run whose
+// fresh-SoC build fails panics (into the campaign's recover boundary,
+// where it becomes a Panicked verdict plus an anomaly) instead of
+// returning a fabricated crashed-run verdict.
+func TestArenaFallbackSurfacesBuildError(t *testing.T) {
+	replayCfg, job, budget := arenaEnv(t, 1, false)
+	a, err := NewArena(replayCfg, 0, job, budget, ArenaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *job
+	bad.CodeBase = mem.FlashSize // program lands outside flash: build fails
+	a.job = &bad
+	a.dead = true
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("fallback build error did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "fallback") {
+			t.Errorf("panic does not identify the fallback path: %v", r)
+		}
+	}()
+	a.Run(fault.None)
+}
+
 // campaignSites returns a small deterministic universe for campaign-level
-// tests, including the hang site so the cut path is exercised.
+// tests: stuck-at and transition sites (so both the full-replay and the
+// checkpointed paths run), plus the hang site so the cut path is exercised.
 func campaignSites() []fault.Site {
 	sites := fault.ForwardingLogic(fault.ListOptions{DataBits: 32, BitStep: 8})
 	fault.SortSites(sites)
 	sites = fault.Sample(sites, 29)
+	tr := fault.TransitionFaults(fault.ListOptions{DataBits: 32, BitStep: 8})
+	fault.SortSites(tr)
+	sites = append(sites, fault.Sample(tr, 7)...)
 	return append(sites, hangSite)
 }
 
@@ -192,6 +259,23 @@ func TestCampaignJournalResumeBitIdentical(t *testing.T) {
 	}
 	if !reflect.DeepEqual(full, legacy) {
 		t.Fatal("legacy resume differs from arena report")
+	}
+
+	// Checkpointing is a pure engine optimisation, so it stays out of the
+	// campaign fingerprint: a torn journal written by the (auto-
+	// checkpointed) run above resumes under an engine with checkpointing
+	// forced off and still reproduces the identical report.
+	plainPath := filepath.Join(dir, "plain.journal")
+	if err := os.WriteFile(plainPath, []byte(partial), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := RunCampaignOpts(replayCfg, 0, job, sites, budget,
+		CampaignOptions{Workers: 2, Journal: plainPath, Resume: true, CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, plain) {
+		t.Fatal("checkpoint-off resume differs from checkpointed report")
 	}
 }
 

@@ -197,6 +197,12 @@ func (c *Core) Reset(pc uint32) {
 	c.fetchBusy = false
 	c.discardFetch = false
 	c.latches = [3]packet{}
+	// Rewire the stage pointers to their boot positions. The rotation
+	// phase is semantically irrelevant over empty latches, but leaving it
+	// where the previous run ended makes a Reset core differ bit-wise
+	// from a freshly built one — breaking snapshot comparisons against
+	// golden-run checkpoints (see core.Arena).
+	c.exPkt, c.memPkt, c.wbPkt = &c.latches[0], &c.latches[1], &c.latches[2]
 	c.memLane = -1
 	c.memStarted = false
 	c.cycle = 0
@@ -209,6 +215,98 @@ func (c *Core) Reset(pc uint32) {
 		c.inj.Reset()
 	}
 	c.redirect(pc)
+}
+
+// CoreState is an opaque snapshot of a core's dynamic state: architectural
+// registers, counters, fetch/issue front end, pipeline latches, MEM-stage
+// progress and the ICU. Attachments (plane, tracer, store observer,
+// injector, coverage) and the decode cache (a pure memo) are not part of
+// it. An attached archint.Injector's delivery cursor is not covered either
+// — fault-campaign arenas never attach one.
+type CoreState struct {
+	regs         [32]uint32
+	counters     [numCounters]uint64
+	fetchAddr    uint32
+	skipBelow    uint32
+	fetchBusy    bool
+	discardFetch bool
+	fetchQ       []fetched
+	nextIssuePC  uint32
+	latches      [3]packet
+	exIdx        int8 // stage-pointer positions within latches
+	memIdx       int8
+	wbIdx        int8
+	memLane      int
+	memStarted   bool
+	cycle        int64
+	halted       bool
+	wedged       bool
+	wedgePC      uint32
+	pathUse      [2][2][fault.NumPaths]int64
+	icu          icu.State
+}
+
+// latchIdx locates a rotating stage pointer within the latch array.
+func (c *Core) latchIdx(p *packet) int8 {
+	for i := range c.latches {
+		if p == &c.latches[i] {
+			return int8(i)
+		}
+	}
+	panic("cpu: stage pointer outside latch array")
+}
+
+// Snapshot captures the core's dynamic state mid-run.
+func (c *Core) Snapshot() *CoreState {
+	return &CoreState{
+		regs:         c.regs,
+		counters:     c.counters,
+		fetchAddr:    c.fetchAddr,
+		skipBelow:    c.skipBelow,
+		fetchBusy:    c.fetchBusy,
+		discardFetch: c.discardFetch,
+		fetchQ:       append([]fetched(nil), c.fetchQ...),
+		nextIssuePC:  c.nextIssuePC,
+		latches:      c.latches,
+		exIdx:        c.latchIdx(c.exPkt),
+		memIdx:       c.latchIdx(c.memPkt),
+		wbIdx:        c.latchIdx(c.wbPkt),
+		memLane:      c.memLane,
+		memStarted:   c.memStarted,
+		cycle:        c.cycle,
+		halted:       c.halted,
+		wedged:       c.wedged,
+		wedgePC:      c.wedgePC,
+		pathUse:      c.PathUse,
+		icu:          c.ICU.Snapshot(),
+	}
+}
+
+// Restore rewinds the core (and its ICU) to a snapshot, keeping the current
+// plane and attachments. The in-flight fetch or data access a busy client
+// may have had at the snapshot lives in the memory clients and bus — the
+// SoC-level restore covers those.
+func (c *Core) Restore(st *CoreState) {
+	c.regs = st.regs
+	c.counters = st.counters
+	c.fetchAddr = st.fetchAddr
+	c.skipBelow = st.skipBelow
+	c.fetchBusy = st.fetchBusy
+	c.discardFetch = st.discardFetch
+	c.fetchQ = append(c.fetchQ[:0], st.fetchQ...)
+	c.nextIssuePC = st.nextIssuePC
+	c.latches = st.latches
+	c.exPkt = &c.latches[st.exIdx]
+	c.memPkt = &c.latches[st.memIdx]
+	c.wbPkt = &c.latches[st.wbIdx]
+	c.memLane = st.memLane
+	c.memStarted = st.memStarted
+	c.cycle = st.cycle
+	c.halted = st.halted
+	c.wedged = st.wedged
+	c.wedgePC = st.wedgePC
+	c.PathUse = st.pathUse
+	c.ICU.Restore(st.icu)
 }
 
 // SetPlane swaps the fault-injection plane of the core and its ICU (nil

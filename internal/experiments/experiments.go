@@ -43,6 +43,11 @@ type Options struct {
 	// those files already settle — an interrupted table sweep re-runs only
 	// unsettled sites (see internal/fault's Journal).
 	JournalDir string
+	// CheckpointInterval controls golden-run checkpointing in the arena
+	// engine: 0 = automatic (derived from the cycle budget), negative =
+	// off, positive = interval in cycles. Reports are bit-identical across
+	// settings; see core.CampaignOptions.
+	CheckpointInterval int64
 }
 
 func (o Options) bitStep() int {
@@ -179,11 +184,13 @@ type campaign struct {
 	workers    int
 	engine     Engine
 	journalDir string
+	ckptIv     int64
 }
 
 func newCampaign(o Options, underTest int, cfg soc.Config, jobs [soc.NumCores]*core.CoreJob) campaign {
 	return campaign{underTest: underTest, cfg: cfg, jobs: jobs,
-		workers: o.Workers, engine: o.Engine, journalDir: o.JournalDir}
+		workers: o.Workers, engine: o.Engine, journalDir: o.JournalDir,
+		ckptIv: o.CheckpointInterval}
 }
 
 func (c campaign) run(sites []fault.Site) (fault.Report, error) {
@@ -207,7 +214,8 @@ func (c campaign) run(sites []fault.Site) (fault.Report, error) {
 	cfg := c.cfg
 	cfg.Replay = traffic
 
-	opt := core.CampaignOptions{Workers: c.workers, Legacy: c.engine == EngineLegacy}
+	opt := core.CampaignOptions{Workers: c.workers, Legacy: c.engine == EngineLegacy,
+		CheckpointInterval: c.ckptIv}
 	if c.journalDir != "" {
 		// One content-addressed journal per campaign: resuming an
 		// interrupted sweep settles finished campaigns entirely from disk.

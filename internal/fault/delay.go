@@ -48,11 +48,43 @@ type Transition struct {
 // NewTransition returns a plane injecting the transition fault s.
 func NewTransition(s Site) *Transition { return &Transition{S: s} }
 
+// ResetState clears the plane's edge history, as if it had never observed
+// the line. A Transition that already executed must be reset (or rebuilt
+// via PlaneFor) before serving a fresh run from cycle 0 — stale history
+// would otherwise leak the previous run's last line value into the new
+// run's first edge decision.
+func (f *Transition) ResetState() {
+	f.prev = 0
+	f.prevSeen = false
+}
+
+// SeedHistory sets the plane's edge history to a known (value, seen) pair —
+// the line history a golden-run checkpoint recorded for this site's line.
+// Seeding before a checkpoint-restored run makes the plane behave exactly
+// as if it had replayed the whole prefix, which is sound as long as the
+// restore point precedes the site's first activating edge (before that
+// edge the faulty run is bit-identical to the golden run).
+func (f *Transition) SeedHistory(prev uint64, seen bool) {
+	f.prev = prev
+	f.prevSeen = seen
+}
+
+// History returns the plane's current edge history (the line value it last
+// observed, and whether it observed one at all) — the counterpart of
+// SeedHistory, used to compare a run's plane state against a golden
+// checkpoint's recorded history.
+func (f *Transition) History() (prev uint64, seen bool) {
+	return f.prev, f.prevSeen
+}
+
 // MuxData implements Plane: on the faulty (lane, operand, path) line, a
-// delayed edge delivers the previous bit value once.
+// delayed edge delivers the previous bit value once. Like Single.MuxData,
+// only a forwarding-unit mux-data site injects here — a site for another
+// unit handed to NewTransition stays transparent.
 func (f *Transition) MuxData(lane, operand, path uint8, v uint64) uint64 {
 	s := f.S
-	if s.Signal != SigMuxData || s.Lane != lane || s.Operand != operand || s.Path != path {
+	if s.Unit != UnitFwd || s.Signal != SigMuxData ||
+		s.Lane != lane || s.Operand != operand || s.Path != path {
 		return v
 	}
 	bit := (v >> s.Bit) & 1

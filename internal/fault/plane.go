@@ -49,6 +49,8 @@ func AffectsEvLines(p Plane) bool {
 		return f.S.Unit == UnitICU && f.S.Signal == SigEvLine
 	case *Transition:
 		return false // transition faults live on the forwarding data lines
+	case *MuxProbe:
+		return false // the probe only watches the forwarding data lines
 	}
 	return true
 }
@@ -64,6 +66,8 @@ func AffectsCounterInc(p Plane) bool {
 	case *Single:
 		return f.S.Unit == UnitPerf && f.S.Signal == SigCntInc
 	case *Transition:
+		return false
+	case *MuxProbe:
 		return false
 	}
 	return true

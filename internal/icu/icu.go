@@ -77,6 +77,62 @@ func (u *ICU) Reset() {
 // features (nil detaches). The attachment survives Reset.
 func (u *ICU) SetCoverage(m *coverage.Map) { u.cov = m }
 
+// State is an opaque snapshot of the ICU's dynamic state — pending lines,
+// architectural registers and recognition pipeline. Attachments and
+// configuration (plane, coverage, cause encoding) are not part of it.
+type State struct {
+	pending     [fault.NumEvents]bool
+	numPending  int
+	cause       uint32
+	dist        uint32
+	epc         uint32
+	enable      uint32
+	vector      uint32
+	counting    bool
+	countdown   int
+	retired     uint32
+	inHandler   bool
+	sinceRFE    int
+	maskedNoted bool
+}
+
+// Snapshot captures the ICU's dynamic state mid-run.
+func (u *ICU) Snapshot() State {
+	return State{
+		pending:     u.pending,
+		numPending:  u.numPending,
+		cause:       u.cause,
+		dist:        u.dist,
+		epc:         u.epc,
+		enable:      u.enable,
+		vector:      u.vector,
+		counting:    u.counting,
+		countdown:   u.countdown,
+		retired:     u.retired,
+		inHandler:   u.inHandler,
+		sinceRFE:    u.sinceRFE,
+		maskedNoted: u.maskedNoted,
+	}
+}
+
+// Restore rewinds the dynamic state to a snapshot, keeping the current
+// plane, configuration and coverage attachment.
+func (u *ICU) Restore(st State) {
+	u.pending = st.pending
+	u.numPending = st.numPending
+	u.cause = st.cause
+	u.dist = st.dist
+	u.epc = st.epc
+	u.enable = st.enable
+	u.vector = st.vector
+	u.counting = st.counting
+	u.countdown = st.countdown
+	u.retired = st.retired
+	u.inHandler = st.inHandler
+	u.sinceRFE = st.sinceRFE
+	u.maskedNoted = st.maskedNoted
+}
+
 // SetPlane swaps the fault-injection plane (nil restores fault-free). Used
 // by reusable fault-simulation arenas, which reset one long-lived ICU
 // between runs instead of rebuilding it.

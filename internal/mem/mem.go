@@ -85,6 +85,60 @@ func (d dirtyMap) sweep(size uint32, fn func(lo, hi uint32)) {
 	}
 }
 
+// pages calls fn for every dirty page's byte range without clearing the
+// map (non-destructive counterpart of sweep, used for delta capture).
+func (d dirtyMap) pages(size uint32, fn func(lo, hi uint32)) {
+	for w := range d {
+		m := d[w]
+		for m != 0 {
+			p := uint32(w*64 + bits.TrailingZeros64(m))
+			m &= m - 1
+			lo := p << dirtyPageBits
+			hi := lo + 1<<dirtyPageBits
+			if hi > size {
+				hi = size
+			}
+			fn(lo, hi)
+		}
+	}
+}
+
+// PageDelta is the set of pages a run has written since the device's last
+// Reset/Restore sweep, with their contents — exactly the difference between
+// the current contents and the swept-to state, because sweeps are the only
+// operations that clear the dirty map. Captured by RAM.CaptureDelta /
+// TCM.CaptureDelta and reapplied by ApplyDelta (checkpoint machinery).
+type PageDelta struct {
+	offs []uint32 // page range start offsets, ascending
+	ends []uint32 // matching page range end offsets (exclusive)
+	data []byte   // page contents, concatenated in offs order
+}
+
+// captureDelta copies every dirty page of data into a PageDelta without
+// clearing the dirty map (the run keeps going after the snapshot).
+func captureDelta(data []byte, dirty dirtyMap, size uint32) *PageDelta {
+	d := &PageDelta{}
+	dirty.pages(size, func(lo, hi uint32) {
+		d.offs = append(d.offs, lo)
+		d.ends = append(d.ends, hi)
+		d.data = append(d.data, data[lo:hi]...)
+	})
+	return d
+}
+
+// applyDelta copies the delta's pages back into data, marking them dirty so
+// the next Reset/Restore sweep rewinds them again.
+func applyDelta(data []byte, dirty dirtyMap, d *PageDelta) {
+	pos := 0
+	for i, lo := range d.offs {
+		hi := d.ends[i]
+		n := int(hi - lo)
+		copy(data[lo:hi], d.data[pos:pos+n])
+		dirty.mark(lo, n)
+		pos += n
+	}
+}
+
 // RAM is simple SRAM with uniform latency.
 type RAM struct {
 	data    []byte
@@ -129,6 +183,15 @@ func (r *RAM) Restore(img []byte) {
 func (r *RAM) Reset() {
 	r.dirty.sweep(r.Size(), func(lo, hi uint32) { clear(r.data[lo:hi]) })
 }
+
+// CaptureDelta snapshots the pages written since the last Restore/Reset
+// sweep without disturbing the dirty map; ApplyDelta on a RAM in the
+// swept-to state reproduces the captured contents exactly.
+func (r *RAM) CaptureDelta() *PageDelta { return captureDelta(r.data, r.dirty, r.Size()) }
+
+// ApplyDelta overlays a captured page delta, marking the pages dirty so the
+// next sweep rewinds them.
+func (r *RAM) ApplyDelta(d *PageDelta) { applyDelta(r.data, r.dirty, d) }
 
 // Flash models the code flash: writable only through the loader (LoadWords),
 // read-only from the bus, with per-bank wait states. Bank latencies differ
@@ -221,6 +284,14 @@ func (t *TCM) Restore(img []byte) {
 func (t *TCM) Reset() {
 	t.dirty.sweep(t.Size(), func(lo, hi uint32) { clear(t.data[lo:hi]) })
 }
+
+// CaptureDelta snapshots the pages written since the last sweep without
+// disturbing the dirty map (see RAM.CaptureDelta).
+func (t *TCM) CaptureDelta() *PageDelta { return captureDelta(t.data, t.dirty, t.Size()) }
+
+// ApplyDelta overlays a captured page delta, marking the pages dirty so the
+// next sweep rewinds them.
+func (t *TCM) ApplyDelta(d *PageDelta) { applyDelta(t.data, t.dirty, d) }
 
 // Word helpers shared by devices and the CPU.
 
