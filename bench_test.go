@@ -45,33 +45,32 @@ func BenchmarkTableII(b *testing.B) {
 }
 
 // BenchmarkCampaignEngineSpeedup times the quick Table II campaign under
-// the legacy engine (SoC rebuilt and program reassembled per fault, full
-// watchdog budget every run) and the arena engine (one long-lived SoC per
-// worker, fault runs are reset + plane-swap with divergence-bounded early
-// exit), verifies the results are identical, and reports the wall-clock
-// speedup as a metric. The PR acceptance bar is >= 2x.
+// the reference arena mode (full watchdog budget every run, no shortcuts)
+// and the optimized mode (divergence-bounded early exit plus golden-run
+// checkpointing), verifies the results are identical, and reports the
+// wall-clock speedup as a metric. The PR acceptance bar is >= 2x.
 func BenchmarkCampaignEngineSpeedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t0 := time.Now()
-		legacyRows, err := experiments.TableII(experiments.Options{Quick: true, Engine: experiments.EngineLegacy})
+		refRows, err := experiments.TableII(experiments.Options{Quick: true, Reference: true})
 		if err != nil {
 			b.Fatal(err)
 		}
-		legacy := time.Since(t0)
+		ref := time.Since(t0)
 
 		t0 = time.Now()
-		arenaRows, err := experiments.TableII(experiments.Options{Quick: true, Engine: experiments.EngineArena})
+		arenaRows, err := experiments.TableII(experiments.Options{Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}
 		arena := time.Since(t0)
 
-		if !reflect.DeepEqual(legacyRows, arenaRows) {
-			b.Fatalf("engines disagree:\nlegacy %+v\narena  %+v", legacyRows, arenaRows)
+		if !reflect.DeepEqual(refRows, arenaRows) {
+			b.Fatalf("modes disagree:\nreference %+v\noptimized %+v", refRows, arenaRows)
 		}
-		b.ReportMetric(legacy.Seconds()/arena.Seconds(), "speedup-vs-legacy")
+		b.ReportMetric(ref.Seconds()/arena.Seconds(), "speedup-vs-reference")
 		b.ReportMetric(arena.Seconds(), "arena-s")
-		b.ReportMetric(legacy.Seconds(), "legacy-s")
+		b.ReportMetric(ref.Seconds(), "reference-s")
 	}
 }
 
@@ -140,21 +139,21 @@ func BenchmarkDelayFaultExtension(b *testing.B) {
 }
 
 // BenchmarkCheckpointSpeedup times the quick transition-fault sweep under
-// the legacy engine, the arena engine with checkpointing disabled, and the
-// default checkpointed arena, verifies all three produce identical rows,
-// and reports the wall-clock speedups. The PR acceptance bar is >= 3x over
-// the legacy reference with checkpointing enabled; the ckpt-vs-plain-arena
-// metric isolates the checkpointing machinery's own contribution (bounded
-// by the detected-fault runs, whose diverged suffixes every sound engine
-// must simulate).
+// the reference arena mode, the optimized mode with checkpointing
+// disabled, and the default checkpointed mode, verifies all three produce
+// identical rows, and reports the wall-clock speedups. The PR acceptance
+// bar is >= 3x over the reference mode with checkpointing enabled; the
+// ckpt-vs-plain-arena metric isolates the checkpointing machinery's own
+// contribution (bounded by the detected-fault runs, whose diverged
+// suffixes every sound engine must simulate).
 func BenchmarkCheckpointSpeedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t0 := time.Now()
-		legacyRows, err := experiments.DelayFaults(experiments.Options{Quick: true, Engine: experiments.EngineLegacy})
+		refRows, err := experiments.DelayFaults(experiments.Options{Quick: true, Reference: true})
 		if err != nil {
 			b.Fatal(err)
 		}
-		legacy := time.Since(t0)
+		ref := time.Since(t0)
 
 		t0 = time.Now()
 		plainRows, err := experiments.DelayFaults(experiments.Options{Quick: true, CheckpointInterval: -1})
@@ -170,11 +169,11 @@ func BenchmarkCheckpointSpeedup(b *testing.B) {
 		}
 		ckpt := time.Since(t0)
 
-		if !reflect.DeepEqual(legacyRows, ckptRows) || !reflect.DeepEqual(plainRows, ckptRows) {
-			b.Fatalf("engines disagree:\nlegacy %+v\nplain  %+v\nckpt   %+v",
-				legacyRows, plainRows, ckptRows)
+		if !reflect.DeepEqual(refRows, ckptRows) || !reflect.DeepEqual(plainRows, ckptRows) {
+			b.Fatalf("modes disagree:\nreference %+v\nplain  %+v\nckpt   %+v",
+				refRows, plainRows, ckptRows)
 		}
-		b.ReportMetric(legacy.Seconds()/ckpt.Seconds(), "speedup-vs-legacy")
+		b.ReportMetric(ref.Seconds()/ckpt.Seconds(), "speedup-vs-reference")
 		b.ReportMetric(plain.Seconds()/ckpt.Seconds(), "ckpt-vs-plain-arena")
 		b.ReportMetric(ckpt.Seconds(), "ckpt-s")
 	}

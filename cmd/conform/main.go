@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	scenarioName := flag.String("scenario", "all", "scenario to run (all, cached, uncached, contended, arena, interrupts, strategies, sched, campaign)")
+	scenarioName := flag.String("scenario", "all", "scenario to run (all, cached, uncached, contended, arena, interrupts, strategies, sched, campaign, multifault)")
 	seed := flag.Int64("seed", 1, "first seed")
 	n := flag.Int("n", 200, "programs (or universes) per scenario")
 	duration := flag.Duration("duration", 0, "run each scenario for this long instead of -n iterations")
@@ -160,6 +160,7 @@ type artifact struct {
 	LibTasks []string       `json:"libTasks,omitempty"`
 	Recipe   *progen.Recipe `json:"recipe,omitempty"`
 	Sites    []fault.Site   `json:"sites,omitempty"`
+	Groups   [][]fault.Site `json:"groups,omitempty"`
 }
 
 // saveArtifact writes the minimized mismatch into artifactsDir (no-op when
@@ -171,7 +172,7 @@ func saveArtifact(m *conform.Mismatch) {
 	}
 	a := artifact{Scenario: m.Scenario, Seed: m.Seed, Detail: m.Detail,
 		Repro: m.Repro(), Panicked: m.Panicked, Stack: m.Stack,
-		LibTasks: m.LibTasks, Sites: m.Sites}
+		LibTasks: m.LibTasks, Sites: m.Sites, Groups: m.Groups}
 	if m.Program != nil {
 		a.Recipe = &m.Program.Recipe
 	}
@@ -198,9 +199,12 @@ func report(m *conform.Mismatch) {
 	fmt.Println("minimizing...")
 	m.Minimize()
 	fmt.Printf("minimized: %s\n", m.Detail)
-	if m.Program != nil {
+	switch {
+	case m.Program != nil:
 		fmt.Printf("minimized program: %d instructions (+HALT)\n", m.Program.NumInsts())
-	} else {
+	case m.Groups != nil:
+		fmt.Printf("minimized universe: %d groups\n", len(m.Groups))
+	default:
 		fmt.Printf("minimized universe: %d sites\n", len(m.Sites))
 	}
 	fmt.Printf("repro: %s\n", m.Repro())
@@ -278,9 +282,13 @@ func replayRecipe(path, scenarioName string, selftest bool) int {
 		if scenarioName == "all" && a.Scenario != "" {
 			scenarioName = a.Scenario
 		}
-	case json.Unmarshal(blob, &a) == nil && a.Sites != nil:
-		fmt.Fprintf(os.Stderr, "conform: %s is a campaign artifact; replay with "+
-			"go run ./cmd/conform -scenario campaign -seed %d -n 1\n", path, a.Seed)
+	case json.Unmarshal(blob, &a) == nil && (a.Sites != nil || a.Groups != nil):
+		name := a.Scenario
+		if name == "" {
+			name = "campaign"
+		}
+		fmt.Fprintf(os.Stderr, "conform: %s is a %s artifact; replay with "+
+			"go run ./cmd/conform -scenario %s -seed %d -n 1\n", path, name, name, a.Seed)
 		return 2
 	default:
 		if err := json.Unmarshal(blob, &r); err != nil {

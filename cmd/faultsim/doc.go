@@ -8,11 +8,13 @@
 //
 //	faultsim [-routine forwarding|hdcu|icu] [-core 0|1|2]
 //	         [-strategy plain|cache|tcm] [-multicore] [-bitstep N]
-//	         [-engine arena|legacy] [-workers N] [-v]
+//	         [-engine arena|reference] [-workers N] [-v]
 //
-// The default "arena" engine keeps one long-lived SoC per worker (program
-// loaded once, each fault run is reset + plane-swap) and terminates runs
-// early once they observably diverge from the golden trace and stop making
-// progress; "legacy" rebuilds the SoC per fault and always simulates to the
-// full watchdog budget. Both engines produce identical reports.
+// Both modes keep one long-lived SoC per worker (program loaded once, each
+// fault run is reset + plane-swap). The default "arena" mode terminates
+// runs early once they observably diverge from the golden trace and stop
+// making progress, and fast-forwards transition runs over golden
+// checkpoints; "reference" simulates every run to the full watchdog budget
+// with no shortcuts — the semantics the optimized mode is differentially
+// pinned against. Both modes produce identical reports.
 package main

@@ -21,7 +21,7 @@ func main() {
 	multicore := flag.Bool("multicore", true, "replay 3-core bus contention around the core under test")
 	bitStep := flag.Int("bitstep", 1, "enumerate every Nth data bit (campaign reduction)")
 	faults := flag.String("faults", "stuckat", "fault model: stuckat or transition (forwarding routine only)")
-	engine := flag.String("engine", "arena", "campaign engine: arena (reusable SoCs, early exit) or legacy (rebuild per fault)")
+	engine := flag.String("engine", "arena", "campaign mode: arena (optimized: early exit, checkpointing) or reference (full budget, no shortcuts)")
 	ckptInterval := flag.Int64("checkpoint-interval", 0, "arena golden-run checkpoint interval in cycles (0 = auto, negative = off)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	journal := flag.String("journal", "", "append-only verdict journal file (line-delimited JSON; survives SIGKILL)")
@@ -29,7 +29,11 @@ func main() {
 	reportFile := flag.String("report", "", "write the final fault.Report as JSON to this file")
 	verbose := flag.Bool("v", false, "list undetected faults")
 	flag.Parse()
-	if *engine != "arena" && *engine != "legacy" {
+	if *engine == "legacy" {
+		fmt.Fprintln(os.Stderr, "faultsim: the legacy rebuild-per-fault engine was retired; use -engine reference for the full-budget reference-arena semantics")
+		os.Exit(2)
+	}
+	if *engine != "arena" && *engine != "reference" {
 		fmt.Fprintf(os.Stderr, "faultsim: unknown engine %q\n", *engine)
 		os.Exit(2)
 	}
@@ -133,7 +137,7 @@ func main() {
 	rep, err := core.RunCampaignOpts(replayCfg, *coreID, jobs[*coreID], sites,
 		budget, core.CampaignOptions{
 			Workers:            *workers,
-			Legacy:             *engine == "legacy",
+			Reference:          *engine == "reference",
 			Journal:            *journal,
 			Resume:             *resume,
 			CheckpointInterval: *ckptInterval,

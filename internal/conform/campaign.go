@@ -12,12 +12,14 @@ import (
 	"repro/internal/soc"
 )
 
-// Campaign-level conformance: the arena engine (reusable SoCs, early exit
-// on observable divergence) and the legacy engine (rebuild per fault, full
-// watchdog budget) must produce bit-identical fault reports on any
-// universe, in any environment. The fuzz scenario samples both at random;
-// CampaignEnv/CompareEngines are also the building blocks the fixed
-// engine-equivalence tests use.
+// Campaign-level conformance: the optimized arena (early exit on
+// observable divergence, golden-run checkpointing, golden-verdict
+// shortcuts) and the reference arena (NoEarlyExit: full budget per run, no
+// shortcuts) must produce bit-identical fault reports on any universe, in
+// any environment. The fuzz scenario draws random environments and checks
+// the *full* universe — no site cap — which is affordable precisely
+// because both sides are arenas. CampaignEnv/CompareEngines are also the
+// building blocks the fixed mode-equivalence tests use.
 
 // maxCampaignCycles bounds the golden full-system run.
 const maxCampaignCycles = 6_000_000
@@ -81,10 +83,11 @@ func NewCampaignEnv(module string, underTest, active int, pos, pad uint32, cache
 	return env, nil
 }
 
-// CompareEngines runs the campaign under both engines and returns a
-// description of any report divergence ("" when bit-identical). The golden
-// full-system run and traffic recording happen once; both engines then
-// fault-simulate against the same replayed environment.
+// CompareEngines runs the campaign under both arena modes (optimized and
+// reference) and returns a description of any report divergence ("" when
+// bit-identical). The golden full-system run and traffic recording happen
+// once; both modes then fault-simulate against the same replayed
+// environment.
 func (e *CampaignEnv) CompareEngines(sites []fault.Site) (string, error) {
 	replayCfg, budget, err := e.record()
 	if err != nil {
@@ -112,54 +115,55 @@ func (e *CampaignEnv) record() (soc.Config, int64, error) {
 	return replayCfg, golden.Cycles*8 + 20_000, nil
 }
 
-// compareOn runs both engines on an already-recorded environment.
+// compareOn runs both arena modes on an already-recorded environment.
 func (e *CampaignEnv) compareOn(replayCfg soc.Config, budget int64, sites []fault.Site) (string, error) {
-	legacy, err := core.RunCampaign(replayCfg, e.UnderTest, e.Jobs[e.UnderTest], sites,
+	ref, err := core.RunCampaign(replayCfg, e.UnderTest, e.Jobs[e.UnderTest], sites,
 		budget, e.Workers, true)
 	if err != nil {
-		return "", fmt.Errorf("legacy engine: %w", err)
+		return "", fmt.Errorf("reference arena: %w", err)
 	}
-	arena, err := core.RunCampaign(replayCfg, e.UnderTest, e.Jobs[e.UnderTest], sites,
+	opt, err := core.RunCampaign(replayCfg, e.UnderTest, e.Jobs[e.UnderTest], sites,
 		budget, e.Workers, false)
 	if err != nil {
-		return "", fmt.Errorf("arena engine: %w", err)
+		return "", fmt.Errorf("optimized arena: %w", err)
 	}
-	return DiffReports(legacy, arena, sites), nil
+	return DiffReports(ref, opt, sites), nil
 }
 
 // DiffReports compares two campaign reports site by site and summarises
-// any divergence ("" when bit-identical).
-func DiffReports(legacy, arena fault.Report, sites []fault.Site) string {
+// any divergence ("" when bit-identical). By convention the first report
+// is the reference-mode one.
+func DiffReports(ref, opt fault.Report, sites []fault.Site) string {
 	var diffs []string
-	if len(legacy.Results) != len(arena.Results) {
-		diffs = append(diffs, fmt.Sprintf("result count %d (legacy) != %d (arena)",
-			len(legacy.Results), len(arena.Results)))
+	if len(ref.Results) != len(opt.Results) {
+		diffs = append(diffs, fmt.Sprintf("result count %d (reference) != %d (optimized)",
+			len(ref.Results), len(opt.Results)))
 	}
-	if legacy.Golden != arena.Golden || legacy.GoldenOK != arena.GoldenOK {
-		diffs = append(diffs, fmt.Sprintf("golden %08x/%v (legacy) != %08x/%v (arena)",
-			legacy.Golden, legacy.GoldenOK, arena.Golden, arena.GoldenOK))
+	if ref.Golden != opt.Golden || ref.GoldenOK != opt.GoldenOK {
+		diffs = append(diffs, fmt.Sprintf("golden %08x/%v (reference) != %08x/%v (optimized)",
+			ref.Golden, ref.GoldenOK, opt.Golden, opt.GoldenOK))
 	}
-	if legacy.Detected != arena.Detected {
-		diffs = append(diffs, fmt.Sprintf("detected %d (legacy) != %d (arena)",
-			legacy.Detected, arena.Detected))
+	if ref.Detected != opt.Detected {
+		diffs = append(diffs, fmt.Sprintf("detected %d (reference) != %d (optimized)",
+			ref.Detected, opt.Detected))
 	}
-	for i := range legacy.Results {
-		if i >= len(arena.Results) {
-			diffs = append(diffs, fmt.Sprintf("arena report short: %d sites, legacy %d",
-				len(arena.Results), len(legacy.Results)))
+	for i := range ref.Results {
+		if i >= len(opt.Results) {
+			diffs = append(diffs, fmt.Sprintf("optimized report short: %d sites, reference %d",
+				len(opt.Results), len(ref.Results)))
 			break
 		}
-		if legacy.Results[i] != arena.Results[i] {
-			diffs = append(diffs, fmt.Sprintf("%v: legacy %+v, arena %+v",
-				sites[i], legacy.Results[i], arena.Results[i]))
+		if ref.Results[i] != opt.Results[i] {
+			diffs = append(diffs, fmt.Sprintf("%v: reference %+v, optimized %+v",
+				sites[i], ref.Results[i], opt.Results[i]))
 		}
 	}
 	return renderDiffs(diffs)
 }
 
-// runCampaignSeed is one iteration of the campaign fuzz scenario: a random
-// fault universe through a random environment, both engines, reports
-// compared bit by bit.
+// runCampaignSeed is one iteration of the campaign fuzz scenario: a full
+// fault universe (no sampling — the reference arena can afford it) through
+// a random environment, both arena modes, reports compared bit by bit.
 func runCampaignSeed(seed int64) *Mismatch {
 	rng := rand.New(rand.NewSource(seed))
 
@@ -191,7 +195,6 @@ func runCampaignSeed(seed int64) *Mismatch {
 		sites = fault.ICU(fault.ListOptions{BitStep: 1})
 	}
 	fault.SortSites(sites)
-	sites = sampleSites(rng, sites, 6)
 
 	env, err := NewCampaignEnv(module, underTest, active, pos, pad, cached)
 	if err != nil {
@@ -218,24 +221,4 @@ func runCampaignSeed(seed int64) *Mismatch {
 		}
 	}
 	return nil
-}
-
-// sampleSites draws up to n sites uniformly without replacement, keeping
-// the deterministic sorted order.
-func sampleSites(rng *rand.Rand, sites []fault.Site, n int) []fault.Site {
-	if len(sites) <= n {
-		return sites
-	}
-	picked := rng.Perm(len(sites))[:n]
-	mask := make(map[int]bool, n)
-	for _, i := range picked {
-		mask[i] = true
-	}
-	out := make([]fault.Site, 0, n)
-	for i, s := range sites {
-		if mask[i] {
-			out = append(out, s)
-		}
-	}
-	return out
 }

@@ -233,8 +233,13 @@ func Scenarios() []*Scenario {
 	}
 	out = append(out, &Scenario{
 		Name: "campaign",
-		Desc: "random fault universes: arena vs legacy engine reports must be bit-identical",
+		Desc: "random full fault universes: optimized vs reference arena reports must be bit-identical",
 		run:  runCampaignSeed,
+	})
+	out = append(out, &Scenario{
+		Name: "multifault",
+		Desc: "coverage-steered multi-fault pair universes (with planned-interrupt crosses): both arena modes must agree",
+		run:  runMultifaultSeed,
 	})
 	return out
 }

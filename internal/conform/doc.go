@@ -19,8 +19,10 @@
 //	    protocol included, bit-identical per-task signatures against
 //	    one-core serial execution,
 //
-// and, at the campaign level, fuzzes random fault universes through the
-// arena and legacy campaign engines, requiring bit-identical reports.
+// and, at the campaign level, fuzzes random full fault universes through
+// both arena modes — optimized (early exit, checkpointing) and reference
+// (full budget, no shortcuts) — requiring bit-identical reports, plus
+// coverage-steered multi-fault pair universes (multifault scenario).
 //
 // On a mismatch the harness shrinks the failing input —
 // drop-an-instruction minimization for programs (plus drop-a-plan-event

@@ -27,6 +27,9 @@ type Mismatch struct {
 	Program *progen.Program
 	// Sites is the failing fault universe (campaign scenarios).
 	Sites []fault.Site
+	// Groups is the failing multi-fault group universe (multifault
+	// scenario): each group's sites are injected simultaneously.
+	Groups [][]fault.Site
 	// LibTasks is the failing plan's library task list (sched scenario);
 	// the fuzzed program is always task 0 and never dropped as a whole.
 	LibTasks []string
@@ -34,9 +37,10 @@ type Mismatch struct {
 	// recheck functions re-run the failing check on a reduced input and
 	// return the divergence ("" = the reduced input passes, so the
 	// reduction went too far).
-	recheckProg  func(*progen.Program) string
-	recheckSites func([]fault.Site) string
-	recheckSched func(*progen.Program, []string) string
+	recheckProg   func(*progen.Program) string
+	recheckSites  func([]fault.Site) string
+	recheckSched  func(*progen.Program, []string) string
+	recheckGroups func([][]fault.Site) string
 
 	// fromSweep marks mismatches whose program is exactly the seed sweep's
 	// Generate(seed, cfgFor(seed)) — the only case a "-seed N -n 1" command
@@ -59,8 +63,9 @@ func (m *Mismatch) Repro() string {
 	return fmt.Sprintf("go run ./cmd/conform -scenario %s -seed %d -n 1", m.Scenario, m.Seed)
 }
 
-// Disassembly renders the (minimized) failing program, or the failing site
-// list for campaign mismatches.
+// Disassembly renders the (minimized) failing program, the failing site
+// list for campaign mismatches, or the failing group list for multifault
+// mismatches.
 func (m *Mismatch) Disassembly() string {
 	if m.Program != nil {
 		prog, err := m.Program.Assemble(codeBase)
@@ -70,6 +75,9 @@ func (m *Mismatch) Disassembly() string {
 		return prog.Listing()
 	}
 	out := ""
+	for _, g := range m.Groups {
+		out += fmt.Sprintf("  group %v\n", g)
+	}
 	for _, s := range m.Sites {
 		out += fmt.Sprintf("  %v\n", s)
 	}
@@ -82,8 +90,9 @@ const maxShrinkRounds = 10
 
 // Minimize greedily shrinks the failing input: drop-an-instruction (unit)
 // minimization for programs, drop-a-site minimization for fault universes,
-// and both-axis drop-a-unit / drop-a-task minimization for scheduler
-// mismatches. Every candidate reduction is re-checked against the
+// both-axis drop-a-unit / drop-a-task minimization for scheduler
+// mismatches, and both-axis drop-a-group / drop-a-component minimization
+// for multi-fault group universes. Every candidate reduction is re-checked against the
 // scenario; reductions that stop failing are rolled back. Detail is
 // updated to describe the minimized failure.
 func (m *Mismatch) Minimize() {
@@ -95,6 +104,8 @@ func (m *Mismatch) Minimize() {
 		m.Program = minimizeProgram(m.Program, m.recheckProg, func(d string) { m.Detail = d })
 	case m.Sites != nil && m.recheckSites != nil:
 		m.Sites = minimizeSites(m.Sites, m.recheckSites, func(d string) { m.Detail = d })
+	case m.Groups != nil && m.recheckGroups != nil:
+		m.Groups = minimizeGroups(m.Groups, m.recheckGroups, func(d string) { m.Detail = d })
 	}
 }
 
@@ -169,6 +180,47 @@ func minimizeProgram(p *progen.Program, fails func(*progen.Program) string, onFa
 		}
 	}
 	return p
+}
+
+// minimizeGroups is the multifault scenario's both-axis greedy loop: drop
+// a whole group from the universe, then drop one component site from any
+// surviving multi-site group (a pair shrinking to the single component
+// that still diverges proves the divergence needed no fault interaction).
+// Every candidate reduction re-runs the full both-mode comparison.
+func minimizeGroups(groups [][]fault.Site, fails func([][]fault.Site) string, onFail func(string)) [][]fault.Site {
+	without := func(i int) [][]fault.Site {
+		sub := make([][]fault.Site, 0, len(groups)-1)
+		sub = append(sub, groups[:i]...)
+		return append(sub, groups[i+1:]...)
+	}
+	for round := 0; round < maxShrinkRounds; round++ {
+		changed := false
+		for i := len(groups) - 1; i >= 0; i-- {
+			if d := fails(without(i)); d != "" {
+				groups = without(i)
+				onFail(d)
+				changed = true
+			}
+		}
+		for i := len(groups) - 1; i >= 0; i-- {
+			for j := len(groups[i]) - 1; j >= 0 && len(groups[i]) > 1; j-- {
+				g := make([]fault.Site, 0, len(groups[i])-1)
+				g = append(g, groups[i][:j]...)
+				g = append(g, groups[i][j+1:]...)
+				sub := append([][]fault.Site(nil), groups...)
+				sub[i] = g
+				if d := fails(sub); d != "" {
+					groups = sub
+					onFail(d)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return groups
+		}
+	}
+	return groups
 }
 
 // minimizeSites is the same greedy loop over a fault universe.

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"sync"
 
+	"repro/internal/archint"
 	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/soc"
@@ -29,13 +30,13 @@ import (
 //   - flood: a run that has observably diverged keeps storing past 8x the
 //     golden store count (plus slack) — the runaway-loop class.
 //
-// The margins apply the same 8x stall-factor assumption the legacy watchdog
+// The margins apply the same 8x stall-factor assumption the campaign cycle
 // budget (golden cycles x 8 + 20_000) embodies, at store-gap rather than
-// whole-run granularity, so both engines misclassify only runs slowed by
-// more than 8x — and the engine-equivalence tests pin that they agree on
+// whole-run granularity, so both modes misclassify only runs slowed by
+// more than 8x — and the mode-equivalence tests pin that they agree on
 // every site of the shipped universes. ArenaOptions.NoEarlyExit restores
-// the exact legacy budget semantics. Runs that halt (cleanly or wedged)
-// are never cut short, so their signatures are exact.
+// the exact full-budget reference semantics. Runs that halt (cleanly or
+// wedged) are never cut short, so their signatures are exact.
 type Arena struct {
 	s      *soc.SoC
 	id     int
@@ -130,7 +131,10 @@ type obsEvent struct {
 // ArenaOptions tunes an Arena.
 type ArenaOptions struct {
 	// NoEarlyExit disables the divergence watchdogs; every run then uses
-	// the full cycle budget exactly like the legacy engine.
+	// the full cycle budget. Together with checkpointing off this is the
+	// reference mode: no early exit, no checkpoint fast-forward, no
+	// golden-verdict shortcut — the semantics every arena optimization is
+	// differentially pinned against.
 	NoEarlyExit bool
 	// CheckpointInterval > 0 snapshots the golden capture run every that
 	// many cycles and starts each Transition-fault run from the last
@@ -140,9 +144,16 @@ type ArenaOptions struct {
 	// the full replay. Zero disables checkpointing; campaigns enable it by
 	// default (see CampaignOptions.CheckpointInterval).
 	CheckpointInterval int64
+	// Plan, when enabled, drives a deterministic interrupt-event plan into
+	// the core under test on every run (golden capture included) — the
+	// fault x planned-interrupt cross of the multifault scenario. The
+	// injector's delivery cursor rewinds with Reset but is not part of
+	// soc.State snapshots, so an enabled plan forces checkpointing off.
+	Plan archint.Plan
 }
 
-// earlySlack mirrors the constant term of the legacy watchdog budget.
+// earlySlack mirrors the constant term of the campaign watchdog budget
+// (golden cycles x 8 + 20_000).
 const earlySlack = 20_000
 
 // NewArena assembles the SoC once and runs the fault-free golden once to
@@ -152,6 +163,12 @@ func NewArena(cfg soc.Config, id int, job *CoreJob, budget int64, opt ArenaOptio
 	for k := 0; k < soc.NumCores; k++ {
 		cfg.Cores[k].Active = k == id
 		cfg.Cores[k].Plane = nil // planes are swapped per run
+	}
+	if opt.Plan.Enabled() {
+		// soc.State snapshots do not cover the injector's delivery cursor
+		// (see cpu.CoreState), so checkpoint restores would resume with a
+		// stale cursor; plans force the full-replay path.
+		opt.CheckpointInterval = 0
 	}
 	prog, err := buildProgram(job)
 	if err != nil {
@@ -168,6 +185,10 @@ func NewArena(cfg soc.Config, id int, job *CoreJob, budget int64, opt ArenaOptio
 
 	a := &Arena{s: s, id: id, entry: prog.Base, budget: budget, cfg: cfg, job: job, opt: opt}
 	s.Cores[id].Core.SetStoreObserver(a.observe)
+	if opt.Plan.Enabled() {
+		// The attachment survives Reset; the cursor rewinds with the core.
+		s.SetInjector(id, archint.NewInjector(opt.Plan))
+	}
 
 	// Golden capture run: records the observable trace and calibrates the
 	// watchdog bounds. With checkpointing on, the run additionally carries
@@ -225,6 +246,9 @@ func newArenaClone(proto *Arena) (*Arena, error) {
 		goldenOK: proto.goldenOK, probe: proto.probe, ckpts: proto.ckpts,
 	}
 	s.Cores[a.id].Core.SetStoreObserver(a.observe)
+	if a.opt.Plan.Enabled() {
+		s.SetInjector(a.id, archint.NewInjector(a.opt.Plan))
+	}
 	return a, nil
 }
 
@@ -252,7 +276,7 @@ func (a *Arena) calibrate() {
 		// Never call a run hung for a silence shorter than one entire
 		// golden run: routines with dense stores would otherwise get an
 		// aggressive limit, and a hung run still stops at ~1/8 of the
-		// legacy budget.
+		// full campaign budget.
 		a.hangLimit = a.last.Cycles
 	}
 	a.hangLimit += earlySlack
@@ -287,8 +311,8 @@ func (a *Arena) observe(addr uint32, val uint64, size int) {
 // behind that Reset cannot rewind, so before the verdict stands the arena
 // replays the golden run and requires the construction-time RunResult
 // exactly. A failed health check quarantines the arena: it is rebuilt from
-// scratch and the suspect site is re-run on a fresh SoC (legacy
-// rebuild-per-fault semantics), so one corrupt Reset can never silently
+// scratch and the suspect site is re-run on a fresh SoC (rebuild-per-fault
+// semantics), so one corrupt Reset can never silently
 // skew subsequent verdicts. If even the rebuild fails the arena is dead
 // and serves every remaining site via fresh-SoC runs.
 func (a *Arena) Run(p fault.Plane) (sig uint32, ok bool) {
@@ -427,11 +451,10 @@ func (a *Arena) runOnce(p fault.Plane) (sig uint32, ok, cut bool) {
 	if a.testPoison != nil {
 		a.testPoison(s)
 	}
-	if t, isTransition := p.(*fault.Transition); isTransition {
-		// The plane may have served an earlier run (fallback and re-run
-		// paths); stale edge history must not leak into this run.
-		t.ResetState()
-	}
+	// The plane may have served an earlier run (fallback and re-run
+	// paths); stale Transition edge history — directly or inside a
+	// Composite — must not leak into this run.
+	fault.ResetPlaneState(p)
 	s.SetPlane(a.id, p)
 	s.Start(a.id, a.entry)
 	a.setupFastForward(p)
@@ -563,7 +586,7 @@ func (a *Arena) quarantine() {
 	a.s.Cores[a.id].Core.SetStoreObserver(a.observe)
 }
 
-// fallbackRun serves one site with legacy rebuild-per-fault semantics: a
+// fallbackRun serves one site with rebuild-per-fault semantics: a
 // fresh SoC, freshly assembled program and the full cycle budget. Used for
 // the site whose run poisoned the arena and for every site after the arena
 // died. Stateful planes are reset first: the plane object may already have
@@ -574,14 +597,17 @@ func (a *Arena) quarantine() {
 // failure is an engine fault, not a property of the site.
 func (a *Arena) fallbackRun(p fault.Plane) (sig uint32, ok bool) {
 	a.fallbackRuns++
-	if t, isTransition := p.(*fault.Transition); isTransition {
-		t.ResetState()
-	}
+	fault.ResetPlaneState(p)
 	c := a.cfg
 	c.Cores[a.id].Plane = p
 	var jobs [soc.NumCores]*CoreJob
 	jobs[a.id] = a.job
-	res, _, err := RunJobs(c, jobs, a.budget)
+	var setup func(*soc.SoC)
+	if a.opt.Plan.Enabled() {
+		plan := a.opt.Plan
+		setup = func(s *soc.SoC) { s.SetInjector(a.id, archint.NewInjector(plan)) }
+	}
+	res, _, err := RunJobsSetup(c, jobs, a.budget, nil, setup)
 	if err != nil {
 		panic(fmt.Sprintf("arena core%d: fallback run failed: %v", a.id, err))
 	}
@@ -632,6 +658,12 @@ func (a *Arena) Checkpoints() int { return len(a.ckpts) }
 // instead of replaying the full prefix.
 func (a *Arena) CheckpointRuns() int64 { return a.ckptRuns }
 
+// GoldenOK reports whether the construction-time golden capture run
+// completed cleanly. Scenario harnesses gate optional environment
+// perturbations (e.g. an interrupt plan) on it: a perturbation under which
+// even the fault-free run fails would fault every verdict.
+func (a *Arena) GoldenOK() bool { return a.goldenOK }
+
 // GoldenServed returns how many sites were served the golden verdict
 // outright because their fault never activates.
 func (a *Arena) GoldenServed() int64 { return a.goldenServed }
@@ -645,12 +677,18 @@ func (a *Arena) ConvergedRuns() int64 { return a.converged }
 // restoring a later checkpoint after exact re-convergence.
 func (a *Arena) Jumps() int64 { return a.jumps }
 
-// CampaignOptions tunes RunCampaignOpts beyond the engine choice.
+// CampaignOptions tunes RunCampaignOpts beyond the engine mode.
 type CampaignOptions struct {
 	// Workers is the worker-pool size; <= 0 uses GOMAXPROCS.
 	Workers int
-	// Legacy selects the rebuild-per-fault reference engine.
-	Legacy bool
+	// Reference runs the arenas in reference mode: full cycle budget per
+	// run (no early exit), no checkpoint fast-forward, no golden-verdict
+	// shortcut. Reports are bit-identical to the optimized mode — that
+	// equivalence is what the conformance oracle checks over full
+	// universes. (The reference mode inherited its own pin from the
+	// retired rebuild-per-fault legacy engine; see
+	// TestArenaNoEarlyExitMatchesLegacy.)
+	Reference bool
 	// Journal, when non-empty, is the path of the verdict journal.
 	// Combined with Resume, settled sites are folded in from the file;
 	// otherwise the file is created fresh (truncating any previous one).
@@ -658,13 +696,13 @@ type CampaignOptions struct {
 	// Resume loads Journal (which must carry this campaign's fingerprint)
 	// and skips its settled sites.
 	Resume bool
-	// CheckpointInterval controls golden-run checkpointing in the arena
-	// engine: 0 picks an automatic interval from the cycle budget,
+	// CheckpointInterval controls golden-run checkpointing in the
+	// optimized mode: 0 picks an automatic interval from the cycle budget,
 	// negative disables checkpointing, positive is the exact interval in
 	// cycles. Checkpointing is a pure execution-strategy choice — reports
 	// are bit-identical either way — so it does not enter the campaign
-	// fingerprint and journals transfer across settings. Ignored by the
-	// legacy engine.
+	// fingerprint and journals transfer across settings. Ignored in
+	// reference mode, which never checkpoints.
 	CheckpointInterval int64
 }
 
@@ -731,13 +769,12 @@ func CampaignFingerprint(cfg soc.Config, id int, job *CoreJob, sites []fault.Sit
 
 // RunCampaign fault-simulates job on core id for every site, in the replay
 // environment cfg with the given per-run cycle budget — the shared engine
-// dispatch behind experiments campaigns and cmd/faultsim. legacy selects
-// the rebuild-per-fault reference engine (fresh SoC and reassembled
-// program per run, full budget); otherwise each worker drives one reusable
-// Arena. Both engines produce identical reports. workers <= 0 uses
-// GOMAXPROCS.
-func RunCampaign(cfg soc.Config, id int, job *CoreJob, sites []fault.Site, budget int64, workers int, legacy bool) (fault.Report, error) {
-	return RunCampaignOpts(cfg, id, job, sites, budget, CampaignOptions{Workers: workers, Legacy: legacy})
+// dispatch behind experiments campaigns and cmd/faultsim. Each worker
+// drives one reusable Arena; reference selects the full-budget reference
+// mode (no early exit, no checkpointing, no golden-verdict shortcut).
+// Both modes produce identical reports. workers <= 0 uses GOMAXPROCS.
+func RunCampaign(cfg soc.Config, id int, job *CoreJob, sites []fault.Site, budget int64, workers int, reference bool) (fault.Report, error) {
+	return RunCampaignOpts(cfg, id, job, sites, budget, CampaignOptions{Workers: workers, Reference: reference})
 }
 
 // RunCampaignOpts is RunCampaign with journaling: verdicts stream to an
@@ -763,32 +800,14 @@ func RunCampaignOpts(cfg soc.Config, id int, job *CoreJob, sites []fault.Site, b
 		defer j.Close()
 		simOpt.Journal = j
 	}
-	if opt.Legacy {
-		runOne := func(p fault.Plane) (uint32, bool) {
-			c := cfg
-			for k := 0; k < soc.NumCores; k++ {
-				c.Cores[k].Active = k == id
-			}
-			c.Cores[id].Plane = p
-			var jobs [soc.NumCores]*CoreJob
-			jobs[id] = job
-			res, _, err := RunJobs(c, jobs, budget)
-			if err != nil || res[id] == nil {
-				return 0, false
-			}
-			return res[id].Signature, res[id].OK
-		}
-		runners := make([]fault.RunFunc, fault.Workers(opt.Workers, len(sites)))
-		for i := range runners {
-			runners[i] = runOne
-		}
-		return fault.SimulateOpts(sites, runners, simOpt)
-	}
 	// Arena 0 runs the one golden capture (with checkpointing unless
 	// disabled); the remaining workers are clones sharing its golden
 	// trace, probe and checkpoints over their own SoCs, so campaign
 	// startup costs one golden-run latency total.
 	aOpt := ArenaOptions{CheckpointInterval: resolveCheckpointInterval(opt.CheckpointInterval, budget)}
+	if opt.Reference {
+		aOpt = ArenaOptions{NoEarlyExit: true}
+	}
 	proto, err := NewArena(cfg, id, job, budget, aOpt)
 	if err != nil {
 		return fault.Report{}, err

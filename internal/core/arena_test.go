@@ -38,7 +38,7 @@ func arenaEnv(t *testing.T, active int, cached bool) (replayCfg soc.Config, job 
 }
 
 // freshRun runs job once on a freshly built SoC in the replay environment
-// (the legacy per-fault path) and returns the result plus cache statistics.
+// (rebuild-per-fault semantics) and returns the result plus cache statistics.
 func freshRun(t *testing.T, replayCfg soc.Config, job *CoreJob, budget int64, p fault.Plane) (RunResult, [2]cache.Stats) {
 	t.Helper()
 	c := replayCfg

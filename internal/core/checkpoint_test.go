@@ -75,7 +75,7 @@ func TestArenaCheckpointRestoreMatchesSteppedSoC(t *testing.T) {
 }
 
 // TestArenaCheckpointedTransitionRunsMatchFreshSoC pins the checkpointed
-// fast path against the legacy engine: for a sample of transition sites, a
+// fast path against rebuild-per-fault semantics: for a sample of transition sites, a
 // checkpointed arena run (golden-served, checkpoint-restored or
 // fast-forwarded) must reproduce the verdict of a freshly built SoC
 // simulating the same fault with the full budget.

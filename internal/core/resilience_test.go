@@ -32,8 +32,8 @@ var hangSite = fault.Site{Unit: fault.UnitHDCU, Signal: fault.SigCtl, Path: faul
 // TestArenaResetMatchesFreshSoC family with a deliberately corrupted
 // arena: the poison hook trashes post-Reset state, the watchdog-cut run's
 // health check detects it, the arena is quarantined and rebuilt, and the
-// suspect site's verdict comes from a fresh SoC — matching the legacy
-// engine exactly.
+// suspect site's verdict comes from a fresh SoC — matching a
+// rebuild-per-fault run exactly.
 func TestArenaQuarantineRecoversPoisonedReset(t *testing.T) {
 	replayCfg, job, budget := arenaEnv(t, 2, false)
 	wantRes, _ := freshRun(t, replayCfg, job, budget, nil)
@@ -138,7 +138,7 @@ func TestArenaPanickedRunHealthCheck(t *testing.T) {
 // of the fallback path: a Transition plane that already executed on the
 // (now retired) arena carries the poisoned run's edge history, and the
 // fallback fresh-SoC run must not inherit it — the verdict has to match a
-// clean legacy run of the same site exactly.
+// clean rebuild-per-fault run of the same site exactly.
 func TestArenaFallbackResetsStaleTransitionPlane(t *testing.T) {
 	replayCfg, job, budget := arenaEnv(t, 1, false)
 	sites := fault.TransitionFaults(fault.ListOptions{DataBits: 32, BitStep: 8})
@@ -250,15 +250,15 @@ func TestCampaignJournalResumeBitIdentical(t *testing.T) {
 		t.Fatalf("resumed report differs from uninterrupted:\nfull    %+v\nresumed %+v", full, resumed)
 	}
 
-	// Both engines agree under journaling too: a legacy resume of the same
-	// arena-written journal reproduces the identical report.
-	legacy, err := RunCampaignOpts(replayCfg, 0, job, sites, budget,
-		CampaignOptions{Workers: 2, Legacy: true, Journal: killedPath, Resume: true})
+	// Both modes agree under journaling too: a reference-mode resume of
+	// the same optimized-arena journal reproduces the identical report.
+	ref, err := RunCampaignOpts(replayCfg, 0, job, sites, budget,
+		CampaignOptions{Workers: 2, Reference: true, Journal: killedPath, Resume: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(full, legacy) {
-		t.Fatal("legacy resume differs from arena report")
+	if !reflect.DeepEqual(full, ref) {
+		t.Fatal("reference-mode resume differs from optimized report")
 	}
 
 	// Checkpointing is a pure engine optimisation, so it stays out of the

@@ -230,6 +230,48 @@ func (b *Bits) Count() int {
 	return n
 }
 
+// Gain returns how many bits o would add to b — the non-mutating marginal
+// value of o against accumulated coverage b. It is the steering query:
+// among candidate fault sites (or programs), the one whose bits gain the
+// most is the one worth exploring next.
+func (b *Bits) Gain(o *Bits) int {
+	n := 0
+	for i, w := range o.w {
+		n += bits.OnesCount64(w &^ b.w[i])
+	}
+	return n
+}
+
+// PickGreedy selects up to k of the candidate coverage sets by greedy
+// marginal gain: each round picks the candidate adding the most bits to
+// the union so far (lowest index on ties, so the choice is deterministic),
+// until k are chosen or no candidate adds anything. It returns the chosen
+// indices in pick order and the union of their bits — the steering
+// primitive behind coverage-steered fault-site sampling.
+func PickGreedy(cands []Bits, k int) ([]int, Bits) {
+	var union Bits
+	var picked []int
+	taken := make([]bool, len(cands))
+	for len(picked) < k {
+		best, bestGain := -1, 0
+		for i := range cands {
+			if taken[i] {
+				continue
+			}
+			if g := union.Gain(&cands[i]); g > bestGain {
+				best, bestGain = i, g
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken[best] = true
+		picked = append(picked, best)
+		union.Or(&cands[best])
+	}
+	return picked, union
+}
+
 // Group is one named slice of the feature space, for summary output.
 type Group struct {
 	Name string

@@ -37,6 +37,55 @@ func TestBucketedBits(t *testing.T) {
 	}
 }
 
+// TestGainAndPickGreedy pins the steering primitives: Gain is the
+// non-mutating marginal-bit count, and PickGreedy chooses candidates by
+// descending marginal gain with deterministic (lowest-index) tie-breaks.
+func TestGainAndPickGreedy(t *testing.T) {
+	fold := func(feats ...Feature) Bits {
+		m := new(Map)
+		for _, f := range feats {
+			m.Inc(f)
+		}
+		return m.Bits()
+	}
+	a := fold(FeatIssue1, FeatIssue2)
+	b := fold(FeatIssue2, FeatBranchTaken, FeatJump)
+	c := fold(FeatJump)
+
+	var acc Bits
+	if got := acc.Gain(&a); got != 2 {
+		t.Fatalf("Gain(a) from empty = %d, want 2", got)
+	}
+	acc.Or(&a)
+	if got := acc.Gain(&b); got != 2 {
+		t.Fatalf("Gain(b) after a = %d, want 2 (FeatIssue2 already seen)", got)
+	}
+	if got := acc.Count(); got != 2 {
+		t.Fatal("Gain mutated the receiver")
+	}
+
+	// Greedy order: b first (3 bits), then a (1 new bit), c adds nothing.
+	picked, union := PickGreedy([]Bits{a, b, c}, 3)
+	if len(picked) != 2 || picked[0] != 1 || picked[1] != 0 {
+		t.Fatalf("PickGreedy order = %v, want [1 0]", picked)
+	}
+	if got := union.Count(); got != 4 {
+		t.Fatalf("union has %d bits, want 4", got)
+	}
+
+	// Tie-break: two identical candidates — lowest index wins, duplicate
+	// adds nothing and is dropped.
+	picked, _ = PickGreedy([]Bits{c, c}, 2)
+	if len(picked) != 1 || picked[0] != 0 {
+		t.Fatalf("tie-break pick = %v, want [0]", picked)
+	}
+
+	// k caps the selection even when more candidates would still gain.
+	if picked, _ = PickGreedy([]Bits{a, b, c}, 1); len(picked) != 1 {
+		t.Fatalf("k=1 picked %d candidates", len(picked))
+	}
+}
+
 // TestFeatureSpaceDisjoint pins that the derived feature indexers stay
 // inside the map and never collide across groups.
 func TestFeatureSpaceDisjoint(t *testing.T) {

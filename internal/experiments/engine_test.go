@@ -8,12 +8,12 @@ import (
 	"repro/internal/soc"
 )
 
-// The legacy (rebuild-per-fault, full-budget) and arena (reusable SoC,
-// early-exit) campaign engines must produce bit-identical reports: same
+// The reference (full-budget, no shortcuts) and optimized (early-exit,
+// checkpointed) arena modes must produce bit-identical reports: same
 // golden, same detected set, same signatures, same crash flags, site by
 // site. The cross-checking machinery lives in internal/conform (which also
 // fuzzes it over random universes and environments); these tests pin the
-// equivalence on the two fixed universes the paper's tables depend on.
+// equivalence on the fixed universes the paper's tables depend on.
 
 func compareEngines(t *testing.T, env *conform.CampaignEnv, sites []fault.Site) {
 	t.Helper()
@@ -22,11 +22,11 @@ func compareEngines(t *testing.T, env *conform.CampaignEnv, sites []fault.Site) 
 		t.Fatal(err)
 	}
 	if detail != "" {
-		t.Errorf("engines disagree: %s", detail)
+		t.Errorf("arena modes disagree: %s", detail)
 	}
 }
 
-// TestEngineEquivalenceForwarding compares the engines on the quick
+// TestEngineEquivalenceForwarding compares the arena modes on the quick
 // forwarding universe (stuck-at plus transition faults) in the uncached
 // multi-core replay environment of Table II.
 func TestEngineEquivalenceForwarding(t *testing.T) {
@@ -41,14 +41,14 @@ func TestEngineEquivalenceForwarding(t *testing.T) {
 	compareEngines(t, env, sites)
 }
 
-// TestEngineEquivalenceICU compares the engines on the quick ICU universe
-// under the cache-based strategy (Table III's multi-core arm), which
-// additionally exercises cache reset between fault runs and the
-// wedge-heavy ICU fault population.
+// TestEngineEquivalenceICU compares the arena modes on the full ICU
+// universe under the cache-based strategy (Table III's multi-core arm),
+// which additionally exercises cache reset between fault runs and the
+// wedge-heavy ICU fault population. The universe is unsampled: the
+// reference arena can afford it now that both sides reuse their SoCs.
 func TestEngineEquivalenceICU(t *testing.T) {
 	sites := fault.ICU(fault.ListOptions{BitStep: 1})
 	fault.SortSites(sites)
-	sites = fault.Sample(sites, 2)
 
 	env, err := conform.NewCampaignEnv("icu", 0, 3, soc.CodeLow, 0, true)
 	if err != nil {

@@ -13,22 +13,6 @@ import (
 	"repro/internal/soc"
 )
 
-// Engine selects the fault-campaign execution engine.
-type Engine int
-
-const (
-	// EngineArena (the default) gives every worker one long-lived SoC:
-	// the program is assembled and loaded once, each fault run is reset +
-	// plane-swap, and runs terminate early once the divergence watchdogs
-	// prove the full cycle budget cannot change the outcome.
-	EngineArena Engine = iota
-	// EngineLegacy rebuilds the SoC and reassembles the program for every
-	// fault run and always simulates to the full watchdog budget (the
-	// pre-arena behaviour, kept as the reference the equivalence tests
-	// compare against).
-	EngineLegacy
-)
-
 // Options tunes experiment cost.
 type Options struct {
 	// Quick reduces fault universes (bit sampling) and scenario counts so
@@ -36,17 +20,20 @@ type Options struct {
 	Quick bool
 	// Workers bounds fault-simulation parallelism (0 = GOMAXPROCS).
 	Workers int
-	// Engine selects the campaign engine (default EngineArena).
-	Engine Engine
+	// Reference runs the campaigns in the arena's full-budget reference
+	// mode (no early exit, no checkpointing, no golden-verdict shortcut)
+	// instead of the optimized default. Reports are bit-identical across
+	// modes; see core.CampaignOptions.Reference.
+	Reference bool
 	// JournalDir, when non-empty, journals every campaign's verdicts to a
 	// content-addressed file in this directory and resumes from whatever
 	// those files already settle — an interrupted table sweep re-runs only
 	// unsettled sites (see internal/fault's Journal).
 	JournalDir string
-	// CheckpointInterval controls golden-run checkpointing in the arena
-	// engine: 0 = automatic (derived from the cycle budget), negative =
-	// off, positive = interval in cycles. Reports are bit-identical across
-	// settings; see core.CampaignOptions.
+	// CheckpointInterval controls golden-run checkpointing in the
+	// optimized campaign mode: 0 = automatic (derived from the cycle
+	// budget), negative = off, positive = interval in cycles. Reports are
+	// bit-identical across settings; see core.CampaignOptions.
 	CheckpointInterval int64
 }
 
@@ -182,14 +169,14 @@ type campaign struct {
 	cfg        soc.Config // configuration for the golden (full) run
 	jobs       [soc.NumCores]*core.CoreJob
 	workers    int
-	engine     Engine
+	reference  bool
 	journalDir string
 	ckptIv     int64
 }
 
 func newCampaign(o Options, underTest int, cfg soc.Config, jobs [soc.NumCores]*core.CoreJob) campaign {
 	return campaign{underTest: underTest, cfg: cfg, jobs: jobs,
-		workers: o.Workers, engine: o.Engine, journalDir: o.JournalDir,
+		workers: o.Workers, reference: o.Reference, journalDir: o.JournalDir,
 		ckptIv: o.CheckpointInterval}
 }
 
@@ -214,7 +201,7 @@ func (c campaign) run(sites []fault.Site) (fault.Report, error) {
 	cfg := c.cfg
 	cfg.Replay = traffic
 
-	opt := core.CampaignOptions{Workers: c.workers, Legacy: c.engine == EngineLegacy,
+	opt := core.CampaignOptions{Workers: c.workers, Reference: c.reference,
 		CheckpointInterval: c.ckptIv}
 	if c.journalDir != "" {
 		// One content-addressed journal per campaign: resuming an

@@ -1,0 +1,149 @@
+package fault
+
+// Multi-fault extension: a Composite plane injects two or more
+// simultaneous faults by chaining component planes. Value-transforming
+// hooks (mux data, select codes, ICU registers, counter reads) thread the
+// signal through every component in order — for disjoint sites at most
+// one component is non-transparent per call, or the components force
+// distinct bits, so composition is order-independent. CmpEq is a verdict,
+// not a value: each component observes the original comparator inputs and
+// any component that flips the fault-free comparison decides (every flip
+// yields the same boolean, so this too is order-independent). For sites on
+// distinct comparators the merged verdict is exact; two stuck XNOR bits on
+// the *same* comparator are approximated as an OR of single-bit overrides.
+
+// Composite injects every component plane's faults simultaneously.
+type Composite struct {
+	// Parts are the component planes, applied in order on value hooks.
+	Parts []Plane
+}
+
+// NewComposite builds a multi-fault plane from component planes. Nested
+// composites are flattened, so NewComposite(a, NewComposite(b, c)) equals
+// NewComposite(a, b, c).
+func NewComposite(parts ...Plane) *Composite {
+	c := &Composite{Parts: make([]Plane, 0, len(parts))}
+	for _, p := range parts {
+		if sub, ok := p.(*Composite); ok {
+			c.Parts = append(c.Parts, sub.Parts...)
+			continue
+		}
+		c.Parts = append(c.Parts, p)
+	}
+	return c
+}
+
+// CompositeFor builds the multi-fault plane for a site group: one
+// component per site, each via PlaneFor (stuck-at or transition by kind).
+func CompositeFor(group []Site) *Composite {
+	parts := make([]Plane, len(group))
+	for i, s := range group {
+		parts[i] = PlaneFor(s)
+	}
+	return NewComposite(parts...)
+}
+
+// ResetState clears the per-run state of every stateful component
+// (Transition edge history), so a Composite that already executed can
+// serve a fresh run from cycle 0.
+func (c *Composite) ResetState() {
+	for _, p := range c.Parts {
+		ResetPlaneState(p)
+	}
+}
+
+func (c *Composite) MuxData(lane, operand, path uint8, v uint64) uint64 {
+	for _, p := range c.Parts {
+		v = p.MuxData(lane, operand, path, v)
+	}
+	return v
+}
+
+func (c *Composite) MuxSel(lane, operand, sel uint8) uint8 {
+	for _, p := range c.Parts {
+		sel = p.MuxSel(lane, operand, sel)
+	}
+	return sel
+}
+
+func (c *Composite) CmpEq(cmpID uint8, a, b uint8) bool {
+	out := a == b
+	for _, p := range c.Parts {
+		if r := p.CmpEq(cmpID, a, b); r != (a == b) {
+			out = r
+		}
+	}
+	return out
+}
+
+func (c *Composite) Ctl(line uint8, v bool) bool {
+	for _, p := range c.Parts {
+		v = p.Ctl(line, v)
+	}
+	return v
+}
+
+func (c *Composite) EvLine(line uint8, v bool) bool {
+	for _, p := range c.Parts {
+		v = p.EvLine(line, v)
+	}
+	return v
+}
+
+func (c *Composite) Cause(v uint32) uint32 {
+	for _, p := range c.Parts {
+		v = p.Cause(v)
+	}
+	return v
+}
+
+func (c *Composite) Dist(v uint32) uint32 {
+	for _, p := range c.Parts {
+		v = p.Dist(v)
+	}
+	return v
+}
+
+func (c *Composite) Enable(v uint32) uint32 {
+	for _, p := range c.Parts {
+		v = p.Enable(v)
+	}
+	return v
+}
+
+func (c *Composite) EPC(v uint32) uint32 {
+	for _, p := range c.Parts {
+		v = p.EPC(v)
+	}
+	return v
+}
+
+func (c *Composite) CounterRead(id uint8, v uint32) uint32 {
+	for _, p := range c.Parts {
+		v = p.CounterRead(id, v)
+	}
+	return v
+}
+
+func (c *Composite) CounterInc(id uint8, inc bool) bool {
+	for _, p := range c.Parts {
+		inc = p.CounterInc(id, inc)
+	}
+	return inc
+}
+
+var _ Plane = (*Composite)(nil)
+
+// PairGroups enumerates every unordered pair of distinct sites from the
+// universe as a two-site multi-fault group, in universe order — the pair
+// counterpart of the single-site List functions. For n sites it returns
+// n*(n-1)/2 groups; callers steer or sample before simulating.
+func PairGroups(sites []Site) [][]Site {
+	var groups [][]Site
+	for i := 0; i < len(sites); i++ {
+		for j := i + 1; j < len(sites); j++ {
+			groups = append(groups, []Site{sites[i], sites[j]})
+		}
+	}
+	return groups
+}

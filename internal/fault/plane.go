@@ -51,6 +51,13 @@ func AffectsEvLines(p Plane) bool {
 		return false // transition faults live on the forwarding data lines
 	case *MuxProbe:
 		return false // the probe only watches the forwarding data lines
+	case *Composite:
+		for _, part := range f.Parts {
+			if AffectsEvLines(part) {
+				return true
+			}
+		}
+		return false
 	}
 	return true
 }
@@ -69,8 +76,25 @@ func AffectsCounterInc(p Plane) bool {
 		return false
 	case *MuxProbe:
 		return false
+	case *Composite:
+		for _, part := range f.Parts {
+			if AffectsCounterInc(part) {
+				return true
+			}
+		}
+		return false
 	}
 	return true
+}
+
+// ResetPlaneState clears any per-run state plane p carries — a
+// Transition's edge history, recursively through Composite components.
+// Stateless planes are untouched. Engines call it before serving a fresh
+// run from cycle 0 with a plane object that may already have executed.
+func ResetPlaneState(p Plane) {
+	if r, ok := p.(interface{ ResetState() }); ok {
+		r.ResetState()
+	}
 }
 
 type noFault struct{}
