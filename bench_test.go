@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"io"
 	"reflect"
 	"testing"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/sbst"
 	"repro/internal/soc"
+	"repro/internal/telemetry"
 )
 
 var quick = experiments.Options{Quick: true}
@@ -176,6 +178,44 @@ func BenchmarkCheckpointSpeedup(b *testing.B) {
 		b.ReportMetric(ref.Seconds()/ckpt.Seconds(), "speedup-vs-reference")
 		b.ReportMetric(plain.Seconds()/ckpt.Seconds(), "ckpt-vs-plain-arena")
 		b.ReportMetric(ckpt.Seconds(), "ckpt-s")
+	}
+}
+
+// BenchmarkCampaignTelemetryOverhead times the quick Table II campaign with
+// telemetry fully attached (registry + event stream into a discard writer)
+// against the detached default, verifies the verdicts are identical, and
+// reports the relative cost. The acceptance bar is "no measurable overhead
+// with flags off"; the attached arm documents what turning everything on
+// costs (atomic counters + histogram observes + one JSONL line per site).
+func BenchmarkCampaignTelemetryOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		plainRows, err := experiments.TableII(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain := time.Since(t0)
+
+		reg := telemetry.NewRegistry()
+		t0 = time.Now()
+		instRows, err := experiments.TableII(experiments.Options{
+			Quick:     true,
+			Telemetry: reg,
+			Events:    telemetry.NewEventLog(io.Discard),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst := time.Since(t0)
+
+		if !reflect.DeepEqual(plainRows, instRows) {
+			b.Fatalf("telemetry changed results:\nplain %+v\ninstrumented %+v", plainRows, instRows)
+		}
+		if reg.Counter("campaign_sites_settled_total").Value() == 0 {
+			b.Fatal("instrumented run settled no sites into the registry")
+		}
+		b.ReportMetric(inst.Seconds()/plain.Seconds(), "attached-vs-detached")
+		b.ReportMetric(plain.Seconds(), "detached-s")
 	}
 }
 

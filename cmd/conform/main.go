@@ -11,6 +11,7 @@ import (
 	"repro/internal/conform"
 	"repro/internal/fault"
 	"repro/internal/progen"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -25,6 +26,8 @@ func main() {
 	selftest := flag.Bool("selftest", false, "inject a decoder bug and require the harness to catch and minimize it")
 	list := flag.Bool("list", false, "print the scenario names, one per line, and exit (machine-readable; CI matrices sync against it)")
 	artifacts := flag.String("artifacts", "", "on a mismatch, save the failing recipe/plan JSON into this directory (workflow-artifact repro)")
+	progress := flag.Duration("progress", 0, "print a progress line to stderr every interval (0 = off)")
+	telemetryAddr := flag.String("telemetry", "", "serve Prometheus /metrics and /debug/pprof on this address (:0 picks a free port, printed to stderr)")
 	verbose := flag.Bool("v", false, "print every seed")
 	flag.Parse()
 
@@ -60,6 +63,24 @@ func main() {
 		scenarios = []*conform.Scenario{sc}
 	}
 
+	// Telemetry: one registry across every scenario when a listener is up
+	// (the fuzz loops and the plain-loop ticker all feed it). A progress
+	// interval alone also needs it for the rate counters.
+	var reg *telemetry.Registry
+	if *telemetryAddr != "" || *progress > 0 {
+		reg = telemetry.NewRegistry()
+	}
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Serve(*telemetryAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "conform:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "conform: telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	plainRuns := reg.Counter("conform_runs_total")
+
 	// Panicked checks and all-skip windows fail the run, but only after
 	// every scenario has had its turn — they are verdicts about the suite,
 	// not stop-the-world divergences.
@@ -74,7 +95,8 @@ func main() {
 		}
 		if *cover && sc.Guidable() {
 			res, err := sc.Fuzz(*seed, iters, deadline,
-				conform.FuzzOptions{CorpusDir: *corpus, OnPanic: saveArtifact})
+				conform.FuzzOptions{CorpusDir: *corpus, OnPanic: saveArtifact,
+					Telemetry: reg, Progress: *progress})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "conform:", err)
 				os.Exit(2)
@@ -102,6 +124,14 @@ func main() {
 		}
 		count, panics := 0, 0
 		fullBase := sc.FullSkips()
+		// The plain-loop progress ticker reads only the registry counter,
+		// never the loop's own locals.
+		runsBase := plainRuns.Value()
+		tick := telemetry.StartTicker(*progress, func() {
+			n := plainRuns.Value() - runsBase
+			fmt.Fprintf(os.Stderr, "progress: scenario %s, %d runs, %.1f runs/s\n",
+				sc.Name, n, float64(n)/time.Since(start).Seconds())
+		})
 		for i := 0; ; i++ {
 			if deadline.IsZero() {
 				if i >= iters {
@@ -122,13 +152,16 @@ func main() {
 					fmt.Printf("scenario %-9s seed %d PANIC (isolated): %s\n", sc.Name, s, m.Detail)
 					saveArtifact(m)
 					count++
+					plainRuns.Inc()
 					continue
 				}
 				report(m)
 				os.Exit(1)
 			}
 			count++
+			plainRuns.Inc()
 		}
+		tick.Stop()
 		fmt.Printf("scenario %-9s %4d runs ok  (%.1fs)  %s\n",
 			sc.Name, count, time.Since(start).Seconds(), sc.Desc)
 		if panics > 0 {

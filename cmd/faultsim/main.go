@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bus"
 	"repro/internal/core"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/sbst"
 	"repro/internal/soc"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -27,8 +29,16 @@ func main() {
 	journal := flag.String("journal", "", "append-only verdict journal file (line-delimited JSON; survives SIGKILL)")
 	resume := flag.Bool("resume", false, "resume from -journal: skip settled sites and reproduce the bit-identical report")
 	reportFile := flag.String("report", "", "write the final fault.Report as JSON to this file")
+	progress := flag.Duration("progress", 0, "print a campaign progress line to stderr every interval (0 = off)")
+	eventsPath := flag.String("events", "", "stream campaign events (JSONL: start/progress/site/quarantine/finish) to this file")
+	telemetryAddr := flag.String("telemetry", "", "serve Prometheus /metrics and /debug/pprof on this address (:0 picks a free port, printed to stderr)")
+	summaryPath := flag.String("summary", "", "write a run-summary JSON (report + telemetry snapshot) to this file")
+	checkEvents := flag.String("check-events", "", "validate a JSONL event-stream file (strict schema, campaign shape) and exit")
 	verbose := flag.Bool("v", false, "list undetected faults")
 	flag.Parse()
+	if *checkEvents != "" {
+		os.Exit(checkEventStream(*checkEvents))
+	}
 	if *engine == "legacy" {
 		fmt.Fprintln(os.Stderr, "faultsim: the legacy rebuild-per-fault engine was retired; use -engine reference for the full-budget reference-arena semantics")
 		os.Exit(2)
@@ -134,6 +144,26 @@ func main() {
 	replayCfg := cfg
 	replayCfg.Replay = traffic
 
+	// Telemetry sinks: a registry when anything consumes it, an HTTP
+	// listener for /metrics and pprof, and a JSONL event stream.
+	var reg *telemetry.Registry
+	if *telemetryAddr != "" || *summaryPath != "" {
+		reg = telemetry.NewRegistry()
+	}
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Serve(*telemetryAddr, reg)
+		fail(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "faultsim: telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	var events *telemetry.EventLog
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		fail(err)
+		defer f.Close()
+		events = telemetry.NewEventLog(f)
+	}
+
 	rep, err := core.RunCampaignOpts(replayCfg, *coreID, jobs[*coreID], sites,
 		budget, core.CampaignOptions{
 			Workers:            *workers,
@@ -141,8 +171,12 @@ func main() {
 			Journal:            *journal,
 			Resume:             *resume,
 			CheckpointInterval: *ckptInterval,
+			Telemetry:          reg,
+			Events:             events,
+			Progress:           *progress,
 		})
 	fail(err)
+	fail(events.Err())
 	fmt.Printf("routine=%s core=%c strategy=%s multicore=%v engine=%s\n",
 		*routineName, rune('A'+*coreID), *strategyName, *multicore, *engine)
 	fmt.Println(rep.String())
@@ -157,6 +191,9 @@ func main() {
 		blob, err := json.MarshalIndent(clean, "", "  ")
 		fail(err)
 		fail(os.WriteFile(*reportFile, append(blob, '\n'), 0o644))
+	}
+	if *summaryPath != "" {
+		fail(writeSummary(*summaryPath, rep, reg))
 	}
 
 	fmt.Println("per-signal breakdown:")
@@ -177,4 +214,74 @@ func fail(err error) {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runSummary is the campaign provenance record -summary writes: the final
+// report (anomaly stacks stripped, like -report) plus the full telemetry
+// snapshot and wall-clock timestamp.
+type runSummary struct {
+	FinishedAt time.Time          `json:"finishedAt"`
+	Report     fault.Report       `json:"report"`
+	Telemetry  telemetry.Snapshot `json:"telemetry"`
+	Dispatch   map[string]int64   `json:"dispatch"`
+}
+
+// writeSummary renders the run summary. The dispatch counts ride in their
+// own map (Report excludes them from JSON so report files stay
+// byte-comparable across engine modes).
+func writeSummary(path string, rep fault.Report, reg *telemetry.Registry) error {
+	clean := rep
+	clean.Anomalies = nil
+	dispatch := make(map[string]int64, fault.NumDispatchPaths)
+	for p := fault.DispatchPath(0); p < fault.NumDispatchPaths; p++ {
+		dispatch[p.String()] = rep.Dispatch[p]
+	}
+	blob, err := json.MarshalIndent(runSummary{
+		FinishedAt: time.Now().UTC(),
+		Report:     clean,
+		Telemetry:  reg.Snapshot(),
+		Dispatch:   dispatch,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// checkEventStream validates a JSONL event-stream file with the same
+// strict decoder the telemetry schema test pins, then checks the campaign
+// shape: exactly one start and one finish, and the finish's settled count
+// must equal the number of site events in the stream.
+func checkEventStream(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		return 1
+	}
+	defer f.Close()
+	events, err := telemetry.DecodeEvents(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim: check-events:", err)
+		return 1
+	}
+	starts := telemetry.CountKind(events, telemetry.EventStart)
+	finishes := telemetry.CountKind(events, telemetry.EventFinish)
+	siteEvents := telemetry.CountKind(events, telemetry.EventSite)
+	fmt.Printf("events: %d total (%d start, %d progress, %d site, %d quarantine, %d finish)\n",
+		len(events), starts,
+		telemetry.CountKind(events, telemetry.EventProgress), siteEvents,
+		telemetry.CountKind(events, telemetry.EventQuarantine), finishes)
+	if starts != 1 || finishes != 1 {
+		fmt.Fprintf(os.Stderr, "faultsim: check-events: want exactly one start and one finish, got %d and %d\n", starts, finishes)
+		return 1
+	}
+	for _, e := range events {
+		if e.Kind == telemetry.EventFinish && e.Settled != int64(siteEvents) {
+			fmt.Fprintf(os.Stderr, "faultsim: check-events: finish settled %d but stream carries %d site events\n",
+				e.Settled, siteEvents)
+			return 1
+		}
+	}
+	fmt.Println("event stream ok")
+	return 0
 }

@@ -1,21 +1,44 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced fault universes and scenario counts")
 	only := flag.String("only", "", "run a single experiment: t1, t2, t3, t4, fig1, fig2, delay")
 	workers := flag.Int("workers", 0, "fault-simulation worker goroutines (0 = GOMAXPROCS)")
+	progress := flag.Duration("progress", 0, "print per-campaign progress lines to stderr every interval (0 = off)")
+	eventsPath := flag.String("events", "", "stream campaign and table-span events (JSONL) to this file")
+	telemetryAddr := flag.String("telemetry", "", "serve Prometheus /metrics and /debug/pprof on this address (:0 picks a free port, printed to stderr)")
+	summaryPath := flag.String("summary", "", "write a telemetry-snapshot JSON (per-table spans, campaign metrics) to this file")
 	flag.Parse()
 
-	o := experiments.Options{Quick: *quick, Workers: *workers}
+	o := experiments.Options{Quick: *quick, Workers: *workers, Progress: *progress}
+	var reg *telemetry.Registry
+	if *telemetryAddr != "" || *summaryPath != "" {
+		reg = telemetry.NewRegistry()
+		o.Telemetry = reg
+	}
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Serve(*telemetryAddr, reg)
+		fail(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "repro: telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		fail(err)
+		defer f.Close()
+		o.Events = telemetry.NewEventLog(f)
+	}
 	want := func(name string) bool { return *only == "" || *only == name }
 	start := time.Now()
 
@@ -53,6 +76,15 @@ func main() {
 		rows, err := experiments.DelayFaults(o)
 		fail(err)
 		fmt.Println(experiments.RenderDelay(rows))
+	}
+	fail(o.Events.Err())
+	if *summaryPath != "" {
+		blob, err := json.MarshalIndent(struct {
+			FinishedAt time.Time          `json:"finishedAt"`
+			Telemetry  telemetry.Snapshot `json:"telemetry"`
+		}{time.Now().UTC(), reg.Snapshot()}, "", "  ")
+		fail(err)
+		fail(os.WriteFile(*summaryPath, append(blob, '\n'), 0o644))
 	}
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
 }

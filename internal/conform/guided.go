@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -23,6 +24,7 @@ import (
 
 	"repro/internal/coverage"
 	"repro/internal/progen"
+	"repro/internal/telemetry"
 )
 
 // FuzzOptions tunes a fuzzing loop (guided or random).
@@ -52,6 +54,46 @@ type FuzzOptions struct {
 	// recipe-saving hook); the loop then continues instead of stopping. A
 	// genuine divergence still stops the loop. Nil means isolate silently.
 	OnPanic func(*Mismatch)
+
+	// Telemetry, when non-nil, receives the loop's live metrics
+	// (fuzz_iters_total, fuzz_corpus_size, fuzz_coverage_bits, skip and
+	// panic counts). Nil disables them at zero cost.
+	Telemetry *telemetry.Registry
+
+	// Progress > 0 prints a progress line (iters, rate, corpus size,
+	// coverage bits) to ProgressWriter every interval. The ticker reads
+	// only registry atomics, never the scenario's own counters, so it is
+	// safe alongside the running loop.
+	Progress time.Duration
+
+	// ProgressWriter receives the progress lines; nil means os.Stderr.
+	ProgressWriter io.Writer
+}
+
+// fuzzMetrics holds the registry handles the fuzz loop updates; the zero
+// value (telemetry detached) makes every update a nil-check no-op.
+type fuzzMetrics struct {
+	enabled bool
+	iters   *telemetry.Counter
+	panics  *telemetry.Counter
+	corpus  *telemetry.Gauge
+	bits    *telemetry.Gauge
+	skips   *telemetry.Gauge
+}
+
+// newFuzzMetrics resolves the fuzz metric names once per loop.
+func newFuzzMetrics(reg *telemetry.Registry) fuzzMetrics {
+	if reg == nil {
+		return fuzzMetrics{}
+	}
+	return fuzzMetrics{
+		enabled: true,
+		iters:   reg.Counter("fuzz_iters_total"),
+		panics:  reg.Counter("fuzz_panics_total"),
+		corpus:  reg.Gauge("fuzz_corpus_size"),
+		bits:    reg.Gauge("fuzz_coverage_bits"),
+		skips:   reg.Gauge("fuzz_skips"),
+	}
 }
 
 func (o FuzzOptions) withDefaults() FuzzOptions {
@@ -128,6 +170,27 @@ func (s *Scenario) Fuzz(seed int64, iters int, deadline time.Time, opts FuzzOpti
 	// fully reproducible from its command line.
 	rng := rand.New(rand.NewSource(seed ^ 0x636f7665726167)) // "coverag"
 	res := &FuzzResult{}
+	reg := opts.Telemetry
+	if reg == nil && opts.Progress > 0 {
+		// The progress line reads registry atomics; give it a private
+		// registry when the caller did not attach one.
+		reg = telemetry.NewRegistry()
+	}
+	met := newFuzzMetrics(reg)
+	if opts.Progress > 0 {
+		w := opts.ProgressWriter
+		if w == nil {
+			w = os.Stderr
+		}
+		start := time.Now()
+		tk := telemetry.StartTicker(opts.Progress, func() {
+			it := met.iters.Value()
+			fmt.Fprintf(w, "fuzz: %d iters, %.1f iters/s, corpus %d, coverage %d bits, %d skips, %d panics\n",
+				it, float64(it)/time.Since(start).Seconds(),
+				met.corpus.Value(), met.bits.Value(), met.skips.Value(), met.panics.Value())
+		})
+		defer tk.Stop()
+	}
 	// Scenario.Skips is a lifetime counter; report this loop's delta, on
 	// every exit path (including an early mismatch stop).
 	skipsBase, fullBase := s.Skips(), s.FullSkips()
@@ -142,6 +205,7 @@ func (s *Scenario) Fuzz(seed int64, iters int, deadline time.Time, opts FuzzOpti
 			return false
 		}
 		res.Panics++
+		met.panics.Inc()
 		if res.FirstPanic == nil {
 			res.FirstPanic = m
 		}
@@ -200,7 +264,14 @@ func (s *Scenario) Fuzz(seed int64, iters int, deadline time.Time, opts FuzzOpti
 		}
 		cov.Reset()
 		res.Iters++
-		if m := s.CheckProgram(p, cov); m != nil {
+		met.iters.Inc()
+		m := s.CheckProgram(p, cov)
+		if met.enabled {
+			// Mirror the scenario's (non-atomic) lifetime skip counter into
+			// the registry so the progress ticker never reads loop state.
+			met.skips.Set(int64(s.Skips() - skipsBase))
+		}
+		if m != nil {
 			if !isolate(m) {
 				res.Mismatch = m
 				return res, nil
@@ -209,6 +280,9 @@ func (s *Scenario) Fuzz(seed int64, iters int, deadline time.Time, opts FuzzOpti
 		}
 		bits := cov.Bits()
 		gained := res.Bits.Or(&bits)
+		if gained && met.enabled {
+			met.bits.Set(int64(res.Bits.Count()))
+		}
 		if fresh && !opts.Random {
 			if gained {
 				freshP = 1.0
@@ -218,6 +292,7 @@ func (s *Scenario) Fuzz(seed int64, iters int, deadline time.Time, opts FuzzOpti
 		}
 		if gained && !opts.Random {
 			corpus = append(corpus, p)
+			met.corpus.Set(int64(len(corpus)))
 			if opts.CorpusDir != "" {
 				if err := SaveRecipe(opts.CorpusDir, p.Recipe); err != nil {
 					return nil, err

@@ -3,13 +3,17 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"io"
+	"os"
 	"reflect"
 	"sync"
+	"time"
 
 	"repro/internal/archint"
 	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/soc"
+	"repro/internal/telemetry"
 )
 
 // Arena is a reusable fault-simulation worker: one long-lived SoC with the
@@ -94,16 +98,101 @@ type Arena struct {
 	// post-Reset state.
 	testPoison func(*soc.SoC)
 
-	last         RunResult
-	runs         int64
-	earlyExits   int64
-	healthChecks int64
-	quarantines  int64
-	fallbackRuns int64
-	ckptRuns     int64
-	goldenServed int64
-	converged    int64
-	jumps        int64
+	last RunResult
+
+	// st holds the lifetime counters (Stats() fills in the derived
+	// fields). path is the dispatch classification of the run in flight,
+	// set by whichever serving path executes and folded into st.Dispatch
+	// by Run. met carries the registry handles; its zero value (telemetry
+	// detached) makes every metric update a nil-check no-op.
+	st   ArenaStats
+	path fault.DispatchPath
+	met  arenaMetrics
+}
+
+// ArenaStats is one arena's lifetime counters as a plain snapshot —
+// the unified form of the per-counter getters, which now delegate to it.
+// Campaign code folds the per-worker snapshots into campaign totals
+// (fault.Report.Dispatch) and the run-summary JSON.
+type ArenaStats struct {
+	// Runs counts plane-swap runs served by the long-lived SoC, golden
+	// capture included.
+	Runs int64
+	// EarlyExits counts runs the divergence watchdogs terminated before
+	// the full budget.
+	EarlyExits int64
+	// HealthChecks counts golden-replay health probes.
+	HealthChecks int64
+	// Quarantines counts rebuilds after a failed health check.
+	Quarantines int64
+	// FallbackRuns counts sites served by fresh-SoC rebuild-per-fault
+	// runs.
+	FallbackRuns int64
+	// CheckpointRuns counts runs started from a golden checkpoint.
+	CheckpointRuns int64
+	// GoldenServed counts sites served the golden verdict outright.
+	GoldenServed int64
+	// ConvergedRuns counts runs cut short by exact re-convergence with
+	// the golden run past the site's last activating edge.
+	ConvergedRuns int64
+	// Jumps counts provably-golden mid-run windows skipped by restoring
+	// a later checkpoint.
+	Jumps int64
+	// Dispatch classifies every site served through Run by the path that
+	// served it (fallback runs included).
+	Dispatch fault.DispatchStats
+	// Checkpoints is the number of golden-run restore points held.
+	Checkpoints int
+	// GoldenEvents is the length of the captured observable trace.
+	GoldenEvents int
+	// GoldenOK reports a clean construction-time golden capture.
+	GoldenOK bool
+	// Dead reports an arena that gave up on reuse (rebuild failed).
+	Dead bool
+}
+
+// Stats snapshots the arena's lifetime counters.
+func (a *Arena) Stats() ArenaStats {
+	st := a.st
+	st.Checkpoints = len(a.ckpts)
+	st.GoldenEvents = len(a.golden)
+	st.GoldenOK = a.goldenOK
+	st.Dead = a.dead
+	return st
+}
+
+// arenaMetrics holds the registry handles an arena updates on its hot
+// path. All handles are nil when telemetry is detached; enabled gates the
+// time.Now() calls so the detached path pays only nil checks.
+type arenaMetrics struct {
+	enabled      bool
+	dispatch     [fault.NumDispatchPaths]*telemetry.Counter
+	runNs        [fault.NumDispatchPaths]*telemetry.Histogram
+	earlyExits   *telemetry.Counter
+	healthChecks *telemetry.Counter
+	quarantines  *telemetry.Counter
+	converged    *telemetry.Counter
+	jumps        *telemetry.Counter
+}
+
+// newArenaMetrics resolves the arena metric names once. Worker arenas
+// cloned from one prototype share the registry, so they land on the same
+// atomic handles and their updates aggregate campaign-wide.
+func newArenaMetrics(reg *telemetry.Registry) arenaMetrics {
+	if reg == nil {
+		return arenaMetrics{}
+	}
+	m := arenaMetrics{enabled: true}
+	for p := fault.DispatchPath(0); p < fault.NumDispatchPaths; p++ {
+		m.dispatch[p] = reg.Counter("arena_dispatch_" + p.String() + "_total")
+		m.runNs[p] = reg.Histogram("arena_run_ns_" + p.String())
+	}
+	m.earlyExits = reg.Counter("arena_early_exits_total")
+	m.healthChecks = reg.Counter("arena_health_checks_total")
+	m.quarantines = reg.Counter("arena_quarantines_total")
+	m.converged = reg.Counter("arena_converged_runs_total")
+	m.jumps = reg.Counter("arena_jumps_total")
+	return m
 }
 
 // checkpoint is one golden-run restore point: the full SoC state at cycle,
@@ -150,6 +239,14 @@ type ArenaOptions struct {
 	// injector's delivery cursor rewinds with Reset but is not part of
 	// soc.State snapshots, so an enabled plan forces checkpointing off.
 	Plan archint.Plan
+	// Telemetry, when non-nil, receives the arena's dispatch-path
+	// counters and per-path run-latency histograms. Nil (the default)
+	// disables metrics at zero cost — the nil-receiver contract of
+	// internal/telemetry.
+	Telemetry *telemetry.Registry
+	// Events, when non-nil, receives a quarantine event whenever the
+	// arena is rebuilt after a failed health check.
+	Events *telemetry.EventLog
 }
 
 // earlySlack mirrors the constant term of the campaign watchdog budget
@@ -183,7 +280,8 @@ func NewArena(cfg soc.Config, id int, job *CoreJob, budget int64, opt ArenaOptio
 	}
 	s.SealBaseline()
 
-	a := &Arena{s: s, id: id, entry: prog.Base, budget: budget, cfg: cfg, job: job, opt: opt}
+	a := &Arena{s: s, id: id, entry: prog.Base, budget: budget, cfg: cfg, job: job, opt: opt,
+		met: newArenaMetrics(opt.Telemetry)}
 	s.Cores[id].Core.SetStoreObserver(a.observe)
 	if opt.Plan.Enabled() {
 		// The attachment survives Reset; the cursor rewinds with the core.
@@ -244,6 +342,7 @@ func newArenaClone(proto *Arena) (*Arena, error) {
 		golden: proto.golden, hangLimit: proto.hangLimit,
 		floodCap: proto.floodCap, goldenRes: proto.goldenRes,
 		goldenOK: proto.goldenOK, probe: proto.probe, ckpts: proto.ckpts,
+		met: newArenaMetrics(proto.opt.Telemetry),
 	}
 	s.Cores[a.id].Core.SetStoreObserver(a.observe)
 	if a.opt.Plan.Enabled() {
@@ -316,6 +415,29 @@ func (a *Arena) observe(addr uint32, val uint64, size int) {
 // skew subsequent verdicts. If even the rebuild fails the arena is dead
 // and serves every remaining site via fresh-SoC runs.
 func (a *Arena) Run(p fault.Plane) (sig uint32, ok bool) {
+	// Classify the site by the path that ends up serving it (the serving
+	// paths overwrite a.path) and time the whole service, health checks
+	// and fallbacks included — the latency the campaign actually paid.
+	// The fault-free golden verification run is not a site: it stays out
+	// of the dispatch counts so Dispatch.Total() matches the sites served.
+	a.path = fault.DispatchFullReplay
+	var t0 time.Time
+	if a.met.enabled {
+		t0 = time.Now()
+	}
+	sig, ok = a.serve(p)
+	if p != fault.None {
+		a.st.Dispatch[a.path]++
+		if a.met.enabled {
+			a.met.dispatch[a.path].Inc()
+			a.met.runNs[a.path].Observe(time.Since(t0).Nanoseconds())
+		}
+	}
+	return sig, ok
+}
+
+// serve is the Run body: failure-domain validation around the dispatch.
+func (a *Arena) serve(p fault.Plane) (sig uint32, ok bool) {
 	if a.dead {
 		return a.fallbackRun(p)
 	}
@@ -358,7 +480,8 @@ func (a *Arena) dispatch(p fault.Plane) (sig uint32, ok, cut bool) {
 	if act < 0 {
 		// The fault never modifies a delivered value: its run is
 		// bit-identical to the golden run, so serve the golden verdict.
-		a.goldenServed++
+		a.st.GoldenServed++
+		a.path = fault.DispatchGolden
 		a.last = a.goldenRes
 		return a.goldenRes.Signature, a.goldenRes.OK, false
 	}
@@ -396,8 +519,9 @@ func (a *Arena) runFrom(ck *checkpoint, t *fault.Transition) (sig uint32, ok, cu
 	s.SetPlane(a.id, t)
 	a.setupFastForward(t)
 	a.idx, a.count, a.diverged, a.lastObs = ck.obsIdx, ck.obsIdx, false, ck.lastObs
-	a.runs++
-	a.ckptRuns++
+	a.st.Runs++
+	a.st.CheckpointRuns++
+	a.path = fault.DispatchCheckpoint
 	return a.stepRun()
 }
 
@@ -459,7 +583,7 @@ func (a *Arena) runOnce(p fault.Plane) (sig uint32, ok, cut bool) {
 	s.Start(a.id, a.entry)
 	a.setupFastForward(p)
 	a.idx, a.count, a.diverged, a.lastObs = 0, 0, false, 0
-	a.runs++
+	a.st.Runs++
 	return a.stepRun()
 }
 
@@ -499,7 +623,9 @@ func (a *Arena) stepRun() (sig uint32, ok, cut bool) {
 					// No further activating edge: the rest of the run is
 					// the rest of the golden run.
 					a.ffCks = nil
-					a.converged++
+					a.st.ConvergedRuns++
+					a.met.converged.Inc()
+					a.path = fault.DispatchFastForward
 					a.last = a.goldenRes
 					return a.goldenRes.Signature, a.goldenRes.OK, false
 				}
@@ -510,7 +636,9 @@ func (a *Arena) stepRun() (sig uint32, ok, cut bool) {
 					a.ffPlane.SeedHistory(ck2.hist.For(a.ffPlane.S))
 					a.idx, a.count, a.diverged, a.lastObs =
 						ck2.obsIdx, ck2.obsIdx, false, ck2.lastObs
-					a.jumps++
+					a.st.Jumps++
+					a.met.jumps.Inc()
+					a.path = fault.DispatchFastForward
 					cycles = s.Cycle()
 					for len(a.ffCks) > 0 && a.ffCks[0].cycle <= cycles {
 						a.ffCks = a.ffCks[1:]
@@ -521,7 +649,8 @@ func (a *Arena) stepRun() (sig uint32, ok, cut bool) {
 		if a.early {
 			if cycles-a.lastObs > a.hangLimit || (a.diverged && a.count > a.floodCap) {
 				aborted = true
-				a.earlyExits++
+				a.st.EarlyExits++
+				a.met.earlyExits.Inc()
 				break
 			}
 		}
@@ -552,7 +681,8 @@ func (a *Arena) healthy() (healthy bool) {
 	if !a.goldenOK {
 		return true
 	}
-	a.healthChecks++
+	a.st.HealthChecks++
+	a.met.healthChecks.Inc()
 	saved := a.last
 	defer func() {
 		a.last = saved
@@ -567,23 +697,37 @@ func (a *Arena) healthy() (healthy bool) {
 // quarantine retires the poisoned SoC and rebuilds the arena in place,
 // keeping the lifetime counters. A failed rebuild marks the arena dead.
 func (a *Arena) quarantine() {
-	runs, exits := a.runs, a.earlyExits
-	checks, quars, falls := a.healthChecks, a.quarantines+1, a.fallbackRuns
-	ckruns, served, conv, jumps := a.ckptRuns, a.goldenServed, a.converged, a.jumps
+	st := a.st
+	st.Quarantines++
 	fresh, err := NewArena(a.cfg, a.id, a.job, a.budget, a.opt)
 	if err != nil {
 		a.dead = true
-		a.quarantines = quars
+		a.st.Quarantines = st.Quarantines
+		a.noteQuarantine()
 		return
 	}
+	// fresh ran its own golden capture: its run counters fold into the
+	// lifetime stats, everything else carries over unchanged.
+	st.Runs += fresh.st.Runs
+	st.EarlyExits += fresh.st.EarlyExits
 	*a = *fresh
-	a.runs += runs
-	a.earlyExits += exits
-	a.healthChecks, a.quarantines, a.fallbackRuns = checks, quars, falls
-	a.ckptRuns, a.goldenServed, a.converged, a.jumps = ckruns, served, conv, jumps
+	a.st = st
 	// The copied SoC still notifies fresh's observer; re-point it at this
 	// arena so the monitor state it updates is the state Run consults.
 	a.s.Cores[a.id].Core.SetStoreObserver(a.observe)
+	a.noteQuarantine()
+}
+
+// noteQuarantine reports a quarantine to the telemetry sinks (counter and
+// event stream), including whether the rebuild failed and left the arena
+// dead.
+func (a *Arena) noteQuarantine() {
+	a.met.quarantines.Inc()
+	if a.opt.Events != nil {
+		a.opt.Events.Emit(telemetry.Event{
+			Kind: telemetry.EventQuarantine, Core: a.id, Dead: a.dead,
+		})
+	}
 }
 
 // fallbackRun serves one site with rebuild-per-fault semantics: a
@@ -596,7 +740,8 @@ func (a *Arena) quarantine() {
 // anomaly) rather than masquerading as a crashed fault run — a build
 // failure is an engine fault, not a property of the site.
 func (a *Arena) fallbackRun(p fault.Plane) (sig uint32, ok bool) {
-	a.fallbackRuns++
+	a.st.FallbackRuns++
+	a.path = fault.DispatchFallback
 	fault.ResetPlaneState(p)
 	c := a.cfg
 	c.Cores[a.id].Plane = p
@@ -629,23 +774,23 @@ func (a *Arena) GoldenEvents() int { return len(a.golden) }
 
 // Runs returns how many runs this arena has served (including the golden
 // capture run).
-func (a *Arena) Runs() int64 { return a.runs }
+func (a *Arena) Runs() int64 { return a.st.Runs }
 
 // EarlyExits returns how many runs the divergence watchdogs terminated
 // before the full budget.
-func (a *Arena) EarlyExits() int64 { return a.earlyExits }
+func (a *Arena) EarlyExits() int64 { return a.st.EarlyExits }
 
 // HealthChecks returns how many golden-replay health probes this arena ran.
-func (a *Arena) HealthChecks() int64 { return a.healthChecks }
+func (a *Arena) HealthChecks() int64 { return a.st.HealthChecks }
 
 // Quarantines returns how many times this arena was rebuilt after a failed
 // health check.
-func (a *Arena) Quarantines() int64 { return a.quarantines }
+func (a *Arena) Quarantines() int64 { return a.st.Quarantines }
 
 // FallbackRuns returns how many sites were served by fresh-SoC
 // rebuild-per-fault runs (quarantined sites, plus everything after the
 // arena died).
-func (a *Arena) FallbackRuns() int64 { return a.fallbackRuns }
+func (a *Arena) FallbackRuns() int64 { return a.st.FallbackRuns }
 
 // Dead reports whether the arena gave up on reuse entirely (rebuild
 // failed) and now serves every site via fallback runs.
@@ -656,7 +801,7 @@ func (a *Arena) Checkpoints() int { return len(a.ckpts) }
 
 // CheckpointRuns returns how many runs started from a golden checkpoint
 // instead of replaying the full prefix.
-func (a *Arena) CheckpointRuns() int64 { return a.ckptRuns }
+func (a *Arena) CheckpointRuns() int64 { return a.st.CheckpointRuns }
 
 // GoldenOK reports whether the construction-time golden capture run
 // completed cleanly. Scenario harnesses gate optional environment
@@ -666,16 +811,16 @@ func (a *Arena) GoldenOK() bool { return a.goldenOK }
 
 // GoldenServed returns how many sites were served the golden verdict
 // outright because their fault never activates.
-func (a *Arena) GoldenServed() int64 { return a.goldenServed }
+func (a *Arena) GoldenServed() int64 { return a.st.GoldenServed }
 
 // ConvergedRuns returns how many runs were cut short because the faulty
 // SoC provably re-converged with the golden run past the site's last
 // activating edge.
-func (a *Arena) ConvergedRuns() int64 { return a.converged }
+func (a *Arena) ConvergedRuns() int64 { return a.st.ConvergedRuns }
 
 // Jumps returns how many provably-golden mid-run windows were skipped by
 // restoring a later checkpoint after exact re-convergence.
-func (a *Arena) Jumps() int64 { return a.jumps }
+func (a *Arena) Jumps() int64 { return a.st.Jumps }
 
 // CampaignOptions tunes RunCampaignOpts beyond the engine mode.
 type CampaignOptions struct {
@@ -704,6 +849,21 @@ type CampaignOptions struct {
 	// fingerprint and journals transfer across settings. Ignored in
 	// reference mode, which never checkpoints.
 	CheckpointInterval int64
+	// Telemetry, when non-nil, receives the campaign metrics: arena
+	// dispatch-path counters and latency histograms, settle rates and
+	// verdict-class counts, journal-append latency. All workers share the
+	// registry's atomics. Nil disables metrics at zero cost (a progress
+	// interval alone spins up an internal registry for its rate math).
+	Telemetry *telemetry.Registry
+	// Events, when non-nil, receives the campaign event stream:
+	// start/progress/site/quarantine/finish JSONL records.
+	Events *telemetry.EventLog
+	// Progress > 0 prints a progress line (settled/total, rate, ETA,
+	// shortcut rate) to ProgressWriter every interval, and emits progress
+	// events when Events is set.
+	Progress time.Duration
+	// ProgressWriter receives the progress lines; nil means os.Stderr.
+	ProgressWriter io.Writer
 }
 
 // resolveCheckpointInterval maps the CampaignOptions knob to the
@@ -782,7 +942,15 @@ func RunCampaign(cfg soc.Config, id int, job *CoreJob, sites []fault.Site, budge
 // sites the journal already settles — producing a report bit-identical to
 // the uninterrupted run.
 func RunCampaignOpts(cfg soc.Config, id int, job *CoreJob, sites []fault.Site, budget int64, opt CampaignOptions) (fault.Report, error) {
+	reg := opt.Telemetry
+	if reg == nil && opt.Progress > 0 {
+		// The progress line computes rates from registry counters; give it
+		// a private registry when the caller did not attach one.
+		reg = telemetry.NewRegistry()
+	}
 	var simOpt fault.SimOptions
+	simOpt.Telemetry = reg
+	simOpt.Events = opt.Events
 	if opt.Journal != "" {
 		header, err := CampaignFingerprint(cfg, id, job, sites, budget)
 		if err != nil {
@@ -808,6 +976,8 @@ func RunCampaignOpts(cfg soc.Config, id int, job *CoreJob, sites []fault.Site, b
 	if opt.Reference {
 		aOpt = ArenaOptions{NoEarlyExit: true}
 	}
+	aOpt.Telemetry = reg
+	aOpt.Events = opt.Events
 	proto, err := NewArena(cfg, id, job, budget, aOpt)
 	if err != nil {
 		return fault.Report{}, err
@@ -832,5 +1002,68 @@ func RunCampaignOpts(cfg soc.Config, id int, job *CoreJob, sites []fault.Site, b
 		}
 		runners[w] = arenas[w].Run
 	}
-	return fault.SimulateOpts(sites, runners, simOpt)
+	if opt.Events != nil {
+		opt.Events.Emit(telemetry.Event{
+			Kind: telemetry.EventStart, Sites: len(sites), Workers: n,
+		})
+	}
+	start := time.Now()
+	prog := campaignProgress(reg, opt, len(sites), start)
+	rep, err := fault.SimulateOpts(sites, runners, simOpt)
+	prog.Stop()
+	if err != nil {
+		return rep, err
+	}
+	for _, a := range arenas {
+		rep.Dispatch.Add(a.Stats().Dispatch)
+	}
+	if opt.Events != nil {
+		opt.Events.Emit(telemetry.Event{
+			Kind: telemetry.EventFinish, Sites: len(sites),
+			Settled:       int64(len(rep.Results)),
+			DetectedTotal: int64(rep.Detected),
+			ElapsedNs:     time.Since(start).Nanoseconds(),
+		})
+	}
+	return rep, nil
+}
+
+// campaignProgress starts the periodic progress line (nil when disabled).
+// The tick reads only registry atomics — the worker arenas own all other
+// state — so it is safe alongside the running campaign.
+func campaignProgress(reg *telemetry.Registry, opt CampaignOptions, total int, start time.Time) *telemetry.Ticker {
+	if opt.Progress <= 0 {
+		return nil
+	}
+	w := opt.ProgressWriter
+	if w == nil {
+		w = os.Stderr
+	}
+	settled := reg.Counter("campaign_sites_settled_total")
+	detected := reg.Counter("campaign_verdict_detected_total")
+	ckpt := reg.Counter("arena_dispatch_" + fault.DispatchCheckpoint.String() + "_total")
+	ff := reg.Counter("arena_dispatch_" + fault.DispatchFastForward.String() + "_total")
+	golden := reg.Counter("arena_dispatch_" + fault.DispatchGolden.String() + "_total")
+	return telemetry.StartTicker(opt.Progress, func() {
+		s := settled.Value()
+		elapsed := time.Since(start)
+		rate := float64(s) / elapsed.Seconds()
+		var eta time.Duration
+		if rate > 0 && s < int64(total) {
+			eta = time.Duration(float64(int64(total)-s) / rate * float64(time.Second))
+		}
+		hit := 0.0
+		if s > 0 {
+			hit = 100 * float64(ckpt.Value()+ff.Value()+golden.Value()) / float64(s)
+		}
+		fmt.Fprintf(w, "progress: %d/%d sites, %.1f sites/s, ETA %s, %.0f%% checkpoint-hit\n",
+			s, total, rate, eta.Round(time.Second), hit)
+		if opt.Events != nil {
+			opt.Events.Emit(telemetry.Event{
+				Kind: telemetry.EventProgress, Settled: s,
+				DetectedTotal: detected.Value(), Rate: rate,
+				ETANs: eta.Nanoseconds(), ElapsedNs: elapsed.Nanoseconds(),
+			})
+		}
+	})
 }

@@ -27,6 +27,7 @@ type DelayRow struct {
 
 // DelayFaults runs the transition-fault campaigns.
 func DelayFaults(o Options) ([]DelayRow, error) {
+	defer o.span("delay")()
 	var rows []DelayRow
 	for id := 0; id < soc.NumCores; id++ {
 		bits := 32

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/bus"
 	"repro/internal/core"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/sbst"
 	"repro/internal/soc"
+	"repro/internal/telemetry"
 )
 
 // Options tunes experiment cost.
@@ -35,6 +38,36 @@ type Options struct {
 	// budget), negative = off, positive = interval in cycles. Reports are
 	// bit-identical across settings; see core.CampaignOptions.
 	CheckpointInterval int64
+	// Telemetry, when non-nil, receives every campaign's metrics plus a
+	// per-table span histogram (experiment_<table>_ns). Nil disables
+	// metrics at zero cost; see core.CampaignOptions.Telemetry.
+	Telemetry *telemetry.Registry
+	// Events, when non-nil, receives every campaign's event stream plus
+	// one span event per table sweep.
+	Events *telemetry.EventLog
+	// Progress > 0 forwards a progress-line interval to every campaign;
+	// see core.CampaignOptions.Progress.
+	Progress time.Duration
+	// ProgressWriter receives the progress lines; nil means os.Stderr.
+	ProgressWriter io.Writer
+}
+
+// span times one table sweep: started on entry, the returned func records
+// an experiment_<name>_ns span in the registry and emits a span event.
+// Both sinks detached makes it a no-op.
+func (o Options) span(name string) func() {
+	if o.Telemetry == nil && o.Events == nil {
+		return func() {}
+	}
+	sp := o.Telemetry.StartSpan("experiment_" + name + "_ns")
+	start := time.Now()
+	return func() {
+		sp.End()
+		if o.Events != nil {
+			o.Events.Emit(telemetry.Event{Kind: telemetry.EventSpan, Name: name,
+				ElapsedNs: time.Since(start).Nanoseconds()})
+		}
+	}
 }
 
 func (o Options) bitStep() int {
@@ -80,6 +113,7 @@ type TableIRow struct {
 // the paper's baseline) and reports the stall cycles counted by the
 // performance counters, averaged across start-phase scenarios.
 func TableI(o Options) ([]TableIRow, error) {
+	defer o.span("table1")()
 	phases := [][soc.NumCores]int{{0, 0, 0}, {0, 11, 23}, {7, 0, 17}}
 	if o.Quick {
 		phases = phases[:2]
@@ -165,19 +199,14 @@ func tableIIScenarios(quick bool) []scenarioSpec {
 // and bus traffic, then fault-simulates the core under test against the
 // replayed traffic.
 type campaign struct {
-	underTest  int
-	cfg        soc.Config // configuration for the golden (full) run
-	jobs       [soc.NumCores]*core.CoreJob
-	workers    int
-	reference  bool
-	journalDir string
-	ckptIv     int64
+	underTest int
+	cfg       soc.Config // configuration for the golden (full) run
+	jobs      [soc.NumCores]*core.CoreJob
+	opts      Options
 }
 
 func newCampaign(o Options, underTest int, cfg soc.Config, jobs [soc.NumCores]*core.CoreJob) campaign {
-	return campaign{underTest: underTest, cfg: cfg, jobs: jobs,
-		workers: o.Workers, reference: o.Reference, journalDir: o.JournalDir,
-		ckptIv: o.CheckpointInterval}
+	return campaign{underTest: underTest, cfg: cfg, jobs: jobs, opts: o}
 }
 
 func (c campaign) run(sites []fault.Site) (fault.Report, error) {
@@ -201,16 +230,18 @@ func (c campaign) run(sites []fault.Site) (fault.Report, error) {
 	cfg := c.cfg
 	cfg.Replay = traffic
 
-	opt := core.CampaignOptions{Workers: c.workers, Reference: c.reference,
-		CheckpointInterval: c.ckptIv}
-	if c.journalDir != "" {
+	opt := core.CampaignOptions{Workers: c.opts.Workers, Reference: c.opts.Reference,
+		CheckpointInterval: c.opts.CheckpointInterval,
+		Telemetry:          c.opts.Telemetry, Events: c.opts.Events,
+		Progress: c.opts.Progress, ProgressWriter: c.opts.ProgressWriter}
+	if c.opts.JournalDir != "" {
 		// One content-addressed journal per campaign: resuming an
 		// interrupted sweep settles finished campaigns entirely from disk.
 		header, err := core.CampaignFingerprint(cfg, c.underTest, c.jobs[c.underTest], sites, budget)
 		if err != nil {
 			return fault.Report{}, err
 		}
-		opt.Journal = filepath.Join(c.journalDir, "campaign-"+header.Key()+".journal")
+		opt.Journal = filepath.Join(c.opts.JournalDir, "campaign-"+header.Key()+".journal")
 		opt.Resume = true
 	}
 	rep, err := core.RunCampaignOpts(cfg, c.underTest, c.jobs[c.underTest], sites, budget, opt)
@@ -276,6 +307,7 @@ type TableIIRow struct {
 
 // TableII fault-grades the forwarding logic of each core.
 func TableII(o Options) ([]TableIIRow, error) {
+	defer o.span("table2")()
 	var rows []TableIIRow
 	for id := 0; id < soc.NumCores; id++ {
 		bits := 32

@@ -47,6 +47,7 @@ func hdcuRoutineFor(id int) *sbst.Routine {
 // TableIII fault-grades the interrupt control unit and hazard detection
 // control unit per core.
 func TableIII(o Options) ([]TableIIIRow, error) {
+	defer o.span("table3")()
 	type module struct {
 		name  string
 		mk    func(id int) *sbst.Routine
@@ -202,6 +203,7 @@ type TableIVRow struct {
 // TableIV compares the two deterministic execution strategies on the ICU
 // routine (single core, as in the paper's measurement).
 func TableIV(o Options) ([]TableIVRow, error) {
+	defer o.span("table4")()
 	mk := func() *sbst.Routine {
 		return sbst.NewICUTest(sbst.ICUOptions{DataBase: dataBaseFor(0)})
 	}

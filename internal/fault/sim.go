@@ -7,6 +7,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // RunFunc executes the self-test procedure in a fixed environment with the
@@ -57,6 +60,13 @@ type Report struct {
 	Panics    int
 	Results   []SiteResult
 	Anomalies []Anomaly `json:",omitempty"`
+
+	// Dispatch counts how the engine served each site (filled by
+	// core.RunCampaignOpts from its arenas). It describes execution
+	// strategy, not verdicts: the optimized and reference modes produce
+	// different DispatchStats around bit-identical Results, so the field
+	// is excluded from the JSON encoding and from report comparisons.
+	Dispatch DispatchStats `json:"-"`
 }
 
 // Coverage returns the fault coverage in percent.
@@ -112,6 +122,9 @@ func (r Report) String() string {
 	if r.Panics > 0 {
 		s += fmt.Sprintf(", %d panicked (isolated)", r.Panics)
 	}
+	if r.Dispatch.Total() > 0 {
+		s += "\n" + r.Dispatch.String()
+	}
 	return s
 }
 
@@ -162,6 +175,76 @@ type SimOptions struct {
 	// sites are not re-run) and records every newly settled one. The
 	// caller owns Close.
 	Journal *Journal
+	// Telemetry, when non-nil, receives the campaign dispatcher's live
+	// metrics: sites settled, per-verdict-class counts, journal append
+	// latency, worker busy time. Nil is the disabled mode at zero cost.
+	Telemetry *telemetry.Registry
+	// Events, when non-nil, receives one site event per settled verdict
+	// (journal-folded verdicts included, flagged FromJournal).
+	Events *telemetry.EventLog
+}
+
+// simMetrics is the resolved handle set of the campaign dispatcher; the
+// zero value (telemetry detached) no-ops on every field.
+type simMetrics struct {
+	enabled     bool
+	settled     *telemetry.Counter
+	fromJournal *telemetry.Counter
+	detected    *telemetry.Counter
+	crashed     *telemetry.Counter
+	panicked    *telemetry.Counter
+	journalNs   *telemetry.Histogram
+	workerBusy  *telemetry.Counter
+	workers     *telemetry.Gauge
+}
+
+// newSimMetrics resolves the dispatcher's metric names once, at campaign
+// start (reg may be nil: every handle stays nil and no-ops).
+func newSimMetrics(reg *telemetry.Registry, workers int) simMetrics {
+	m := simMetrics{
+		enabled:     reg != nil,
+		settled:     reg.Counter("campaign_sites_settled_total"),
+		fromJournal: reg.Counter("campaign_sites_from_journal_total"),
+		detected:    reg.Counter("campaign_verdict_detected_total"),
+		crashed:     reg.Counter("campaign_verdict_crashed_total"),
+		panicked:    reg.Counter("campaign_verdict_panicked_total"),
+		journalNs:   reg.Histogram("campaign_journal_append_ns"),
+		workerBusy:  reg.Counter("campaign_worker_busy_ns_total"),
+		workers:     reg.Gauge("campaign_workers"),
+	}
+	m.workers.Set(int64(workers))
+	return m
+}
+
+// settle records one settled verdict on the counters.
+func (m *simMetrics) settle(res SiteResult, fromJournal bool) {
+	m.settled.Inc()
+	if fromJournal {
+		m.fromJournal.Inc()
+	}
+	if res.Detected {
+		m.detected.Inc()
+	}
+	if res.Crashed {
+		m.crashed.Inc()
+	}
+	if res.Panicked {
+		m.panicked.Inc()
+	}
+}
+
+// siteEvent renders one settled verdict as an event-stream line.
+func siteEvent(idx int, res SiteResult, fromJournal bool) telemetry.Event {
+	return telemetry.Event{
+		Kind:        telemetry.EventSite,
+		Index:       idx,
+		Site:        res.Site.String(),
+		Sig:         res.Signature,
+		Detected:    res.Detected,
+		Crashed:     res.Crashed,
+		Panicked:    res.Panicked,
+		FromJournal: fromJournal,
+	}
 }
 
 // safeRun invokes run behind the per-run recover boundary. A panic is
@@ -187,6 +270,7 @@ func safeRun(run RunFunc, p Plane) (sig uint32, ok, panicked bool, msg, stack st
 // reported after the campaign state they interrupt is already in rep.
 func SimulateOpts(sites []Site, runners []RunFunc, opt SimOptions) (Report, error) {
 	j := opt.Journal
+	met := newSimMetrics(opt.Telemetry, len(runners))
 	golden, goldenOK, gpan, gmsg, gstack := safeRun(runners[0], None)
 	rep := Report{
 		Golden:   golden,
@@ -227,10 +311,21 @@ func SimulateOpts(sites []Site, runners []RunFunc, opt SimOptions) (Report, erro
 						res.Site = site
 						rep.Results[idx] = res
 						msgs[idx], stacks[idx] = msg, stack
+						met.settle(res, true)
+						if opt.Events != nil {
+							opt.Events.Emit(siteEvent(idx, res, true))
+						}
 						continue
 					}
 				}
+				var t0 time.Time
+				if met.enabled {
+					t0 = time.Now()
+				}
 				sig, ok, panicked, msg, stack := safeRun(run, PlaneFor(site))
+				if met.enabled {
+					met.workerBusy.Add(time.Since(t0).Nanoseconds())
+				}
 				if !ok {
 					sig = 0 // canonical crash signature
 				}
@@ -244,10 +339,22 @@ func SimulateOpts(sites []Site, runners []RunFunc, opt SimOptions) (Report, erro
 				rep.Results[idx] = res
 				msgs[idx], stacks[idx] = msg, stack
 				if j != nil {
-					if err := j.Record(idx, res, msg, stack); err != nil {
+					var j0 time.Time
+					if met.enabled {
+						j0 = time.Now()
+					}
+					err := j.Record(idx, res, msg, stack)
+					if met.enabled {
+						met.journalNs.Observe(time.Since(j0).Nanoseconds())
+					}
+					if err != nil {
 						setErr(err)
 						return
 					}
+				}
+				met.settle(res, false)
+				if opt.Events != nil {
+					opt.Events.Emit(siteEvent(idx, res, false))
 				}
 			}
 		}(run)

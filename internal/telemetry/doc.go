@@ -1,0 +1,20 @@
+// Package telemetry is the campaign observability substrate: atomic
+// counters and gauges, bounded log-scale latency histograms, named
+// wall-clock spans, a structured JSONL event stream, a periodic progress
+// ticker, and an HTTP endpoint serving Prometheus-style /metrics plus
+// net/http/pprof — all stdlib-only.
+//
+// The package extends the contract internal/coverage proved for its nil
+// *Map: nil receiver = disabled = zero cost. A nil *Registry hands out nil
+// *Counter/*Gauge/*Histogram handles and zero Spans; every operation on
+// those is an allocation-free no-op, so instrumented hot paths (arena
+// runs, campaign workers, fuzz loops) carry the handles unconditionally
+// and pay only a nil check when telemetry is detached. The disabled path
+// is pinned by TestDetachedZeroCost and the root
+// BenchmarkCampaignTelemetryOverhead guard.
+//
+// All live metrics are updated with sync/atomic operations, so worker
+// arenas on separate goroutines share one Registry without locks on the
+// hot path; the Registry's own map is only locked at handle-resolution
+// time (campaign construction), never per event.
+package telemetry

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Ticker periodically invokes a render callback on its own goroutine — the
+// engine behind the -progress flags. The callback must read only atomic
+// state (Registry handles), since it runs concurrently with the campaign
+// it watches. A nil *Ticker (from a disabled StartTicker) is a no-op.
+type Ticker struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+	tick func()
+}
+
+// StartTicker runs tick every interval until Stop. A non-positive
+// interval or nil tick returns nil, on which Stop is a safe no-op — the
+// disabled mode of the -progress flag.
+func StartTicker(every time.Duration, tick func()) *Ticker {
+	if every <= 0 || tick == nil {
+		return nil
+	}
+	t := &Ticker{stop: make(chan struct{}), done: make(chan struct{}), tick: tick}
+	go func() {
+		defer close(t.done)
+		tk := time.NewTicker(every)
+		defer tk.Stop()
+		for {
+			select {
+			case <-tk.C:
+				tick()
+			case <-t.stop:
+				return
+			}
+		}
+	}()
+	return t
+}
+
+// Stop halts the ticker, waits for any in-flight tick to finish, then
+// renders one final tick — so even a run shorter than the interval ends
+// with a closing progress line. Safe on a nil receiver and idempotent
+// (the final tick renders only once).
+func (t *Ticker) Stop() {
+	if t == nil {
+		return
+	}
+	final := false
+	t.once.Do(func() {
+		close(t.stop)
+		final = true
+	})
+	<-t.done
+	if final {
+		t.tick()
+	}
+}

@@ -1,0 +1,377 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter is
+// the disabled mode: every method is an allocation-free no-op, so hot
+// paths carry the handle unconditionally.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc bumps the counter by one. Safe (and free) on a nil receiver.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n.Add(1)
+}
+
+// Add bumps the counter by d. Safe (and free) on a nil receiver.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(d)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is an atomic instantaneous value (corpus size, worker count,
+// coverage bits). A nil *Gauge no-ops like a nil *Counter.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Set stores the current value. Safe (and free) on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.n.Store(v)
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.n.Load()
+}
+
+// NumHistBuckets bounds every Histogram: power-of-two buckets cover
+// [0, 2^47) — for nanosecond latencies that is ~39 hours, far beyond any
+// single fault run — with one overflow bucket at the top.
+const NumHistBuckets = 48
+
+// Histogram is a bounded log-scale (power-of-two buckets) histogram for
+// non-negative values, typically latencies in nanoseconds. Observations
+// are lock-free atomic adds; a nil *Histogram is a no-op like a nil
+// *Counter. Bucket i counts values whose bit length is i, i.e. values in
+// [2^(i-1), 2^i), with bucket 0 counting exact zeros and the top bucket
+// absorbing overflow.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [NumHistBuckets]atomic.Int64
+}
+
+// histBucket maps a value onto its bucket index.
+func histBucket(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= NumHistBuckets {
+		b = NumHistBuckets - 1
+	}
+	return b
+}
+
+// BucketBound returns the inclusive upper value bound of bucket i
+// (2^i - 1); the top bucket is unbounded.
+func BucketBound(i int) int64 {
+	if i >= NumHistBuckets-1 {
+		return int64(1)<<62 - 1
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Observe records one value. Safe (and free) on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[histBucket(v)].Add(1)
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil receiver).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the average observed value (0 with no observations or on a
+// nil receiver).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Span is one open wall-clock measurement, closed by End. The zero Span
+// (from a nil Registry) is the disabled mode: End is a no-op returning 0.
+type Span struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// End closes the span, records the elapsed nanoseconds into the span's
+// histogram, and returns them (0 when disabled).
+func (s Span) End() int64 {
+	if s.h == nil {
+		return 0
+	}
+	ns := time.Since(s.t0).Nanoseconds()
+	s.h.Observe(ns)
+	return ns
+}
+
+// metricKind tags a registered name so a name cannot silently serve two
+// metric types.
+type metricKind uint8
+
+// Registered metric kinds.
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registry entry.
+type metric struct {
+	name string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry resolves metric names to live metric handles and renders them
+// (Prometheus text format, JSON snapshot). Resolution registers on first
+// use and returns the same handle thereafter, so arenas cloned for a
+// worker pool share one set of atomics. A nil *Registry is the disabled
+// mode: it resolves every name to a nil handle, whose operations no-op.
+//
+// Resolution takes the registry lock and may allocate; it belongs in
+// construction paths, not per-event code — resolve once, keep the handle.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*metric
+	ordered []*metric
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// resolve returns the entry for name, registering it with kind on first
+// use. A name re-resolved as a different kind panics: that is a
+// programming error no output format could render coherently.
+func (r *Registry) resolve(name string, kind metricKind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as a different kind", name))
+		}
+		return m
+	}
+	m := &metric{name: name, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	case kindHistogram:
+		m.h = &Histogram{}
+	}
+	r.byName[name] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Counter returns the named counter, registering it on first use (nil on
+// a nil registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.resolve(name, kindCounter).c
+}
+
+// Gauge returns the named gauge, registering it on first use (nil on a
+// nil registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.resolve(name, kindGauge).g
+}
+
+// Histogram returns the named histogram, registering it on first use (nil
+// on a nil registry).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.resolve(name, kindHistogram).h
+}
+
+// StartSpan opens a named wall-clock span backed by the name's histogram.
+// On a nil registry the zero Span is returned and End no-ops.
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{h: r.Histogram(name), t0: time.Now()}
+}
+
+// snapshotMetrics copies the ordered entry list under the lock; the
+// metric values themselves are atomics and read without it.
+func (r *Registry) snapshotMetrics() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, len(r.ordered))
+	copy(out, r.ordered)
+	return out
+}
+
+// WriteProm renders every registered metric in the Prometheus text
+// exposition format (sorted by name, histograms with cumulative le
+// buckets). A nil registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	ms := r.snapshotMetrics()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	for _, m := range ms {
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m.name, m.name, m.g.Value())
+		case kindHistogram:
+			err = writePromHist(w, m.name, m.h)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHist renders one histogram with cumulative buckets.
+func writePromHist(w io.Writer, name string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i := 0; i < NumHistBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 && i != NumHistBuckets-1 {
+			continue // sparse render; cumulative counts stay correct
+		}
+		cum += n
+		le := fmt.Sprintf("%d", BucketBound(i))
+		if i == NumHistBuckets-1 {
+			le = "+Inf"
+			cum = h.Count() // the top line must equal _count exactly
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, h.Count())
+	return err
+}
+
+// HistBucket is one occupied histogram bucket in a Snapshot: N values at
+// most Le.
+type HistBucket struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// HistogramSnapshot is the JSON form of one histogram: totals plus the
+// occupied (non-cumulative) buckets.
+type HistogramSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Mean    float64      `json:"mean"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every registered metric, the
+// machine-readable payload of a campaign run-summary JSON.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every registered metric. A nil
+// registry yields the zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for _, m := range r.snapshotMetrics() {
+		switch m.kind {
+		case kindCounter:
+			if s.Counters == nil {
+				s.Counters = make(map[string]int64)
+			}
+			s.Counters[m.name] = m.c.Value()
+		case kindGauge:
+			if s.Gauges == nil {
+				s.Gauges = make(map[string]int64)
+			}
+			s.Gauges[m.name] = m.g.Value()
+		case kindHistogram:
+			if s.Histograms == nil {
+				s.Histograms = make(map[string]HistogramSnapshot)
+			}
+			hs := HistogramSnapshot{Count: m.h.Count(), Sum: m.h.Sum(), Mean: m.h.Mean()}
+			for i := 0; i < NumHistBuckets; i++ {
+				if n := m.h.buckets[i].Load(); n > 0 {
+					hs.Buckets = append(hs.Buckets, HistBucket{Le: BucketBound(i), N: n})
+				}
+			}
+			s.Histograms[m.name] = hs
+		}
+	}
+	return s
+}

@@ -1,0 +1,245 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("re-resolving a name must return the same handle")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Set(3)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+	h := r.Histogram("h_ns")
+	for _, v := range []int64{0, 1, 2, 3, 1000, 1 << 60} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("hist count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 0+1+2+3+1000+1<<60 {
+		t.Fatalf("hist sum = %d", h.Sum())
+	}
+	if h.Mean() <= 0 {
+		t.Fatalf("hist mean = %f", h.Mean())
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("resolving a counter name as a gauge must panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+// TestDetachedZeroCost pins the disabled mode the same way the coverage
+// package pins its nil map: every operation on handles from a nil
+// Registry (and the zero Span) must be a no-op and allocation-free, so a
+// campaign with telemetry detached pays only nil checks.
+func TestDetachedZeroCost(t *testing.T) {
+	var r *Registry
+	c, g, h := r.Counter("c"), r.Gauge("g"), r.Histogram("h")
+	sp := r.StartSpan("s")
+	var l *EventLog
+	var tk *Ticker
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(9)
+		h.Observe(42)
+		sp.End()
+		l.Emit(Event{Kind: EventSite})
+		tk.Stop()
+		_ = c.Value() + g.Value() + h.Count() + h.Sum()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry allocated %.1f per op, want 0", allocs)
+	}
+	if r.Snapshot().Counters != nil {
+		t.Fatal("nil registry snapshot must be zero")
+	}
+	if err := r.WriteProm(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentUpdates hammers shared metrics from many goroutines — the
+// worker-arena sharing pattern — and checks exact totals. Run under
+// -race in CI, this is the data-race gate for the atomic hot path.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Resolution races with other resolutions and with updates;
+			// all workers must land on the same handles.
+			c := r.Counter("shared_total")
+			h := r.Histogram("shared_ns")
+			g := r.Gauge("shared_gauge")
+			for i := 0; i < each; i++ {
+				c.Inc()
+				h.Observe(int64(i))
+				g.Set(int64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+	if got := r.Histogram("shared_ns").Count(); got != workers*each {
+		t.Fatalf("hist count = %d, want %d", got, workers*each)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Gauge("a_gauge").Set(-4)
+	h := r.Histogram("lat_ns")
+	h.Observe(0)
+	h.Observe(5) // bucket le 7
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE a_gauge gauge\na_gauge -4\n",
+		"# TYPE b_total counter\nb_total 2\n",
+		"# TYPE lat_ns histogram\n",
+		`lat_ns_bucket{le="0"} 1`,
+		`lat_ns_bucket{le="7"} 2`,
+		`lat_ns_bucket{le="+Inf"} 2`,
+		"lat_ns_sum 5\nlat_ns_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted by name: the gauge must render before the counter.
+	if strings.Index(out, "a_gauge") > strings.Index(out, "b_total") {
+		t.Errorf("prom output not name-sorted:\n%s", out)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Add(3)
+	r.Gauge("g").Set(11)
+	r.Histogram("h_ns").Observe(100)
+	s := r.Snapshot()
+	if s.Counters["c_total"] != 3 || s.Gauges["g"] != 11 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	hs := s.Histograms["h_ns"]
+	if hs.Count != 1 || hs.Sum != 100 || len(hs.Buckets) != 1 || hs.Buckets[0].N != 1 {
+		t.Fatalf("hist snapshot = %+v", hs)
+	}
+	if hs.Buckets[0].Le < 100 {
+		t.Fatalf("bucket bound %d below observed value", hs.Buckets[0].Le)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("arena_dispatch_full_replay_total").Add(9)
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		blob, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(blob)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "arena_dispatch_full_replay_total 9") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/debug/pprof/"); !strings.Contains(out, "goroutine") {
+		t.Errorf("/debug/pprof/ index unexpected:\n%s", out)
+	}
+}
+
+func TestHistBucketBounds(t *testing.T) {
+	for _, v := range []int64{0, 1, 2, 3, 7, 8, 1023, 1 << 46, 1 << 62} {
+		b := histBucket(v)
+		if v > BucketBound(b) && b != NumHistBuckets-1 {
+			t.Errorf("value %d above its bucket %d bound %d", v, b, BucketBound(b))
+		}
+		if b > 0 && b < NumHistBuckets-1 && v <= BucketBound(b-1) {
+			t.Errorf("value %d fits bucket %d already", v, b-1)
+		}
+	}
+}
+
+func TestStartTickerDisabled(t *testing.T) {
+	if StartTicker(0, func() {}) != nil {
+		t.Fatal("interval 0 must disable the ticker")
+	}
+	if StartTicker(1, nil) != nil {
+		t.Fatal("nil tick must disable the ticker")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("work_ns")
+	if ns := sp.End(); ns < 0 {
+		t.Fatalf("span ns = %d", ns)
+	}
+	if got := r.Histogram("work_ns").Count(); got != 1 {
+		t.Fatalf("span histogram count = %d, want 1", got)
+	}
+}
+
+func TestEventLogErrSticky(t *testing.T) {
+	l := NewEventLog(failWriter{})
+	l.Emit(Event{Kind: EventStart})
+	if l.Err() == nil {
+		t.Fatal("write failure must surface via Err")
+	}
+	l.Emit(Event{Kind: EventFinish}) // must not panic after the error
+}
+
+// failWriter always fails, for the sticky-error test.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("boom") }
