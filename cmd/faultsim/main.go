@@ -7,12 +7,9 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/bus"
 	"repro/internal/core"
 	"repro/internal/fault"
-	"repro/internal/mem"
-	"repro/internal/sbst"
-	"repro/internal/soc"
+	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
 
@@ -48,101 +45,22 @@ func main() {
 		os.Exit(2)
 	}
 
-	mkRoutine := func(id int) *sbst.Routine {
-		r, err := sbst.NewRoutineByName(*routineName, sbst.RoutineOptions{
-			DataBase:    mem.SRAMBase + 0x2000*uint32(id+1),
-			CoreID:      id,
-			TriggerReps: 2,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "faultsim:", err)
-			os.Exit(2)
-		}
-		return r
+	// Campaign construction is shared with the campaign service: the same
+	// Spec a faultserve client submits builds the same environment here,
+	// which is what makes service reports and local reports byte-identical.
+	spec := serve.Spec{
+		Routine:   *routineName,
+		Core:      *coreID,
+		Strategy:  *strategyName,
+		Multicore: *multicore,
+		BitStep:   *bitStep,
+		Faults:    *faults,
 	}
-	var strat core.Strategy
-	cached := false
-	switch *strategyName {
-	case "plain":
-		strat = core.Plain{}
-	case "cache":
-		strat = core.CacheBased{WriteAllocate: true}
-		cached = true
-	case "tcm":
-		strat = core.TCMBased{CoreID: *coreID}
-	default:
-		fmt.Fprintf(os.Stderr, "faultsim: unknown strategy %q\n", *strategyName)
+	c, err := spec.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		os.Exit(2)
 	}
-
-	bits := 32
-	if *coreID == 2 {
-		bits = 64
-	}
-	opts := fault.ListOptions{DataBits: bits, BitStep: *bitStep}
-	var sites []fault.Site
-	switch *routineName {
-	case "forwarding":
-		sites = fault.ForwardingLogic(opts)
-	case "hdcu":
-		sites = fault.HDCU(opts)
-		sites = append(sites, fault.PerfCounters(opts)...)
-	case "icu":
-		sites = fault.ICU(opts)
-	}
-	switch *faults {
-	case "stuckat":
-	case "transition":
-		if *routineName != "forwarding" {
-			fmt.Fprintln(os.Stderr, "faultsim: -faults transition requires -routine forwarding")
-			os.Exit(2)
-		}
-		sites = fault.TransitionFaults(opts)
-	default:
-		fmt.Fprintf(os.Stderr, "faultsim: unknown fault model %q\n", *faults)
-		os.Exit(2)
-	}
-	fault.SortSites(sites)
-
-	// Environment: the other cores run the same routine for contention.
-	active := 1
-	if *multicore {
-		active = soc.NumCores
-	}
-	cfg := soc.DefaultConfig()
-	var jobs [soc.NumCores]*core.CoreJob
-	for id := 0; id < soc.NumCores; id++ {
-		cfg.Cores[id].Active = id < active || id == *coreID
-		cfg.Cores[id].CachesOn = cached
-		cfg.Cores[id].WriteAlloc = true
-		if cfg.Cores[id].Active {
-			jobs[id] = &core.CoreJob{
-				Routine:  mkRoutine(id),
-				Strategy: strat,
-				CodeBase: soc.CodeLow + uint32(id)*0x10000,
-			}
-			if id == *coreID {
-				jobs[id].Strategy = strat
-			} else {
-				jobs[id].Strategy = core.Plain{}
-			}
-		}
-	}
-
-	// Golden run with traffic recording.
-	var rec *bus.Recorder
-	results, _, err := core.RunJobsSetup(cfg, jobs, 10_000_000, nil, func(s *soc.SoC) {
-		rec = s.AttachRecorder(*coreID)
-	})
-	fail(err)
-	golden := results[*coreID]
-	if !golden.OK {
-		fail(fmt.Errorf("golden run failed on core %d", *coreID))
-	}
-	traffic := rec.EventsByMaster()
-	budget := golden.Cycles*8 + 20_000
-	replayCfg := cfg
-	replayCfg.Replay = traffic
 
 	// Telemetry sinks: a registry when anything consumes it, an HTTP
 	// listener for /metrics and pprof, and a JSONL event stream.
@@ -164,8 +82,8 @@ func main() {
 		events = telemetry.NewEventLog(f)
 	}
 
-	rep, err := core.RunCampaignOpts(replayCfg, *coreID, jobs[*coreID], sites,
-		budget, core.CampaignOptions{
+	rep, err := core.RunCampaignOpts(c.Cfg, c.Core, c.Job, c.Sites,
+		c.Budget, core.CampaignOptions{
 			Workers:            *workers,
 			Reference:          *engine == "reference",
 			Journal:            *journal,
@@ -184,13 +102,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faultsim: panicked run (site %v): %s\n", a.Site, a.Msg)
 	}
 	if *reportFile != "" {
-		// Stacks are diagnostic, not part of the verdict set: strip them so
-		// report files are byte-comparable across resumed runs.
-		clean := rep
-		clean.Anomalies = nil
-		blob, err := json.MarshalIndent(clean, "", "  ")
+		// Stacks are diagnostic, not part of the verdict set:
+		// serve.MarshalReport strips them so report files are
+		// byte-comparable across resumed runs and against service jobs.
+		blob, err := serve.MarshalReport(rep)
 		fail(err)
-		fail(os.WriteFile(*reportFile, append(blob, '\n'), 0o644))
+		fail(os.WriteFile(*reportFile, blob, 0o644))
 	}
 	if *summaryPath != "" {
 		fail(writeSummary(*summaryPath, rep, reg))

@@ -1,0 +1,19 @@
+// Command faultworker is the campaign service's shard worker: it leases
+// shards from a faultserve server, rebuilds each campaign deterministically
+// from the spec in the lease (the spec is the whole wire format — program,
+// universe, traffic and budget are reconstructed locally, never shipped),
+// simulates the unsettled sites on a local arena pool, and streams verdict
+// batches back as sites settle.
+//
+// Usage:
+//
+//	faultworker -server http://host:8080 [-name NAME] [-workers N]
+//	            [-poll 500ms] [-drain] [-telemetry :0]
+//
+// Workers hold no durable state: every streamed verdict lands in the
+// server's content-addressed journal before it is counted, so killing a
+// worker (SIGKILL included) costs at most the verdicts not yet posted —
+// its lease expires and the next leaseholder is told exactly which sites
+// remain. Run as many workers as you have machines; -drain exits after
+// the queue empties (the batch-mode switch CI uses).
+package main

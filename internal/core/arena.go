@@ -858,6 +858,14 @@ type CampaignOptions struct {
 	// Events, when non-nil, receives the campaign event stream:
 	// start/progress/site/quarantine/finish JSONL records.
 	Events *telemetry.EventLog
+	// OnSettle, when non-nil, is invoked once per settled verdict with the
+	// site's index in the sites slice (passed through to
+	// fault.SimOptions.OnSettle). It runs on worker goroutines and must be
+	// safe for concurrent calls.
+	OnSettle func(i int, res fault.SiteResult, fromJournal bool)
+	// OnGolden, when non-nil, receives the golden verdict before any site
+	// settles (passed through to fault.SimOptions.OnGolden).
+	OnGolden func(sig uint32, ok bool)
 	// Progress > 0 prints a progress line (settled/total, rate, ETA,
 	// shortcut rate) to ProgressWriter every interval, and emits progress
 	// events when Events is set.
@@ -951,6 +959,8 @@ func RunCampaignOpts(cfg soc.Config, id int, job *CoreJob, sites []fault.Site, b
 	var simOpt fault.SimOptions
 	simOpt.Telemetry = reg
 	simOpt.Events = opt.Events
+	simOpt.OnSettle = opt.OnSettle
+	simOpt.OnGolden = opt.OnGolden
 	if opt.Journal != "" {
 		header, err := CampaignFingerprint(cfg, id, job, sites, budget)
 		if err != nil {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -278,6 +279,46 @@ func (j *Journal) Settled(i int) (res SiteResult, msg, stack string, ok bool) {
 
 // SettledCount returns how many sites the journal already settles.
 func (j *Journal) SettledCount() int { return len(j.settled) }
+
+// SettledIndices returns the sorted site indices the journal already
+// settles — the shard-completion state a campaign service derives its
+// cache hits from.
+func (j *Journal) SettledIndices() []int {
+	out := make([]int, 0, len(j.settled))
+	for i := range j.settled {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Unsettled returns the sorted site indices within [lo, hi) that the
+// journal does not yet settle. A shard is complete exactly when this is
+// empty.
+func (j *Journal) Unsettled(lo, hi int) []int {
+	var out []int
+	for i := lo; i < hi; i++ {
+		if _, ok := j.settled[i]; !ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Golden returns the journaled golden verdict and whether one has been
+// bound yet (by this process or a previous one).
+func (j *Journal) Golden() (sig uint32, ok, bound bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.golden == nil {
+		return 0, false, false
+	}
+	return j.golden.Sig, j.golden.OK, true
+}
+
+// Header returns the content-addressed campaign identity the journal was
+// opened with.
+func (j *Journal) Header() JournalHeader { return j.header }
 
 // Dropped returns how many torn trailing lines were discarded on load.
 func (j *Journal) Dropped() int { return j.dropped }

@@ -1,0 +1,46 @@
+package fault
+
+// Shard partitioning: a campaign service splits one fault universe into
+// contiguous index ranges so the sites can be distributed across worker
+// processes and cached per range. The partition is a pure function of
+// (universe size, shard size), so two submissions of the same campaign
+// always agree on shard boundaries — which is what lets a content-addressed
+// store serve a previously completed range without resimulation.
+
+import "fmt"
+
+// ShardRange is one contiguous half-open index range [Lo, Hi) of a fault
+// universe.
+type ShardRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Len returns the number of sites in the range.
+func (r ShardRange) Len() int { return r.Hi - r.Lo }
+
+// String renders the range in the "lo-hi" form the service's shard URLs
+// use.
+func (r ShardRange) String() string { return fmt.Sprintf("%d-%d", r.Lo, r.Hi) }
+
+// ShardRanges partitions a universe of total sites into contiguous ranges
+// of at most size sites each (the final range carries the remainder).
+// size <= 0 yields a single range covering the whole universe; total <= 0
+// yields no ranges.
+func ShardRanges(total, size int) []ShardRange {
+	if total <= 0 {
+		return nil
+	}
+	if size <= 0 || size > total {
+		size = total
+	}
+	out := make([]ShardRange, 0, (total+size-1)/size)
+	for lo := 0; lo < total; lo += size {
+		hi := lo + size
+		if hi > total {
+			hi = total
+		}
+		out = append(out, ShardRange{Lo: lo, Hi: hi})
+	}
+	return out
+}

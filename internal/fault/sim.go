@@ -182,6 +182,16 @@ type SimOptions struct {
 	// Events, when non-nil, receives one site event per settled verdict
 	// (journal-folded verdicts included, flagged FromJournal).
 	Events *telemetry.EventLog
+	// OnSettle, when non-nil, is invoked once per settled verdict with the
+	// site's universe index — journal-folded verdicts included, flagged by
+	// fromJournal. It runs on the settling worker goroutine, so it must be
+	// safe for concurrent calls; it is the streaming hook a campaign-service
+	// worker uses to publish shard verdicts as they land.
+	OnSettle func(i int, res SiteResult, fromJournal bool)
+	// OnGolden, when non-nil, is invoked once with the golden verdict,
+	// after the golden run and before any site settles — so a streaming
+	// consumer can attach the reference every verdict was compared against.
+	OnGolden func(sig uint32, ok bool)
 }
 
 // simMetrics is the resolved handle set of the campaign dispatcher; the
@@ -283,6 +293,9 @@ func SimulateOpts(sites []Site, runners []RunFunc, opt SimOptions) (Report, erro
 			return rep, err
 		}
 	}
+	if opt.OnGolden != nil {
+		opt.OnGolden(golden, goldenOK)
+	}
 	msgs := make([]string, len(sites))
 	stacks := make([]string, len(sites))
 	var cursor atomic.Int64
@@ -314,6 +327,9 @@ func SimulateOpts(sites []Site, runners []RunFunc, opt SimOptions) (Report, erro
 						met.settle(res, true)
 						if opt.Events != nil {
 							opt.Events.Emit(siteEvent(idx, res, true))
+						}
+						if opt.OnSettle != nil {
+							opt.OnSettle(idx, res, true)
 						}
 						continue
 					}
@@ -355,6 +371,9 @@ func SimulateOpts(sites []Site, runners []RunFunc, opt SimOptions) (Report, erro
 				met.settle(res, false)
 				if opt.Events != nil {
 					opt.Events.Emit(siteEvent(idx, res, false))
+				}
+				if opt.OnSettle != nil {
+					opt.OnSettle(idx, res, false)
 				}
 			}
 		}(run)

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/telemetry"
+)
+
+// shardState is one shard's position in the lifecycle machine:
+// pending → leased → done, with leased → pending on lease expiry.
+// Shards whose sites the store already settles are born done.
+type shardState uint8
+
+const (
+	shardPending shardState = iota
+	shardLeased
+	shardDone
+)
+
+// shard is one contiguous slice of a job's fault universe, the unit of
+// work distribution and of cache addressing.
+type shard struct {
+	r        fault.ShardRange
+	state    shardState
+	worker   string    // current leaseholder (leased state)
+	deadline time.Time // lease expiry (leased state)
+}
+
+// jobState is a job's lifecycle state.
+type jobState uint8
+
+const (
+	jobRunning jobState = iota
+	jobDone
+	jobFailed
+)
+
+// String renders the state the way JobStatus.State carries it.
+func (s jobState) String() string {
+	switch s {
+	case jobRunning:
+		return "running"
+	case jobDone:
+		return "done"
+	case jobFailed:
+		return "failed"
+	}
+	return "?"
+}
+
+// jobMetrics is a job's resolved per-job registry handles.
+type jobMetrics struct {
+	sites      *telemetry.Gauge
+	shards     *telemetry.Gauge
+	shardsDone *telemetry.Gauge
+	fromCache  *telemetry.Counter
+	simulated  *telemetry.Counter
+	detected   *telemetry.Counter
+}
+
+// newJobMetrics resolves the per-job metric names on reg.
+func newJobMetrics(reg *telemetry.Registry) jobMetrics {
+	return jobMetrics{
+		sites:      reg.Gauge("serve_job_sites"),
+		shards:     reg.Gauge("serve_job_shards"),
+		shardsDone: reg.Gauge("serve_job_shards_done"),
+		fromCache:  reg.Counter("serve_job_sites_from_cache_total"),
+		simulated:  reg.Counter("serve_job_sites_simulated_total"),
+		detected:   reg.Counter("serve_job_verdicts_detected_total"),
+	}
+}
+
+// job is one submitted campaign: the built campaign, the store journal
+// backing its settled state, the shard table, and the job-scoped telemetry
+// surface (event buffer + registry). All mutable fields are guarded by the
+// owning Server's mutex.
+type job struct {
+	id      string
+	key     string
+	c       *Campaign
+	journal *fault.Journal
+	shards  []*shard
+
+	state jobState
+	err   string
+
+	settled   []bool // per-site settled flags (journal + streamed)
+	results   []fault.SiteResult
+	nSettled  int
+	fromCache int
+	simulated int
+	detected  int
+	panics    int
+
+	goldenSig   uint32
+	goldenOK    bool
+	goldenBound bool
+
+	report []byte // final report JSON, rendered at completion
+
+	events *telemetry.EventBuffer
+	reg    *telemetry.Registry
+	met    jobMetrics
+
+	created  time.Time
+	finished time.Time
+	done     chan struct{} // closed when the job leaves the running state
+}
+
+// shardsDone counts completed shards.
+func (j *job) shardsDone() int {
+	n := 0
+	for _, sh := range j.shards {
+		if sh.state == shardDone {
+			n++
+		}
+	}
+	return n
+}
+
+// status renders the job's status document.
+func (j *job) status(now time.Time) JobStatus {
+	elapsed := now.Sub(j.created)
+	if j.state != jobRunning {
+		elapsed = j.finished.Sub(j.created)
+	}
+	return JobStatus{
+		ID:         j.id,
+		Key:        j.key,
+		Spec:       j.c.Spec,
+		State:      j.state.String(),
+		Error:      j.err,
+		Sites:      len(j.c.Sites),
+		Settled:    j.nSettled,
+		FromCache:  j.fromCache,
+		Simulated:  j.simulated,
+		Detected:   j.detected,
+		Shards:     len(j.shards),
+		ShardsDone: j.shardsDone(),
+		ElapsedNs:  elapsed.Nanoseconds(),
+	}
+}
+
+// settle folds one verdict into the job state (idempotent per site) and
+// emits its site event. Caller holds the server mutex and has already
+// journaled the verdict when it came from a worker.
+func (j *job) settle(i int, res fault.SiteResult, fromCache bool) {
+	if j.settled[i] {
+		return
+	}
+	j.settled[i] = true
+	j.results[i] = res
+	j.nSettled++
+	if fromCache {
+		j.fromCache++
+		j.met.fromCache.Inc()
+	} else {
+		j.simulated++
+		j.met.simulated.Inc()
+	}
+	if res.Detected {
+		j.detected++
+		j.met.detected.Inc()
+	}
+	if res.Panicked {
+		j.panics++
+	}
+	j.events.Emit(telemetry.Event{
+		Kind:        telemetry.EventSite,
+		Index:       i,
+		Site:        res.Site.String(),
+		Sig:         res.Signature,
+		Detected:    res.Detected,
+		Crashed:     res.Crashed,
+		Panicked:    res.Panicked,
+		FromJournal: fromCache,
+	})
+}
+
+// assembleReport builds the final fault.Report from the settled verdicts.
+// Anomaly stacks are not reassembled — like `faultsim -report`, the
+// service report carries the verdict set, which is the byte-comparable
+// part.
+func (j *job) assembleReport() fault.Report {
+	rep := fault.Report{
+		Golden:   j.goldenSig,
+		GoldenOK: j.goldenOK,
+		Total:    len(j.c.Sites),
+		Results:  make([]fault.SiteResult, len(j.c.Sites)),
+	}
+	copy(rep.Results, j.results)
+	for _, res := range rep.Results {
+		if res.Detected {
+			rep.Detected++
+		}
+		if res.Panicked {
+			rep.Panics++
+		}
+	}
+	return rep
+}

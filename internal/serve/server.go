@@ -1,0 +1,699 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/telemetry"
+)
+
+// Config configures a Server.
+type Config struct {
+	// StoreDir is the content-addressed store directory (required).
+	StoreDir string
+	// ShardSize is the shard width in sites; <= 0 means DefaultShardSize.
+	ShardSize int
+	// Lease is the shard lease duration; <= 0 means DefaultLease. A leased
+	// shard whose worker stays silent past the lease returns to the pending
+	// pool and is re-leased with the already-settled sites excluded.
+	Lease time.Duration
+	// Registry receives the pool-level metrics and backs the server's
+	// /metrics endpoint; nil means a fresh private registry.
+	Registry *telemetry.Registry
+}
+
+// DefaultShardSize is the default shard width in sites.
+const DefaultShardSize = 64
+
+// DefaultLease is the default shard lease duration.
+const DefaultLease = time.Minute
+
+// poolMetrics is the server's resolved pool-level metric handles.
+type poolMetrics struct {
+	jobsSubmitted   *telemetry.Counter
+	jobsAttached    *telemetry.Counter
+	jobsCompleted   *telemetry.Counter
+	jobsFullyCached *telemetry.Counter
+	jobsFailed      *telemetry.Counter
+	jobsRunning     *telemetry.Gauge
+	shardsLeased    *telemetry.Counter
+	shardsExpired   *telemetry.Counter
+	shardsCompleted *telemetry.Counter
+	shardsCached    *telemetry.Counter
+	verdicts        *telemetry.Counter
+	sitesFromCache  *telemetry.Counter
+	sitesSimulated  *telemetry.Counter
+	buildNs         *telemetry.Histogram
+}
+
+// newPoolMetrics resolves the pool metric names on reg.
+func newPoolMetrics(reg *telemetry.Registry) poolMetrics {
+	return poolMetrics{
+		jobsSubmitted:   reg.Counter("serve_jobs_submitted_total"),
+		jobsAttached:    reg.Counter("serve_jobs_attached_total"),
+		jobsCompleted:   reg.Counter("serve_jobs_completed_total"),
+		jobsFullyCached: reg.Counter("serve_jobs_fully_cached_total"),
+		jobsFailed:      reg.Counter("serve_jobs_failed_total"),
+		jobsRunning:     reg.Gauge("serve_jobs_running"),
+		shardsLeased:    reg.Counter("serve_shards_leased_total"),
+		shardsExpired:   reg.Counter("serve_shards_expired_total"),
+		shardsCompleted: reg.Counter("serve_shards_completed_total"),
+		shardsCached:    reg.Counter("serve_shards_cached_total"),
+		verdicts:        reg.Counter("serve_verdicts_received_total"),
+		sitesFromCache:  reg.Counter("serve_sites_from_cache_total"),
+		sitesSimulated:  reg.Counter("serve_sites_simulated_total"),
+		buildNs:         reg.Histogram("serve_campaign_build_ns"),
+	}
+}
+
+// Server is the campaign job server: it accepts Spec submissions, folds the
+// content-addressed store's verdicts in as cache hits, shards the remainder
+// across leasing workers, and assembles reports byte-identical to a local
+// faultsim run. All job state is guarded by one mutex; simulation happens
+// only in workers, so the critical sections are bookkeeping-sized.
+type Server struct {
+	cfg   Config
+	store *Store
+	reg   *telemetry.Registry
+	met   poolMetrics
+	mux   *http.ServeMux
+
+	mu    sync.Mutex
+	seq   int
+	jobs  map[string]*job // by job ID
+	order []*job          // submission order (lease scan, listing)
+	byKey map[string]*job // running job per campaign key (dedup/attach)
+}
+
+// New builds a Server over cfg, opening (creating if needed) the store
+// directory.
+func New(cfg Config) (*Server, error) {
+	if cfg.ShardSize <= 0 {
+		cfg.ShardSize = DefaultShardSize
+	}
+	if cfg.Lease <= 0 {
+		cfg.Lease = DefaultLease
+	}
+	store, err := OpenStore(cfg.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: store,
+		reg:   reg,
+		met:   newPoolMetrics(reg),
+		jobs:  map[string]*job{},
+		byKey: map[string]*job{},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
+	mux.HandleFunc("POST /v1/lease", s.handleLease)
+	mux.HandleFunc("POST /v1/jobs/{id}/shards/{shard}/verdicts", s.handleVerdicts)
+	mux.HandleFunc("POST /v1/jobs/{id}/shards/{shard}/complete", s.handleComplete)
+	// Everything else is the standard telemetry surface: pool /metrics and
+	// /debug/pprof — the same mux every campaign binary mounts.
+	mux.Handle("/", telemetry.Handler(reg))
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP serves the campaign API plus the pool telemetry surface.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close releases the journals of still-running jobs (they stay resumable
+// in the store) and ends their event streams.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, j := range s.order {
+		if j.state != jobRunning {
+			continue
+		}
+		if err := j.journal.Close(); err != nil && first == nil {
+			first = err
+		}
+		j.events.Close()
+	}
+	return first
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON writes v as a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// handleSubmit is POST /v1/jobs: body is a Spec; the reply is the job's
+// status document (201 for a new job, 200 when attaching to the running
+// job of the same campaign). With ?wait=1 the reply is deferred until the
+// job leaves the running state.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	// Build outside the lock: the golden traffic-recording run is
+	// milliseconds of simulation, and it never touches job state.
+	t0 := time.Now()
+	c, err := spec.Build()
+	s.met.buildNs.Observe(time.Since(t0).Nanoseconds())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.met.jobsSubmitted.Inc()
+	key := c.Header.Key()
+	j, attached := s.byKey[key]
+	status := http.StatusOK
+	if attached {
+		s.met.jobsAttached.Inc()
+	} else {
+		var err error
+		j, err = s.newJob(c, key)
+		if err != nil {
+			s.mu.Unlock()
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		status = http.StatusCreated
+	}
+	done := j.done
+	s.mu.Unlock()
+
+	if r.URL.Query().Get("wait") == "1" {
+		select {
+		case <-done:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	s.mu.Lock()
+	st := j.status(time.Now())
+	s.mu.Unlock()
+	writeJSON(w, status, st)
+}
+
+// newJob creates a job for the built campaign c, folding the store's
+// journaled verdicts in as cache hits; a fully settled store completes the
+// job before it ever reaches a worker. Caller holds the server mutex.
+func (s *Server) newJob(c *Campaign, key string) (*job, error) {
+	journal, err := s.store.Open(c.Header)
+	if err != nil {
+		return nil, err
+	}
+	s.seq++
+	reg := telemetry.NewRegistry()
+	j := &job{
+		id:      fmt.Sprintf("j%03d-%s", s.seq, key[:8]),
+		key:     key,
+		c:       c,
+		journal: journal,
+		settled: make([]bool, len(c.Sites)),
+		results: make([]fault.SiteResult, len(c.Sites)),
+		events:  telemetry.NewEventBuffer(),
+		reg:     reg,
+		met:     newJobMetrics(reg),
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	for _, r := range fault.ShardRanges(len(c.Sites), s.cfg.ShardSize) {
+		j.shards = append(j.shards, &shard{r: r})
+	}
+	j.met.sites.Set(int64(len(c.Sites)))
+	j.met.shards.Set(int64(len(j.shards)))
+	j.events.Emit(telemetry.Event{Kind: telemetry.EventStart, Sites: len(c.Sites)})
+
+	if sig, ok, bound := journal.Golden(); bound {
+		j.goldenSig, j.goldenOK, j.goldenBound = sig, ok, true
+	}
+	for _, i := range journal.SettledIndices() {
+		res, _, _, _ := journal.Settled(i)
+		res.Site = c.Sites[i]
+		j.settle(i, res, true)
+	}
+	s.met.sitesFromCache.Add(int64(j.fromCache))
+	for _, sh := range j.shards {
+		if len(journal.Unsettled(sh.r.Lo, sh.r.Hi)) == 0 {
+			sh.state = shardDone
+			s.met.shardsCached.Inc()
+		}
+	}
+	j.met.shardsDone.Set(int64(j.shardsDone()))
+
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.byKey[key] = j
+	s.met.jobsRunning.Set(int64(len(s.byKey)))
+
+	if j.nSettled == len(c.Sites) {
+		// Full cache hit: every site is already journaled, so the job
+		// completes at submission without a single simulated run.
+		if !j.goldenBound {
+			s.failJob(j, "store journal settles every site but binds no golden")
+		} else {
+			s.finishJob(j)
+		}
+	}
+	return j, nil
+}
+
+// finishJob renders the report and moves j to done. Caller holds the
+// server mutex; j is running with every site settled.
+func (s *Server) finishJob(j *job) {
+	rep := j.assembleReport()
+	blob, err := MarshalReport(rep)
+	if err != nil {
+		s.failJob(j, "rendering report: %v", err)
+		return
+	}
+	j.report = blob
+	j.state = jobDone
+	j.finished = time.Now()
+	j.events.Emit(telemetry.Event{
+		Kind:          telemetry.EventFinish,
+		Sites:         len(j.c.Sites),
+		Settled:       int64(j.nSettled),
+		DetectedTotal: int64(j.detected),
+		ElapsedNs:     j.finished.Sub(j.created).Nanoseconds(),
+	})
+	j.events.Close()
+	_ = j.journal.Close()
+	s.retireJob(j)
+	s.met.jobsCompleted.Inc()
+	if j.simulated == 0 {
+		s.met.jobsFullyCached.Inc()
+	}
+}
+
+// failJob moves j to failed with the given reason. Caller holds the
+// server mutex.
+func (s *Server) failJob(j *job, format string, args ...any) {
+	j.state = jobFailed
+	j.err = fmt.Sprintf(format, args...)
+	j.finished = time.Now()
+	j.events.Close()
+	_ = j.journal.Close()
+	s.retireJob(j)
+	s.met.jobsFailed.Inc()
+}
+
+// retireJob drops j from the running-by-key table and closes its done
+// channel. Caller holds the server mutex.
+func (s *Server) retireJob(j *job) {
+	if s.byKey[j.key] == j {
+		delete(s.byKey, j.key)
+	}
+	s.met.jobsRunning.Set(int64(len(s.byKey)))
+	close(j.done)
+}
+
+// handleList is GET /v1/jobs: every job's status, in submission order.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	now := time.Now()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, j := range s.order {
+		out = append(out, j.status(now))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// findJob resolves the {id} path value under the server mutex, writing a
+// 404 and returning nil when the job does not exist.
+func (s *Server) findJob(w http.ResponseWriter, r *http.Request) *job {
+	j := s.jobs[r.PathValue("id")]
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+// handleStatus is GET /v1/jobs/{id}; with ?wait=1 the reply is deferred
+// until the job leaves the running state.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j := s.findJob(w, r)
+	if j == nil {
+		s.mu.Unlock()
+		return
+	}
+	done := j.done
+	s.mu.Unlock()
+	if r.URL.Query().Get("wait") == "1" {
+		select {
+		case <-done:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	s.mu.Lock()
+	st := j.status(time.Now())
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleReport is GET /v1/jobs/{id}/report: the assembled campaign report,
+// byte-identical to `faultsim -report` on the same spec. Running jobs
+// answer 409 (poll status or use ?wait=1 on submission).
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j := s.findJob(w, r)
+	if j == nil {
+		s.mu.Unlock()
+		return
+	}
+	state, errMsg, blob := j.state, j.err, j.report
+	s.mu.Unlock()
+	switch state {
+	case jobRunning:
+		httpError(w, http.StatusConflict, "job still running")
+	case jobFailed:
+		httpError(w, http.StatusConflict, "job failed: %s", errMsg)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(blob)
+	}
+}
+
+// handleEvents is GET /v1/jobs/{id}/events: the job's event stream as
+// NDJSON — full replay from the first event, then live follow until the
+// job finishes or the client disconnects. The lines decode with
+// telemetry.DecodeEvents, the same strict schema as faultsim -events.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j := s.findJob(w, r)
+	if j == nil {
+		s.mu.Unlock()
+		return
+	}
+	buf := j.events
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	from := 0
+	for {
+		batch, open := buf.Next(from, r.Context().Done())
+		for _, e := range batch {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		from += len(batch)
+		if flusher != nil && len(batch) > 0 {
+			flusher.Flush()
+		}
+		if !open {
+			return
+		}
+		if len(batch) == 0 {
+			// Next returned without progress and the stream is still open:
+			// the client context was canceled.
+			select {
+			case <-r.Context().Done():
+				return
+			default:
+			}
+		}
+	}
+}
+
+// handleJobMetrics is GET /v1/jobs/{id}/metrics: the job-scoped registry
+// in the Prometheus text format (the pool registry lives at /metrics).
+func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j := s.findJob(w, r)
+	if j == nil {
+		s.mu.Unlock()
+		return
+	}
+	reg := j.reg
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = reg.WriteProm(w)
+}
+
+// handleLease is POST /v1/lease: grant the oldest pending shard (expiring
+// stale leases on the way) to the requesting worker, or 204 when no work
+// is pending.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad lease request: %v", err)
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	for _, j := range s.order {
+		if j.state != jobRunning {
+			continue
+		}
+		for _, sh := range j.shards {
+			if sh.state == shardLeased && now.After(sh.deadline) {
+				sh.state = shardPending
+				sh.worker = ""
+				s.met.shardsExpired.Inc()
+			}
+			if sh.state != shardPending {
+				continue
+			}
+			sh.state = shardLeased
+			sh.worker = req.Worker
+			sh.deadline = now.Add(s.cfg.Lease)
+			s.met.shardsLeased.Inc()
+			var settled []int
+			for i := sh.r.Lo; i < sh.r.Hi; i++ {
+				if j.settled[i] {
+					settled = append(settled, i)
+				}
+			}
+			lease := Lease{
+				Job:     j.id,
+				Spec:    j.c.Spec,
+				Shard:   sh.r,
+				Settled: settled,
+				Sites:   len(j.c.Sites),
+				LeaseNs: s.cfg.Lease.Nanoseconds(),
+			}
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, lease)
+			return
+		}
+	}
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// parseShard resolves the {shard} path value ("lo-hi") against j's shard
+// table. Caller holds the server mutex.
+func (j *job) parseShard(name string) *shard {
+	lo, hi, ok := splitRange(name)
+	if !ok {
+		return nil
+	}
+	for _, sh := range j.shards {
+		if sh.r.Lo == lo && sh.r.Hi == hi {
+			return sh
+		}
+	}
+	return nil
+}
+
+// splitRange parses "lo-hi".
+func splitRange(s string) (lo, hi int, ok bool) {
+	dash := strings.IndexByte(s, '-')
+	if dash < 0 {
+		return 0, 0, false
+	}
+	lo, err1 := strconv.Atoi(s[:dash])
+	hi, err2 := strconv.Atoi(s[dash+1:])
+	return lo, hi, err1 == nil && err2 == nil
+}
+
+// handleVerdicts is POST /v1/jobs/{id}/shards/{shard}/verdicts: fold a
+// batch of freshly settled verdicts into the job. The batch's golden is
+// reconciled first (first batch binds it into the journal; later batches
+// must reproduce it), every verdict is journaled before it is counted,
+// duplicates of settled sites are ignored, and posting renews the
+// worker's lease. A shard whose last site settles completes implicitly,
+// so a worker killed between its final verdict and its complete call
+// loses nothing.
+func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
+	var batch VerdictBatch
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		httpError(w, http.StatusBadRequest, "bad verdict batch: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.findJob(w, r)
+	if j == nil {
+		return
+	}
+	if j.state == jobDone {
+		// Late duplicate after completion (another leaseholder finished the
+		// shard): fine, nothing to fold.
+		writeJSON(w, http.StatusOK, j.status(time.Now()))
+		return
+	}
+	if j.state == jobFailed {
+		httpError(w, http.StatusConflict, "job failed: %s", j.err)
+		return
+	}
+	sh := j.parseShard(r.PathValue("shard"))
+	if sh == nil {
+		httpError(w, http.StatusNotFound, "job has no shard %q", r.PathValue("shard"))
+		return
+	}
+
+	// Golden reconciliation, exactly like a resumed local campaign: the
+	// first worker's golden is journaled; any later golden must reproduce
+	// it, or the campaign's determinism contract is broken and the job
+	// fails loudly rather than mixing verdicts from two environments.
+	if !j.goldenBound {
+		if err := j.journal.BindGolden(batch.Golden, batch.GoldenOK); err != nil {
+			s.failJob(j, "binding golden: %v", err)
+			httpError(w, http.StatusConflict, "%s", j.err)
+			return
+		}
+		j.goldenSig, j.goldenOK, j.goldenBound = batch.Golden, batch.GoldenOK, true
+	} else if batch.Golden != j.goldenSig || batch.GoldenOK != j.goldenOK {
+		s.failJob(j, "worker %q golden %08x/%v does not reproduce the journaled %08x/%v",
+			batch.Worker, batch.Golden, batch.GoldenOK, j.goldenSig, j.goldenOK)
+		httpError(w, http.StatusConflict, "%s", j.err)
+		return
+	}
+
+	for _, v := range batch.Verdicts {
+		if v.I < sh.r.Lo || v.I >= sh.r.Hi {
+			httpError(w, http.StatusBadRequest, "verdict %d outside shard %s", v.I, sh.r)
+			return
+		}
+		if v.Detected != (v.Crashed || v.Sig != j.goldenSig) {
+			httpError(w, http.StatusBadRequest,
+				"verdict %d inconsistent: detected=%v with sig %08x, crashed=%v against golden %08x",
+				v.I, v.Detected, v.Sig, v.Crashed, j.goldenSig)
+			return
+		}
+		if j.settled[v.I] {
+			continue
+		}
+		res := fault.SiteResult{
+			Site:      j.c.Sites[v.I],
+			Detected:  v.Detected,
+			Signature: v.Sig,
+			Crashed:   v.Crashed,
+			Panicked:  v.Panicked,
+		}
+		if err := j.journal.Record(v.I, res, v.Msg, v.Stack); err != nil {
+			s.failJob(j, "journaling verdict %d: %v", v.I, err)
+			httpError(w, http.StatusInternalServerError, "%s", j.err)
+			return
+		}
+		j.settle(v.I, res, false)
+		s.met.verdicts.Inc()
+		s.met.sitesSimulated.Inc()
+	}
+
+	if sh.state == shardLeased && sh.worker == batch.Worker {
+		sh.deadline = time.Now().Add(s.cfg.Lease)
+	}
+	s.completeShard(j, sh)
+	writeJSON(w, http.StatusOK, j.status(time.Now()))
+}
+
+// completeShard marks sh done if every one of its sites is settled, and
+// finishes the job when it was the last shard. Caller holds the server
+// mutex; j is running.
+func (s *Server) completeShard(j *job, sh *shard) {
+	if sh.state == shardDone {
+		return
+	}
+	for i := sh.r.Lo; i < sh.r.Hi; i++ {
+		if !j.settled[i] {
+			return
+		}
+	}
+	sh.state = shardDone
+	sh.worker = ""
+	s.met.shardsCompleted.Inc()
+	j.met.shardsDone.Set(int64(j.shardsDone()))
+	if j.nSettled == len(j.c.Sites) {
+		s.finishJob(j)
+	}
+}
+
+// handleComplete is POST /v1/jobs/{id}/shards/{shard}/complete: confirm a
+// shard is fully settled. Shards complete implicitly when their last
+// verdict lands, so this answers 200 for a done shard and 409 with the
+// outstanding count otherwise — the worker's signal to keep simulating
+// (or, after a lease expiry, that the next leaseholder will).
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.findJob(w, r)
+	if j == nil {
+		return
+	}
+	if j.state == jobDone {
+		writeJSON(w, http.StatusOK, j.status(time.Now()))
+		return
+	}
+	if j.state == jobFailed {
+		httpError(w, http.StatusConflict, "job failed: %s", j.err)
+		return
+	}
+	sh := j.parseShard(r.PathValue("shard"))
+	if sh == nil {
+		httpError(w, http.StatusNotFound, "job has no shard %q", r.PathValue("shard"))
+		return
+	}
+	if sh.state != shardDone {
+		n := 0
+		for i := sh.r.Lo; i < sh.r.Hi; i++ {
+			if !j.settled[i] {
+				n++
+			}
+		}
+		httpError(w, http.StatusConflict, "shard %s has %d unsettled sites", sh.r, n)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(time.Now()))
+}

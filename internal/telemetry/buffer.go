@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// EventBuffer is an in-memory event sink with replay-then-follow
+// semantics: events append in order, and any number of readers can replay
+// the prefix they missed and then block for new events. It is the
+// buffering layer a campaign service puts between the verdict stream and
+// its HTTP event endpoints — each connecting client replays the settled
+// history and follows live from there. A nil *EventBuffer is the disabled
+// mode: Emit and Close no-op, mirroring the nil *EventLog contract.
+type EventBuffer struct {
+	mu      sync.Mutex
+	events  []Event
+	closed  bool
+	changed chan struct{} // closed and replaced on every append/Close
+}
+
+// NewEventBuffer returns an empty open buffer.
+func NewEventBuffer() *EventBuffer {
+	return &EventBuffer{changed: make(chan struct{})}
+}
+
+// Emit appends one event, stamping T with the current wall clock when
+// unset. Events emitted after Close are dropped. Safe (and free) on a nil
+// receiver.
+func (b *EventBuffer) Emit(e Event) {
+	if b == nil {
+		return
+	}
+	if e.T == 0 {
+		e.T = time.Now().UnixNano()
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.events = append(b.events, e)
+	b.wake()
+}
+
+// Close ends the stream: followers drain the remaining events and stop.
+// Idempotent, and safe on a nil receiver.
+func (b *EventBuffer) Close() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.wake()
+}
+
+// wake broadcasts to every blocked Next. Callers hold b.mu.
+func (b *EventBuffer) wake() {
+	close(b.changed)
+	b.changed = make(chan struct{})
+}
+
+// Len returns the number of buffered events (0 on a nil receiver).
+func (b *EventBuffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Events returns a snapshot copy of the full event history.
+func (b *EventBuffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Event, len(b.events))
+	copy(out, b.events)
+	return out
+}
+
+// Next returns a copy of the events past index from, blocking while there
+// are none, the buffer is open, and cancel has not fired. open reports
+// whether the stream may still grow; a drained reader stops on an empty
+// batch with open == false. A fired cancel returns the available batch
+// (possibly empty) immediately — the caller owns checking its own cancel
+// signal, Next only unblocks on it.
+func (b *EventBuffer) Next(from int, cancel <-chan struct{}) (batch []Event, open bool) {
+	for {
+		b.mu.Lock()
+		if len(b.events) > from || b.closed {
+			batch = make([]Event, len(b.events)-from)
+			copy(batch, b.events[from:])
+			open = !b.closed
+			b.mu.Unlock()
+			return batch, open
+		}
+		ch := b.changed
+		b.mu.Unlock()
+		select {
+		case <-ch:
+		case <-cancel:
+			return nil, true
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventBufferReplayThenFollow(t *testing.T) {
+	b := NewEventBuffer()
+	b.Emit(Event{Kind: EventStart, Sites: 4})
+	b.Emit(Event{Kind: EventSite, Index: 0})
+
+	// Replay: a late reader sees the full prefix immediately.
+	batch, open := b.Next(0, nil)
+	if len(batch) != 2 || !open {
+		t.Fatalf("replay: got %d events, open=%v; want 2, true", len(batch), open)
+	}
+	if batch[0].Kind != EventStart || batch[1].Kind != EventSite {
+		t.Fatalf("replay order wrong: %+v", batch)
+	}
+
+	// Follow: a reader past the end blocks until the next emit.
+	got := make(chan []Event, 1)
+	go func() {
+		e, _ := b.Next(2, nil)
+		got <- e
+	}()
+	select {
+	case e := <-got:
+		t.Fatalf("Next returned %v before an emit", e)
+	case <-time.After(10 * time.Millisecond):
+	}
+	b.Emit(Event{Kind: EventSite, Index: 1})
+	select {
+	case e := <-got:
+		if len(e) != 1 || e[0].Index != 1 {
+			t.Fatalf("follow batch = %+v", e)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("follower never woke")
+	}
+
+	// Close: drained followers stop with open=false.
+	b.Close()
+	batch, open = b.Next(3, nil)
+	if len(batch) != 0 || open {
+		t.Fatalf("after close: batch=%v open=%v; want empty, false", batch, open)
+	}
+	// A reader behind the end still drains the tail after Close.
+	batch, open = b.Next(1, nil)
+	if len(batch) != 2 || open {
+		t.Fatalf("drain after close: got %d events, open=%v; want 2, false", len(batch), open)
+	}
+	// Emits after Close are dropped.
+	b.Emit(Event{Kind: EventFinish})
+	if b.Len() != 3 {
+		t.Fatalf("Len after post-close emit = %d, want 3", b.Len())
+	}
+}
+
+func TestEventBufferCancel(t *testing.T) {
+	b := NewEventBuffer()
+	cancel := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		batch, open := b.Next(0, cancel)
+		if len(batch) != 0 || !open {
+			t.Errorf("canceled Next = %v, %v; want empty, true", batch, open)
+		}
+		close(done)
+	}()
+	close(cancel)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Next did not unblock on cancel")
+	}
+}
+
+func TestEventBufferNilReceiver(t *testing.T) {
+	var b *EventBuffer
+	b.Emit(Event{Kind: EventStart})
+	b.Close()
+	if b.Len() != 0 || b.Events() != nil {
+		t.Fatal("nil buffer is not empty")
+	}
+}
